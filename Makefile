@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race short bench repro examples vet fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every table/figure of the paper at full trial count.
+repro:
+	$(GO) run ./cmd/dagsfc-bench -exp all -trials 100 -seed 2018
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/transform
+	$(GO) run ./examples/securitychain
+	$(GO) run ./examples/onlineflows
+	$(GO) run ./examples/datacenter
+	$(GO) run ./examples/delaybudget

@@ -1,0 +1,168 @@
+// Command dagsfc-embed embeds one DAG-SFC into a network loaded from JSON
+// (see cmd/dagsfc-netgen) and prints the chosen assignment, paths and cost
+// breakdown.
+//
+// The SFC syntax is layers separated by ';' and parallel VNFs separated by
+// ',': "1;2,3,4;5" is [f1] -> [f2|f3|f4 +m] -> [f5].
+//
+// Usage:
+//
+//	dagsfc-embed -net net.json -sfc "1;2,3" -src 0 -dst 42
+//	             [-alg mbbe|bbe|minv|ranv|exact] [-rate 1] [-size 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"dagsfc"
+	"dagsfc/internal/core"
+	"dagsfc/internal/network"
+	"dagsfc/internal/viz"
+)
+
+func main() {
+	var (
+		netFile = flag.String("net", "", "network JSON file (required)")
+		sfcStr  = flag.String("sfc", "", "DAG-SFC, e.g. \"1;2,3,4;5\" (required)")
+		src     = flag.Int("src", 0, "source node")
+		dst     = flag.Int("dst", 0, "destination node")
+		alg     = flag.String("alg", "mbbe", "algorithm: mbbe, bbe, minv, ranv, exact, ilp, sa")
+		rate    = flag.Float64("rate", 1, "flow delivery rate R")
+		size    = flag.Float64("size", 1, "flow size z (cost scale)")
+		seed    = flag.Int64("seed", 1, "seed for ranv")
+		dotFile = flag.String("dot", "", "also write a Graphviz DOT rendering of the embedding")
+		outFile = flag.String("o", "", "also write the solution as JSON")
+		verbose = flag.Bool("v", false, "trace the search (layer/search progress to stderr; mbbe/bbe only)")
+	)
+	flag.Parse()
+	if err := run(*netFile, *sfcStr, *src, *dst, *alg, *rate, *size, *seed, *dotFile, *outFile, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsfc-embed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netFile, sfcStr string, src, dst int, alg string, rate, size float64, seed int64, dotFile, outFile string, verbose bool) error {
+	if netFile == "" {
+		return fmt.Errorf("-net is required")
+	}
+	f, err := os.Open(netFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	net, err := network.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	s, err := dagsfc.ParseSFC(sfcStr)
+	if err != nil {
+		return err
+	}
+	p := &dagsfc.Problem{
+		Net: net, SFC: s,
+		Src: dagsfc.NodeID(src), Dst: dagsfc.NodeID(dst),
+		Rate: rate, Size: size,
+	}
+	var res *dagsfc.Result
+	tracedOpts := func(opts dagsfc.Options) dagsfc.Options {
+		if verbose {
+			opts.Observer = traceObserver{}
+		}
+		return opts
+	}
+	switch strings.ToLower(alg) {
+	case "mbbe":
+		res, err = dagsfc.Embed(p, tracedOpts(dagsfc.MBBEOptions()))
+	case "bbe":
+		res, err = dagsfc.Embed(p, tracedOpts(dagsfc.BBEOptions()))
+	case "minv":
+		res, err = dagsfc.EmbedMINV(p)
+	case "ranv":
+		res, err = dagsfc.EmbedRANV(p, rand.New(rand.NewSource(seed)))
+	case "exact":
+		res, err = dagsfc.EmbedExact(p, dagsfc.ExactLimits{})
+	case "ilp":
+		res, err = dagsfc.EmbedILP(p, dagsfc.ILPOptions{})
+	case "sa", "anneal":
+		res, err = dagsfc.EmbedAnneal(p, rand.New(rand.NewSource(seed)), dagsfc.AnnealOptions{})
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return err
+	}
+	printSolution(p, res)
+	if dotFile != "" {
+		f, err := os.Create(dotFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.WriteDOT(f, net, viz.Options{ShowPrices: true, Solution: res.Solution, Problem: p}); err != nil {
+			return err
+		}
+	}
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.WriteSolutionJSON(f, p, res.Solution); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceObserver prints the search progress to stderr under -v.
+type traceObserver struct{}
+
+func (traceObserver) LayerStart(spec dagsfc.LayerSpec, parents int) {
+	fmt.Fprintf(os.Stderr, "layer %d: %d VNFs, %d parent sub-solutions\n",
+		spec.Index, len(spec.VNFs), parents)
+}
+
+func (traceObserver) SearchDone(layer int, start dagsfc.NodeID, forward bool, size int, covered bool) {
+	kind := "backward"
+	if forward {
+		kind = "forward"
+	}
+	fmt.Fprintf(os.Stderr, "  %s search from %d: %d nodes, covered=%v\n", kind, start, size, covered)
+}
+
+func (traceObserver) LayerDone(spec dagsfc.LayerSpec, kept int, cheapest float64) {
+	fmt.Fprintf(os.Stderr, "layer %d done: kept %d sub-solutions, cheapest %.2f\n",
+		spec.Index, kept, cheapest)
+}
+
+func (traceObserver) Leaf(total float64) {
+	fmt.Fprintf(os.Stderr, "solution selected: total %.2f\n", total)
+}
+
+func printSolution(p *dagsfc.Problem, res *dagsfc.Result) {
+	g := p.Net.G
+	fmt.Printf("SFC %s embedded %d -> %d\n", p.SFC.String(), p.Src, p.Dst)
+	for li, le := range res.Solution.Layers {
+		spec := p.SFC.Layers[li]
+		fmt.Printf("layer %d:\n", li+1)
+		for i, node := range le.Nodes {
+			fmt.Printf("  f(%d) @ node %d  inter-path %s\n", spec.VNFs[i], node, le.InterPaths[i].String(g))
+		}
+		if spec.Parallel() {
+			fmt.Printf("  merger @ node %d\n", le.MergerNode)
+			for i, path := range le.InnerPaths {
+				fmt.Printf("  inner-path f(%d): %s\n", spec.VNFs[i], path.String(g))
+			}
+		}
+	}
+	fmt.Printf("tail: %s\n", res.Solution.TailPath.String(g))
+	fmt.Printf("cost: total %.3f (VNF %.3f + links %.3f)\n",
+		res.Cost.Total(), res.Cost.VNFCost, res.Cost.LinkCost)
+	delay := dagsfc.EvaluateDelay(p, res.Solution, dagsfc.DefaultDelayParams())
+	fmt.Printf("end-to-end delay (default model): %.3f\n", delay)
+}

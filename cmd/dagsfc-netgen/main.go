@@ -1,0 +1,63 @@
+// Command dagsfc-netgen generates a random priced cloud network with the
+// paper's §5.1 distribution and writes it as JSON (to stdout or -o FILE),
+// in the format cmd/dagsfc-embed consumes.
+//
+// Usage:
+//
+//	dagsfc-netgen [-nodes 500] [-conn 6] [-kinds 10] [-deploy 0.5]
+//	              [-price-ratio 0.2] [-fluct 0.05] [-seed 1] [-o net.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dagsfc/internal/netgen"
+)
+
+func main() {
+	cfg := netgen.Default()
+	var (
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "network size (number of nodes)")
+	flag.Float64Var(&cfg.Connectivity, "conn", cfg.Connectivity, "target average node degree")
+	flag.IntVar(&cfg.VNFKinds, "kinds", cfg.VNFKinds, "number of VNF categories")
+	flag.Float64Var(&cfg.DeployRatio, "deploy", cfg.DeployRatio, "VNF deploying ratio")
+	flag.Float64Var(&cfg.AvgVNFPrice, "vnf-price", cfg.AvgVNFPrice, "average VNF rental price")
+	flag.Float64Var(&cfg.PriceRatio, "price-ratio", cfg.PriceRatio, "avg link price / avg VNF price")
+	flag.Float64Var(&cfg.VNFPriceFluct, "fluct", cfg.VNFPriceFluct, "VNF price fluctuation ratio")
+	flag.Float64Var(&cfg.LinkCapacity, "link-cap", cfg.LinkCapacity, "link bandwidth capacity")
+	flag.Float64Var(&cfg.InstanceCapacity, "inst-cap", cfg.InstanceCapacity, "instance processing capacity")
+	flag.Parse()
+
+	if err := run(cfg, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsfc-netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg netgen.Config, seed int64, out string) error {
+	net, err := netgen.Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := net.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d nodes, %d links (avg degree %.2f), %d VNF instances\n",
+		net.G.NumNodes(), net.G.NumEdges(), net.G.AvgDegree(), net.NumInstances())
+	return nil
+}

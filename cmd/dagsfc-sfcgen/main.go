@@ -1,0 +1,39 @@
+// Command dagsfc-sfcgen draws random DAG-SFCs from the paper's §5.1
+// distribution and prints them in the syntax cmd/dagsfc-embed accepts
+// (layers separated by ';', parallel VNFs by ',').
+//
+// Usage:
+//
+//	dagsfc-sfcgen [-size 5] [-width 3] [-kinds 10] [-n 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dagsfc"
+	"dagsfc/internal/sfcgen"
+)
+
+func main() {
+	var (
+		size  = flag.Int("size", 5, "SFC size (number of VNFs)")
+		width = flag.Int("width", 3, "maximum parallel VNF set size")
+		kinds = flag.Int("kinds", 10, "number of VNF categories to draw from")
+		n     = flag.Int("n", 1, "how many SFCs to generate")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds}
+	for i := 0; i < *n; i++ {
+		s, err := sfcgen.Generate(cfg, rng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagsfc-sfcgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println(dagsfc.FormatSFC(s))
+	}
+}

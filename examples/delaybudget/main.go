@@ -1,0 +1,72 @@
+// Delaybudget: delay-bounded embedding. The operator wants the cheapest
+// embedding whose end-to-end latency stays under a budget. The example
+// builds a network where the cheap VNFs sit far from the flow's route,
+// embeds a chain unbounded (cheap but slow), then under progressively
+// tighter budgets. Every returned embedding provably meets its budget;
+// "infeasible for this search" rows show the beam search's honest limit —
+// feasibility is not strictly monotone in the budget, because the search
+// stays cost-ordered and only guarantees one fast candidate per pruning
+// point (see core.Options.MaxDelay).
+//
+// Run with: go run ./examples/delaybudget
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dagsfc"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+
+	// Wide price dispersion + meaningful propagation delay create the
+	// cost/latency tension.
+	cfg := dagsfc.DefaultNetConfig()
+	cfg.Nodes = 150
+	cfg.VNFKinds = 6
+	cfg.VNFPriceFluct = 0.5
+	net, err := dagsfc.GenerateNetwork(cfg, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := dagsfc.GenerateSFC(dagsfc.SFCConfig{Size: 5, LayerWidth: 3, VNFKinds: 6}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := dagsfc.DelayParams{DefaultProcDelay: 1, MergerDelay: 0.1, HopDelay: 0.5}
+	problem := func() *dagsfc.Problem {
+		return &dagsfc.Problem{Net: net, SFC: s, Src: 3, Dst: 120, Rate: 1, Size: 1}
+	}
+
+	p := problem()
+	unbounded, err := dagsfc.EmbedMBBE(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d0 := dagsfc.EvaluateDelay(p, unbounded.Solution, params)
+	fmt.Printf("SFC %s\n", s.String())
+	fmt.Printf("%-12s cost %8.1f   delay %6.2f\n", "unbounded", unbounded.Cost.Total(), d0)
+
+	for _, factor := range []float64{0.95, 0.9, 0.8, 0.7} {
+		opts := dagsfc.MBBEOptions()
+		opts.MaxDelay = factor * d0
+		opts.Delay = params
+		q := problem()
+		res, err := dagsfc.Embed(q, opts)
+		label := fmt.Sprintf("budget %.2f", opts.MaxDelay)
+		if errors.Is(err, dagsfc.ErrNoEmbedding) {
+			fmt.Printf("%-12s infeasible for this search\n", label)
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := dagsfc.EvaluateDelay(q, res.Solution, params)
+		fmt.Printf("%-12s cost %8.1f   delay %6.2f (meets budget: %v)\n",
+			label, res.Cost.Total(), d, d <= opts.MaxDelay)
+	}
+}

@@ -1,0 +1,71 @@
+// Transform: demonstrates the DAG abstraction of §3.1 — how sequential
+// chains become standardized DAG-SFCs, both via the read/write-conflict
+// analysis of NF pairs and via an explicitly supplied dependency DAG.
+//
+// Run with: go run ./examples/transform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dagsfc"
+)
+
+func main() {
+	rules := dagsfc.StockRules()
+
+	// 1. Pairwise parallelizability of the stock categories.
+	cats := []dagsfc.VNFID{
+		dagsfc.Firewall, dagsfc.IDS, dagsfc.NAT, dagsfc.LoadBalancer,
+		dagsfc.Monitor, dagsfc.VPN, dagsfc.WANOptimizer, dagsfc.TrafficShaper,
+	}
+	fmt.Println("pairwise parallelizability (stock profiles):")
+	fmt.Printf("%-15s", "")
+	for _, b := range cats {
+		fmt.Printf("%-4d", b)
+	}
+	fmt.Println()
+	for _, a := range cats {
+		fmt.Printf("%-15s", dagsfc.StockNames[a])
+		for _, b := range cats {
+			mark := "."
+			if rules.CanParallelize(a, b) {
+				mark = "P"
+			}
+			fmt.Printf("%-4s", mark)
+		}
+		fmt.Println()
+	}
+	frac := rules.ParallelizableFraction(cats)
+	fmt.Printf("\n%.1f%% of category pairs can parallelize "+
+		"(NFP measured 53.8%% in enterprise networks)\n\n", 100*frac)
+
+	// 2. Chain -> DAG-SFC transformation (Fig. 2 of the paper).
+	chains := [][]dagsfc.VNFID{
+		{dagsfc.IDS, dagsfc.Monitor, dagsfc.TrafficShaper},
+		{dagsfc.Firewall, dagsfc.IDS, dagsfc.Monitor, dagsfc.NAT, dagsfc.VPN},
+		{dagsfc.NAT, dagsfc.LoadBalancer, dagsfc.VPN, dagsfc.WANOptimizer},
+	}
+	for _, chain := range chains {
+		hybrid := dagsfc.ChainToDAG(chain, rules, 3)
+		fmt.Printf("chain %v\n  -> %s (%d layers, max width %d)\n",
+			chain, hybrid.String(), hybrid.Omega(), hybrid.MaxWidth())
+	}
+
+	// 3. An explicit dependency DAG, levelized to the standardized form.
+	// Position indices:   0:firewall  1:ids  2:monitor  3:vpn  4:shaper
+	d := dagsfc.DAG{
+		Nodes: []dagsfc.VNFID{dagsfc.Firewall, dagsfc.IDS, dagsfc.Monitor, dagsfc.VPN, dagsfc.TrafficShaper},
+		Edges: [][2]int{
+			{0, 1}, {0, 2}, // firewall before both analyzers
+			{1, 3}, {2, 3}, // vpn after both
+			{3, 4}, // shaper last
+		},
+	}
+	s, err := d.Levelize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndependency DAG levelized: %s\n", s.String())
+}

@@ -1,0 +1,93 @@
+package dagsfc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSFC checks the CLI parser never panics and that everything it
+// accepts survives a format/parse round trip.
+func FuzzParseSFC(f *testing.F) {
+	for _, seed := range []string{"", "1", "1;2,3;4", "1,2,3", " 7 ; 8 ", "0", "a;b", "1;;2", "9999999999"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSFC(input)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(Catalog{N: 1 << 30}); err != nil {
+			t.Skip() // duplicates within a layer parse fine but don't validate
+		}
+		back, err := ParseSFC(FormatSFC(s))
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own formatting: %v", input, err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("round trip changed %q: %v vs %v", input, back, s)
+		}
+	})
+}
+
+// FuzzReadNetworkJSON checks the network decoder never panics and that
+// everything it accepts re-encodes and decodes stably.
+func FuzzReadNetworkJSON(f *testing.F) {
+	var good strings.Builder
+	net := demoNetwork()
+	if err := WriteNetworkJSON(&good, net); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add(`{}`)
+	f.Add(`{"nodes":2,"vnf_kinds":1}`)
+	f.Add(`{"nodes":-1}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		n1, err := ReadNetworkJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := WriteNetworkJSON(&out, n1); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		n2, err := ReadNetworkJSON(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("re-encoded network rejected: %v", err)
+		}
+		if n1.G.NumNodes() != n2.G.NumNodes() || n1.NumInstances() != n2.NumInstances() ||
+			n1.G.NumEdges() != n2.G.NumEdges() {
+			t.Fatal("round trip unstable")
+		}
+	})
+}
+
+// FuzzReadSolutionJSON checks the solution decoder against a fixed
+// network: no panics, and accepted inputs re-encode stably.
+func FuzzReadSolutionJSON(f *testing.F) {
+	net := demoNetwork()
+	s, _ := ParseSFC("1;2,3")
+	p := &Problem{Net: net, SFC: s, Src: 0, Dst: 4, Rate: 1, Size: 1}
+	res, err := EmbedMBBE(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good strings.Builder
+	if err := WriteSolutionJSON(&good, p, res.Solution); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add(`{"layers":[],"tail_path":[0]}`)
+	f.Add(`{"layers":[],"tail_path":[0,9]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		q := &Problem{Net: net, SFC: s, Src: 0, Dst: 4, Rate: 1, Size: 1}
+		sol, err := ReadSolutionJSON(strings.NewReader(input), q)
+		if err != nil {
+			return
+		}
+		// Accepted solutions may still be infeasible; Validate must not
+		// panic either way.
+		_ = Validate(q, sol)
+	})
+}

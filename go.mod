@@ -1,0 +1,3 @@
+module dagsfc
+
+go 1.22

@@ -1,0 +1,162 @@
+package anneal
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/baseline"
+	"dagsfc/internal/core"
+	"dagsfc/internal/exact"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/netgen"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/sfcgen"
+)
+
+func randomProblem(rng *rand.Rand, nodes, kinds, sfcSize int) *core.Problem {
+	cfg := netgen.Default()
+	cfg.Nodes = nodes
+	cfg.VNFKinds = kinds
+	cfg.Connectivity = 4
+	net := netgen.MustGenerate(cfg, rng)
+	s := sfcgen.MustGenerate(sfcgen.Config{Size: sfcSize, LayerWidth: 3, VNFKinds: kinds}, rng)
+	return &core.Problem{
+		Net: net, SFC: s,
+		Src: graph.NodeID(rng.Intn(nodes)), Dst: graph.NodeID(rng.Intn(nodes)),
+		Rate: 1, Size: 1,
+	}
+}
+
+func TestAnnealNeverWorseThanMINV(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 40, 6, 5)
+		minv, err := baseline.EmbedMINV(p)
+		if err != nil {
+			continue
+		}
+		q := *p
+		q.Ledger = nil
+		res, err := Embed(&q, rand.New(rand.NewSource(seed+100)), Options{Iterations: 500})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := core.Validate(&q, res.Solution); err != nil {
+			t.Fatalf("seed %d: invalid: %v", seed, err)
+		}
+		if res.Cost.Total() > minv.Cost.Total()+1e-9 {
+			t.Fatalf("seed %d: anneal %v worse than its MINV start %v",
+				seed, res.Cost.Total(), minv.Cost.Total())
+		}
+	}
+}
+
+func TestAnnealImprovesOnMINV(t *testing.T) {
+	// Aggregate improvement must be strictly positive: annealing that
+	// never moves is a bug.
+	var minvSum, annealSum float64
+	runs := 0
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 40, 6, 5)
+		minv, err := baseline.EmbedMINV(p)
+		if err != nil {
+			continue
+		}
+		q := *p
+		q.Ledger = nil
+		res, err := Embed(&q, rand.New(rand.NewSource(seed+200)), Options{Iterations: 800})
+		if err != nil {
+			continue
+		}
+		minvSum += minv.Cost.Total()
+		annealSum += res.Cost.Total()
+		runs++
+	}
+	if runs == 0 {
+		t.Skip("no feasible instances")
+	}
+	if annealSum >= minvSum {
+		t.Fatalf("anneal aggregate %v did not improve on MINV %v", annealSum, minvSum)
+	}
+}
+
+func TestAnnealNotBelowOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact cross-check skipped in -short mode")
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 20, 5, 4)
+		opt, err := exact.Embed(p, exact.Limits{})
+		if err != nil {
+			continue
+		}
+		q := *p
+		q.Ledger = nil
+		res, err := Embed(&q, rand.New(rand.NewSource(seed)), Options{Iterations: 1500})
+		if err != nil {
+			continue
+		}
+		if res.Cost.Total() < opt.Cost.Total()-1e-6 {
+			t.Fatalf("seed %d: anneal %v beat 'exact' %v", seed, res.Cost.Total(), opt.Cost.Total())
+		}
+	}
+}
+
+func TestAnnealDeterministicGivenRNG(t *testing.T) {
+	p1 := randomProblem(rand.New(rand.NewSource(7)), 30, 5, 4)
+	p2 := randomProblem(rand.New(rand.NewSource(7)), 30, 5, 4)
+	a, errA := Embed(p1, rand.New(rand.NewSource(1)), Options{Iterations: 300})
+	b, errB := Embed(p2, rand.New(rand.NewSource(1)), Options{Iterations: 300})
+	if (errA == nil) != (errB == nil) {
+		t.Fatal(errA, errB)
+	}
+	if errA == nil && a.Cost.Total() != b.Cost.Total() {
+		t.Fatalf("nondeterministic: %v vs %v", a.Cost.Total(), b.Cost.Total())
+	}
+}
+
+func TestAnnealInfeasiblePropagates(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 1, 10)
+	net := network.New(g, network.Catalog{N: 1})
+	// Category 1 never deployed: MINV fails, anneal must too.
+	p := &core.Problem{
+		Net: net,
+		SFC: sfc.DAGSFC{Layers: []sfc.Layer{{VNFs: []network.VNFID{1}}}},
+		Src: 0, Dst: 1, Rate: 1, Size: 1,
+	}
+	if _, err := Embed(p, rand.New(rand.NewSource(1)), Options{}); !errors.Is(err, core.ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestAnnealInvalidProblem(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(1)), 20, 5, 3)
+	p.Rate = 0
+	if _, err := Embed(p, rand.New(rand.NewSource(1)), Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestAnnealZeroIterationsReturnsStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomProblem(rng, 30, 5, 4)
+	minv, err := baseline.EmbedMINV(p)
+	if err != nil {
+		t.Skip("MINV infeasible")
+	}
+	q := *p
+	q.Ledger = nil
+	res, err := Embed(&q, rand.New(rand.NewSource(1)), Options{Iterations: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Negative iterations: the loop never runs; incumbent is the start.
+	if res.Cost.Total() != minv.Cost.Total() {
+		t.Fatalf("zero-iteration anneal %v != MINV %v", res.Cost.Total(), minv.Cost.Total())
+	}
+}

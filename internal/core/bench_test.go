@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/graph"
+)
+
+// benchProblem draws one Table 2-scale instance.
+func benchProblem(b *testing.B) *Problem {
+	b.Helper()
+	return randomProblem(rand.New(rand.NewSource(1)), 500, 10, 5)
+}
+
+func BenchmarkForwardSearch(b *testing.B) {
+	p := benchProblem(b)
+	required := p.LayerSpecs()[0].Required(p.Net.Catalog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := runSearch(p, p.Src, searchConfig{required: required})
+		if !tree.Covered() {
+			b.Fatal("uncovered")
+		}
+	}
+}
+
+func BenchmarkLayerExtensions(b *testing.B) {
+	p := benchProblem(b)
+	spec := p.LayerSpecs()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &embedder{
+			p: p, opts: MBBEOptions(), ledger: p.ledger(),
+			extCache: make(map[extKey][]*extension),
+			trees:    make(map[graph.NodeID]*graph.ShortestTree),
+		}
+		if exts := e.buildExtensions(spec, p.Src); len(exts) == 0 {
+			b.Fatal("no extensions")
+		}
+	}
+}
+
+func BenchmarkValidateSolution(b *testing.B) {
+	p := benchProblem(b)
+	res, err := EmbedMBBE(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Validate(p, res.Solution); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+)
+
+// InstanceUseKey identifies a rented VNF instance f_v(i).
+type InstanceUseKey struct {
+	Node graph.NodeID
+	VNF  network.VNFID
+}
+
+// CostBreakdown is the evaluated objective of eq. (1) together with the
+// reuse counts that produced it: α_{v,i} per instance (eq. 7) and α_{g,h}
+// per link (eqs. 8–10, with the inter-layer multicast dedup of eq. 9).
+type CostBreakdown struct {
+	VNFCost  float64
+	LinkCost float64
+	// InstanceUse maps each rented instance to its reuse count α_{v,i}.
+	InstanceUse map[InstanceUseKey]int
+	// EdgeUse maps each used link to its reuse count α_{g,h}.
+	EdgeUse map[graph.EdgeID]int
+}
+
+// Total is the objective value: VNF rental cost plus link cost.
+func (c CostBreakdown) Total() float64 { return c.VNFCost + c.LinkCost }
+
+// ComputeCost evaluates a solution's objective against the problem. It
+// assumes a structurally valid solution (see Validate); it returns an error
+// only when an assignment references a VNF instance that does not exist,
+// since pricing such a solution is meaningless.
+func ComputeCost(p *Problem, s *Solution) (CostBreakdown, error) {
+	cb := CostBreakdown{
+		InstanceUse: make(map[InstanceUseKey]int),
+		EdgeUse:     make(map[graph.EdgeID]int),
+	}
+	g := p.Net.G
+	merger := p.Net.Catalog.Merger()
+
+	rent := func(node graph.NodeID, vnf network.VNFID) error {
+		inst, ok := p.Net.Instance(node, vnf)
+		if !ok {
+			return fmt.Errorf("core: no instance of f(%d) on node %d", vnf, node)
+		}
+		cb.InstanceUse[InstanceUseKey{node, vnf}]++
+		cb.VNFCost += inst.Price * p.Size
+		return nil
+	}
+	// useEdges accumulates in ascending edge order: float addition is not
+	// associative, so summing in map-iteration order would make the total
+	// differ in the last ULP between runs, breaking bit-for-bit
+	// reproducibility of the experiments.
+	useEdges := func(edges map[graph.EdgeID]int) {
+		ids := make([]graph.EdgeID, 0, len(edges))
+		for e := range edges {
+			ids = append(ids, e)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, e := range ids {
+			count := edges[e]
+			cb.EdgeUse[e] += count
+			cb.LinkCost += g.Edge(e).Price * float64(count) * p.Size
+		}
+	}
+
+	for li, le := range s.Layers {
+		spec := p.SFC.Layers[li]
+		for i, node := range le.Nodes {
+			if err := rent(node, spec.VNFs[i]); err != nil {
+				return cb, err
+			}
+		}
+		if spec.Parallel() {
+			if err := rent(le.MergerNode, merger); err != nil {
+				return cb, err
+			}
+		}
+		// Inter-layer meta-paths (P1): multicast — within this layer each
+		// link is paid at most once (eq. 9).
+		interUnion := make(map[graph.EdgeID]int)
+		for _, path := range le.InterPaths {
+			for _, e := range path.Edges {
+				interUnion[e] = 1
+			}
+		}
+		useEdges(interUnion)
+		// Inner-layer meta-paths (P2): every traversal is paid (eq. 10).
+		innerCount := make(map[graph.EdgeID]int)
+		for _, path := range le.InnerPaths {
+			for _, e := range path.Edges {
+				innerCount[e]++
+			}
+		}
+		useEdges(innerCount)
+	}
+	// Tail path: the inter-layer meta-path of the stretched layer L_{ω+1};
+	// a single path, so multicast dedup degenerates to per-link counting
+	// within the path.
+	tail := make(map[graph.EdgeID]int)
+	for _, e := range s.TailPath.Edges {
+		tail[e] = 1
+	}
+	useEdges(tail)
+	return cb, nil
+}

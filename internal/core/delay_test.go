@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/delaymodel"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+)
+
+// delayFixture: two hosts of f(1), both one hop from the source so the
+// forward search sees both: A (node 1, $50) sits next to the destination,
+// B (node 2, $10) is four hops from it. Unbounded search prefers cheap B;
+// a tight delay bound forces expensive-but-near A.
+//
+//	0 -- 1(A) -- 3(dst)
+//	0 -- 2(B) -- 4 -- 5 -- 6 -- 3
+func delayFixture() *Problem {
+	g := graph.New(7)
+	g.MustAddEdge(0, 1, 1, 100)
+	g.MustAddEdge(0, 2, 1, 100)
+	g.MustAddEdge(1, 3, 1, 100)
+	g.MustAddEdge(2, 4, 1, 100)
+	g.MustAddEdge(4, 5, 1, 100)
+	g.MustAddEdge(5, 6, 1, 100)
+	g.MustAddEdge(6, 3, 1, 100)
+	net := network.New(g, network.Catalog{N: 1})
+	net.MustAddInstance(1, 1, 50, 100)
+	net.MustAddInstance(2, 1, 10, 100)
+	return &Problem{
+		Net: net,
+		SFC: sfc.DAGSFC{Layers: []sfc.Layer{{VNFs: []network.VNFID{1}}}},
+		Src: 0, Dst: 3, Rate: 1, Size: 1,
+	}
+}
+
+func TestDelayBoundForcesNearHost(t *testing.T) {
+	params := delaymodel.Params{DefaultProcDelay: 1, HopDelay: 1}
+
+	// Unbounded: cheap host B wins (10 + 1 + 4 links = 15 vs 50 + 2 = 52).
+	// Its delay: 1 inter hop + 1 proc + 4 tail hops = 6.
+	p := delayFixture()
+	res, err := EmbedMBBE(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Layers[0].Nodes[0] != 2 {
+		t.Fatalf("unbounded pick = node %d, want cheap node 2", res.Solution.Layers[0].Nodes[0])
+	}
+
+	// Bound 4: B's delay (6) is out; A's is 1 + 1 + 1 = 3.
+	q := delayFixture()
+	opts := MBBEOptions()
+	opts.MaxDelay = 4
+	opts.Delay = params
+	bounded, err := Embed(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Solution.Layers[0].Nodes[0] != 1 {
+		t.Fatalf("bounded pick = node %d, want near node 1", bounded.Solution.Layers[0].Nodes[0])
+	}
+	if bounded.Cost.Total() <= res.Cost.Total() {
+		t.Fatal("meeting the bound should cost more here")
+	}
+}
+
+func TestDelayBoundUnsatisfiable(t *testing.T) {
+	p := delayFixture()
+	opts := MBBEOptions()
+	opts.MaxDelay = 0.5 // below even one processing delay
+	opts.Delay = delaymodel.Params{DefaultProcDelay: 1, HopDelay: 1}
+	if _, err := Embed(p, opts); !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestDelayBoundDefaultsParams(t *testing.T) {
+	p := delayFixture()
+	opts := MBBEOptions()
+	opts.MaxDelay = 1000 // generous; zero Delay must default, not divide by zero
+	res, err := Embed(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() <= 0 {
+		t.Fatal("no solution under generous bound")
+	}
+}
+
+func TestDelayBoundedSolutionsRespectBoundProperty(t *testing.T) {
+	params := delaymodel.Default()
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 50, 6, 5)
+		opts := MBBEOptions()
+		opts.MaxDelay = 4.0
+		opts.Delay = params
+		res, err := Embed(p, opts)
+		if err != nil {
+			if !errors.Is(err, ErrNoEmbedding) {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			continue
+		}
+		if err := Validate(p, res.Solution); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Recompute the delay exactly as the latency evaluator would.
+		total := 0.0
+		for li, le := range res.Solution.Layers {
+			spec := p.SFC.Layers[li]
+			interHops := make([]int, len(le.Nodes))
+			for i, path := range le.InterPaths {
+				interHops[i] = path.Len()
+			}
+			var innerHops []int
+			if spec.Parallel() {
+				innerHops = make([]int, len(le.InnerPaths))
+				for i, path := range le.InnerPaths {
+					innerHops[i] = path.Len()
+				}
+			}
+			total += params.LayerDelay(spec.VNFs, interHops, innerHops, spec.Parallel())
+		}
+		total += float64(res.Solution.TailPath.Len()) * params.HopDelay
+		if total > opts.MaxDelay+1e-9 {
+			t.Fatalf("seed %d: delivered delay %v exceeds bound %v", seed, total, opts.MaxDelay)
+		}
+	}
+}

@@ -1,0 +1,685 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dagsfc/internal/delaymodel"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/steiner"
+)
+
+// ErrNoEmbedding is returned when the search space contains no feasible
+// embedding (or none within the configured search budget).
+var ErrNoEmbedding = errors.New("core: no feasible embedding found")
+
+// Options tunes the BBE/MBBE search. The zero value is not useful; start
+// from BBEOptions or MBBEOptions.
+type Options struct {
+	// Xmax caps the forward search node set size (MBBE strategy 1).
+	// 0 means unlimited, as in plain BBE.
+	Xmax int
+	// MiniPath instantiates every meta-path with a min-cost path on the
+	// real-time network (MBBE strategy 2) instead of enumerating
+	// real-paths from the search trees.
+	MiniPath bool
+	// Xd keeps only the cheapest Xd sub-solutions per parent in the
+	// sub-solution tree (MBBE strategy 3, the X_d-tree). 0 = unlimited.
+	Xd int
+	// MaxPathsPerMeta bounds how many alternative real-paths per meta-path
+	// the tree enumeration explores in BBE. Ignored when MiniPath is set.
+	MaxPathsPerMeta int
+	// MaxAssignmentsPerPair bounds how many VNF-to-node assignment
+	// combinations are enumerated per FST–BST pair. 0 = unlimited. The
+	// paper's BBE enumerates all of them and acknowledges memory overflow
+	// on larger instances; the default keeps BBE runnable while preserving
+	// its behaviour on the paper's instance sizes.
+	MaxAssignmentsPerPair int
+	// MaxMergerCandidates bounds how many FST merger nodes spawn a
+	// backward search per layer (nearest-first order). 0 = unlimited.
+	MaxMergerCandidates int
+	// MaxExtensionsPerStart bounds the candidate sub-solutions kept per
+	// (layer, start node) after sorting by local cost. 0 = unlimited.
+	MaxExtensionsPerStart int
+	// MaxSubSolutionsPerLayer is a safety valve on the sub-solution tree's
+	// width: after generating a layer, only the cheapest this-many
+	// sub-solutions survive. 0 = unlimited.
+	MaxSubSolutionsPerLayer int
+	// DedupByEndNode keeps at most this many sub-solutions per distinct
+	// layer end node. Two sub-solutions with the same end node offer
+	// identical continuations, so under ample capacity only the cheapest
+	// can lead to the best complete solution; keeping a few guards the
+	// tight-capacity case. 0 = off.
+	DedupByEndNode int
+	// MulticastSteiner instantiates each parallel layer's inter-layer
+	// meta-paths along a shared multicast tree (approximate Steiner tree,
+	// never worse than independent min-cost paths) instead of one path
+	// per VNF. The cost model pays the union of inter-layer links once
+	// (eq. 9), so a shared tree can only reduce a layer's link cost.
+	// An extension beyond the paper; see internal/steiner.
+	MulticastSteiner bool
+	// MaxDelay, when positive, turns the search delay-aware: candidate
+	// sub-solutions whose accumulated end-to-end delay (under Delay)
+	// already exceeds the bound are pruned, hop-minimal path variants
+	// join the candidate set, and every truncation point keeps its
+	// fastest candidate alive. Returned solutions always meet the bound;
+	// ErrNoEmbedding is returned when none does. Note that the search
+	// remains a cost-ordered beam: feasibility is not strictly monotone
+	// in the bound (a chain of fast sub-solutions through non-fastest
+	// intermediate nodes can still be crowded out under a looser budget).
+	// An extension beyond the paper, which minimizes cost only.
+	MaxDelay float64
+	// Delay is the delay model used with MaxDelay; the zero value is
+	// replaced by delaymodel.Default().
+	Delay delaymodel.Params
+	// Observer, when non-nil, receives progress callbacks during the
+	// search (see Observer).
+	Observer Observer
+}
+
+// BBEOptions returns the configuration for the plain Breadth-first
+// Backtracking Embedding method (Algorithm 1). The bounds are generous:
+// BBE explores many candidate sub-solutions per layer and enumerates
+// alternative real-paths from its search trees, which is why its running
+// time grows so much faster than MBBE's.
+func BBEOptions() Options {
+	return Options{
+		MaxPathsPerMeta:         3,
+		MaxAssignmentsPerPair:   512,
+		MaxMergerCandidates:     16,
+		MaxExtensionsPerStart:   512,
+		MaxSubSolutionsPerLayer: 1024,
+	}
+}
+
+// MBBESteinerOptions returns MBBE with the Steiner multicast extension
+// enabled.
+func MBBESteinerOptions() Options {
+	opts := MBBEOptions()
+	opts.MulticastSteiner = true
+	return opts
+}
+
+// MBBEOptions returns the configuration for the Mini-path BBE method
+// (§4.5): bounded forward search (Xmax), min-cost-path instantiation, and
+// the X_d-tree pruning.
+func MBBEOptions() Options {
+	return Options{
+		Xmax:                    120,
+		MiniPath:                true,
+		Xd:                      4,
+		MaxAssignmentsPerPair:   64,
+		MaxMergerCandidates:     12,
+		MaxExtensionsPerStart:   256,
+		MaxSubSolutionsPerLayer: 2048,
+		DedupByEndNode:          4,
+	}
+}
+
+// Stats counts the work one embedding run performed.
+type Stats struct {
+	// ForwardSearches and BackwardSearches count search-tree builds.
+	ForwardSearches  int
+	BackwardSearches int
+	// TreeNodes is the total number of FST/BST nodes materialized.
+	TreeNodes int
+	// Extensions is the number of candidate sub-solutions generated
+	// (before pruning); SubSolutions the number inserted into the tree.
+	Extensions   int
+	SubSolutions int
+}
+
+// Result is a successful embedding: the solution, its priced breakdown and
+// the search statistics.
+type Result struct {
+	Solution *Solution
+	Cost     CostBreakdown
+	Stats    Stats
+}
+
+// EmbedBBE embeds the problem's DAG-SFC with the Breadth-first
+// Backtracking Embedding method.
+func EmbedBBE(p *Problem) (*Result, error) { return Embed(p, BBEOptions()) }
+
+// EmbedMBBE embeds the problem's DAG-SFC with the Mini-path BBE method.
+func EmbedMBBE(p *Problem) (*Result, error) { return Embed(p, MBBEOptions()) }
+
+// Embed runs the BBE framework with explicit options. BBE and MBBE differ
+// only in options, exactly as §4.5 describes MBBE as BBE plus three
+// complementary strategies.
+func Embed(p *Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxDelay > 0 && opts.Delay.DefaultProcDelay == 0 &&
+		opts.Delay.HopDelay == 0 && opts.Delay.MergerDelay == 0 && opts.Delay.ProcDelay == nil {
+		opts.Delay = delaymodel.Default()
+	}
+	e := &embedder{
+		p: p, opts: opts, ledger: p.ledger(),
+		trees: make(map[graph.NodeID]*graph.ShortestTree),
+	}
+	return e.run()
+}
+
+type embedder struct {
+	p      *Problem
+	opts   Options
+	ledger *network.Ledger
+	stats  Stats
+	// extCache memoizes layer extensions by (layer, start node): every
+	// parent sub-solution ending on the same node shares the same set of
+	// feasible layer embeddings.
+	extCache map[extKey][]*extension
+	// trees memoizes capacity-filtered Dijkstra trees by source node.
+	// Links are bidirectional with symmetric prices, so a path a→b is the
+	// reverse of the tree-from-a path to b, and one tree serves every
+	// meta-path that shares an endpoint.
+	trees map[graph.NodeID]*graph.ShortestTree
+}
+
+// treeFor returns the memoized min-cost path tree rooted at src.
+func (e *embedder) treeFor(src graph.NodeID) *graph.ShortestTree {
+	if t, ok := e.trees[src]; ok {
+		return t
+	}
+	t := e.p.Net.G.Dijkstra(src, e.ledger.CostOptions(e.p.Rate))
+	e.trees[src] = t
+	return t
+}
+
+// minCostPathCached returns a cheapest feasible path a→b via the memoized
+// tree rooted at a.
+func (e *embedder) minCostPathCached(a, b graph.NodeID) (graph.Path, bool) {
+	if a == b {
+		return graph.EmptyPath(a), true
+	}
+	return e.treeFor(a).PathTo(b)
+}
+
+type extKey struct {
+	layer int
+	start graph.NodeID
+}
+
+func (e *embedder) run() (*Result, error) {
+	p := e.p
+	specs := p.LayerSpecs()
+	e.extCache = make(map[extKey][]*extension)
+
+	root := &subSolution{layer: 0}
+	frontier := []*subSolution{root}
+
+	for _, spec := range specs {
+		e.observeLayerStart(spec, len(frontier))
+		var next []*subSolution
+		for _, parent := range frontier {
+			exts := e.extensions(spec, parent.endNode(p.Src))
+			var children []*subSolution
+			for _, ext := range exts {
+				if e.opts.MaxDelay > 0 && parent.cumDelay+ext.delay > e.opts.MaxDelay {
+					continue
+				}
+				if !feasibleAfter(p, parent, ext) {
+					continue
+				}
+				children = append(children, &subSolution{
+					parent:   parent,
+					ext:      ext,
+					layer:    spec.Index,
+					cum:      parent.cum + ext.localCost,
+					cumDelay: parent.cumDelay + ext.delay,
+				})
+			}
+			sort.Slice(children, func(i, j int) bool { return children[i].cum < children[j].cum })
+			if e.opts.Xd > 0 && len(children) > e.opts.Xd {
+				children = e.truncateWithDelayDiversity(children, e.opts.Xd)
+			}
+			next = append(next, children...)
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("%w: layer %d has no feasible sub-solution", ErrNoEmbedding, spec.Index)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].cum < next[j].cum })
+		if e.opts.DedupByEndNode > 0 {
+			// Group cost-ordered candidates by end node, keep the cheapest
+			// DedupByEndNode of each group — in delay-bounded mode the
+			// group's fastest member always survives (same rationale as
+			// truncateWithDelayDiversity).
+			groups := make(map[graph.NodeID][]*subSolution)
+			var order []graph.NodeID
+			for _, ss := range next {
+				end := ss.endNode(p.Src)
+				if _, seen := groups[end]; !seen {
+					order = append(order, end)
+				}
+				groups[end] = append(groups[end], ss)
+			}
+			keep := make(map[*subSolution]bool)
+			for _, end := range order {
+				group := groups[end]
+				limit := e.opts.DedupByEndNode
+				if len(group) <= limit {
+					limit = len(group)
+				}
+				for _, ss := range group[:limit] {
+					keep[ss] = true
+				}
+				if e.opts.MaxDelay > 0 {
+					fastest := group[0]
+					for _, ss := range group[1:] {
+						if ss.cumDelay < fastest.cumDelay {
+							fastest = ss
+						}
+					}
+					if !keep[fastest] {
+						delete(keep, group[limit-1])
+						keep[fastest] = true
+					}
+				}
+			}
+			kept := next[:0]
+			for _, ss := range next {
+				if keep[ss] {
+					kept = append(kept, ss)
+				}
+			}
+			next = kept
+		}
+		if e.opts.MaxSubSolutionsPerLayer > 0 && len(next) > e.opts.MaxSubSolutionsPerLayer {
+			next = e.truncateWithDelayDiversity(next, e.opts.MaxSubSolutionsPerLayer)
+		}
+		e.stats.SubSolutions += len(next)
+		e.observeLayerDone(spec, len(next), next[0].cum)
+		frontier = next
+	}
+
+	// Close every leaf to the destination with a min-cost path and keep
+	// the cheapest feasible complete solution (lines 9–11 of Algorithm 1).
+	tailFor := func(v graph.NodeID) (graph.Path, bool) { return e.minCostPathCached(v, p.Dst) }
+
+	type leafCand struct {
+		ss    *subSolution
+		tail  graph.Path
+		total float64
+	}
+	var cands []leafCand
+	for _, leaf := range frontier {
+		tail, ok := tailFor(leaf.endNode(p.Src))
+		if !ok {
+			continue
+		}
+		if e.opts.MaxDelay > 0 &&
+			leaf.cumDelay+float64(tail.Len())*e.opts.Delay.HopDelay > e.opts.MaxDelay {
+			// The cheapest tail is too slow; fall back to the fewest-hop
+			// tail if that one fits the remaining budget.
+			hop, hopOK := p.Net.G.MinHopPath(leaf.endNode(p.Src), p.Dst, e.ledger.CostOptions(p.Rate))
+			if !hopOK || leaf.cumDelay+float64(hop.Len())*e.opts.Delay.HopDelay > e.opts.MaxDelay {
+				continue
+			}
+			tail = hop
+		}
+		cands = append(cands, leafCand{ss: leaf, tail: tail, total: leaf.cum + tail.Cost(p.Net.G)*p.Size})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].total < cands[j].total })
+	for _, cand := range cands {
+		sol := assemble(cand.ss, p.SFC.Omega(), cand.tail)
+		if err := Validate(p, sol); err != nil {
+			continue
+		}
+		cb, err := ComputeCost(p, sol)
+		if err != nil {
+			continue
+		}
+		e.observeLeaf(cb.Total())
+		return &Result{Solution: sol, Cost: cb, Stats: e.stats}, nil
+	}
+	return nil, fmt.Errorf("%w: no leaf reaches the destination feasibly", ErrNoEmbedding)
+}
+
+// extensions returns (memoized) every candidate embedding of one layer
+// starting from start: forward search, backward searches per merger
+// candidate, assignment enumeration, and path instantiation.
+func (e *embedder) extensions(spec LayerSpec, start graph.NodeID) []*extension {
+	key := extKey{layer: spec.Index, start: start}
+	if exts, ok := e.extCache[key]; ok {
+		return exts
+	}
+	exts := e.buildExtensions(spec, start)
+	e.extCache[key] = exts
+	return exts
+}
+
+func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extension {
+	p := e.p
+	required := spec.Required(p.Net.Catalog)
+	fst := runSearch(p, start, searchConfig{required: required, maxNodes: e.opts.Xmax})
+	e.stats.ForwardSearches++
+	e.stats.TreeNodes += fst.Size()
+	e.observeSearch(spec.Index, start, true, fst.Size(), fst.Covered())
+	if !fst.Covered() {
+		return nil
+	}
+	if !spec.Merger {
+		return e.trimExtensions(e.singleVNFExtensions(spec, start, fst))
+	}
+	var exts []*extension
+	mergerID := p.Net.Catalog.Merger()
+	mergers := fst.NodesWith(mergerID)
+	if e.opts.MaxMergerCandidates > 0 && len(mergers) > e.opts.MaxMergerCandidates {
+		mergers = mergers[:e.opts.MaxMergerCandidates]
+	}
+	for _, mergerTN := range mergers {
+		exts = append(exts, e.pairExtensions(spec, start, fst, mergerTN)...)
+	}
+	return e.trimExtensions(exts)
+}
+
+// truncateWithDelayDiversity keeps the cheapest limit sub-solutions (the
+// input is cost-sorted), except that in delay-bounded mode the fastest
+// candidate always survives: otherwise a loose budget lets cheap-but-slow
+// candidates crowd out the fast ones at truncation, making feasibility
+// non-monotone in the budget (a tighter budget could succeed where a
+// looser one failed).
+func (e *embedder) truncateWithDelayDiversity(children []*subSolution, limit int) []*subSolution {
+	if len(children) <= limit {
+		return children
+	}
+	if e.opts.MaxDelay <= 0 {
+		return children[:limit]
+	}
+	fastest := children[0]
+	for _, ss := range children[1:] {
+		if ss.cumDelay < fastest.cumDelay {
+			fastest = ss
+		}
+	}
+	kept := children[:limit]
+	for _, ss := range kept {
+		if ss == fastest {
+			return kept
+		}
+	}
+	kept[limit-1] = fastest
+	return kept
+}
+
+// annotateDelay fills ext.delay in delay-bounded mode.
+func (e *embedder) annotateDelay(spec LayerSpec, ext *extension) {
+	if e.opts.MaxDelay <= 0 || ext == nil {
+		return
+	}
+	interHops := make([]int, len(ext.interPaths))
+	for i, path := range ext.interPaths {
+		interHops[i] = path.Len()
+	}
+	var innerHops []int
+	if spec.Merger {
+		innerHops = make([]int, len(ext.innerPaths))
+		for i, path := range ext.innerPaths {
+			innerHops[i] = path.Len()
+		}
+	}
+	ext.delay = e.opts.Delay.LayerDelay(spec.VNFs, interHops, innerHops, spec.Merger)
+}
+
+// trimExtensions keeps the cheapest MaxExtensionsPerStart extensions by
+// local cost; in delay-bounded mode the lowest-delay extension always
+// survives the cut (see truncateWithDelayDiversity for the rationale).
+func (e *embedder) trimExtensions(exts []*extension) []*extension {
+	sort.Slice(exts, func(i, j int) bool { return exts[i].localCost < exts[j].localCost })
+	max := e.opts.MaxExtensionsPerStart
+	if max <= 0 || len(exts) <= max {
+		return exts
+	}
+	if e.opts.MaxDelay <= 0 {
+		return exts[:max]
+	}
+	fastest := exts[0]
+	for _, ext := range exts[1:] {
+		if ext.delay < fastest.delay {
+			fastest = ext
+		}
+	}
+	kept := exts[:max]
+	for _, ext := range kept {
+		if ext == fastest {
+			return kept
+		}
+	}
+	kept[max-1] = fastest
+	return kept
+}
+
+// singleVNFExtensions handles layers with a single VNF: no merger, no
+// backward search; the layer's end node is the VNF's node.
+func (e *embedder) singleVNFExtensions(spec LayerSpec, start graph.NodeID, fst *SearchTree) []*extension {
+	p := e.p
+	f := spec.VNFs[0]
+	var exts []*extension
+	for _, tn := range fst.NodesWith(f) {
+		for _, inter := range e.interPaths(fst, tn, start) {
+			ext := buildExtension(p, spec, []graph.NodeID{tn.Node}, tn.Node,
+				[]graph.Path{inter}, nil)
+			if ext != nil {
+				e.annotateDelay(spec, ext)
+				exts = append(exts, ext)
+				e.stats.Extensions++
+			}
+		}
+	}
+	return exts
+}
+
+// pairExtensions generates the candidate sub-solutions of one FST–BST pair
+// (§4.4.1): enumerate parallel-VNF allocations over the BST's nodes, then
+// instantiate inner-layer paths from the BST and inter-layer paths from
+// the FST.
+func (e *embedder) pairExtensions(spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode) []*extension {
+	p := e.p
+	bst := runSearch(p, mergerTN.Node, searchConfig{
+		required: spec.VNFs,
+		within:   fst.Contains,
+	})
+	e.stats.BackwardSearches++
+	e.stats.TreeNodes += bst.Size()
+	e.observeSearch(spec.Index, mergerTN.Node, false, bst.Size(), bst.Covered())
+	if !bst.Covered() {
+		return nil
+	}
+
+	// Hosts per VNF, cheapest-looking first: rental price plus a hop-based
+	// link-price estimate toward the merger.
+	avgLink := p.Net.AvgLinkPrice()
+	hosts := make([][]*TreeNode, len(spec.VNFs))
+	for i, f := range spec.VNFs {
+		hs := bst.NodesWith(f)
+		if len(hs) == 0 {
+			return nil
+		}
+		f := f
+		sort.SliceStable(hs, func(a, b int) bool {
+			ia, _ := p.Net.Instance(hs[a].Node, f)
+			ib, _ := p.Net.Instance(hs[b].Node, f)
+			ka := ia.Price + float64(hs[a].Iteration-1)*avgLink
+			kb := ib.Price + float64(hs[b].Iteration-1)*avgLink
+			return ka < kb
+		})
+		hosts[i] = hs
+	}
+
+	var exts []*extension
+	count := 0
+	assignment := make([]*TreeNode, len(spec.VNFs))
+	var enumerate func(i int)
+	enumerate = func(i int) {
+		if e.opts.MaxAssignmentsPerPair > 0 && count >= e.opts.MaxAssignmentsPerPair {
+			return
+		}
+		if i == len(spec.VNFs) {
+			count++
+			exts = append(exts, e.instantiate(spec, start, fst, bst, mergerTN, assignment)...)
+			return
+		}
+		for _, h := range hosts[i] {
+			assignment[i] = h
+			enumerate(i + 1)
+			if e.opts.MaxAssignmentsPerPair > 0 && count >= e.opts.MaxAssignmentsPerPair {
+				return
+			}
+		}
+	}
+	enumerate(0)
+	return exts
+}
+
+// instantiate creates the extension(s) for one concrete VNF allocation:
+// the base variant uses the first discovered real-path per meta-path (or
+// the min-cost path under MiniPath); in BBE mode, alternative real-paths
+// are explored one meta-path at a time to bound the cross-product the
+// paper's step (ii)/(iii) would otherwise generate.
+func (e *embedder) instantiate(spec LayerSpec, start graph.NodeID, fst, bst *SearchTree,
+	mergerTN *TreeNode, assignment []*TreeNode) []*extension {
+
+	p := e.p
+	nodes := make([]graph.NodeID, len(assignment))
+	for i, tn := range assignment {
+		nodes[i] = tn.Node
+	}
+
+	// Collect path choices per meta-path.
+	interChoices := make([][]graph.Path, len(assignment))
+	var steinerPaths []graph.Path
+	if e.opts.MulticastSteiner && len(assignment) > 1 {
+		steinerPaths = e.steinerInterPaths(start, nodes)
+	}
+	innerChoices := make([][]graph.Path, len(assignment))
+	for i, tn := range assignment {
+		fstTN := fst.NodeOf(tn.Node)
+		if fstTN == nil {
+			return nil // BST ⊆ FST by construction; defensive
+		}
+		if steinerPaths != nil {
+			interChoices[i] = []graph.Path{steinerPaths[i]}
+		} else {
+			interChoices[i] = e.interPaths(fst, fstTN, start)
+		}
+		innerChoices[i] = e.innerPaths(bst, tn, mergerTN.Node)
+		if len(interChoices[i]) == 0 || len(innerChoices[i]) == 0 {
+			return nil
+		}
+	}
+
+	build := func(interIdx, innerIdx []int) *extension {
+		inter := make([]graph.Path, len(assignment))
+		inner := make([]graph.Path, len(assignment))
+		for i := range assignment {
+			inter[i] = interChoices[i][interIdx[i]]
+			inner[i] = innerChoices[i][innerIdx[i]]
+		}
+		ext := buildExtension(p, spec, nodes, mergerTN.Node, inter, inner)
+		e.annotateDelay(spec, ext)
+		return ext
+	}
+
+	base := make([]int, len(assignment))
+	var exts []*extension
+	if ext := build(base, base); ext != nil {
+		exts = append(exts, ext)
+		e.stats.Extensions++
+	}
+	// One-at-a-time alternative path variants: BBE's tree-path choices,
+	// or the hop-minimal variants added in delay-bounded mode.
+	if !e.opts.MiniPath || e.opts.MaxDelay > 0 {
+		for i := range assignment {
+			for v := 1; v < len(interChoices[i]); v++ {
+				idx := append([]int(nil), base...)
+				idx[i] = v
+				if ext := build(idx, base); ext != nil {
+					exts = append(exts, ext)
+					e.stats.Extensions++
+				}
+			}
+			for v := 1; v < len(innerChoices[i]); v++ {
+				idx := append([]int(nil), base...)
+				idx[i] = v
+				if ext := build(base, idx); ext != nil {
+					exts = append(exts, ext)
+					e.stats.Extensions++
+				}
+			}
+		}
+	}
+	return exts
+}
+
+// steinerInterPaths instantiates a layer's inter-layer meta-paths along a
+// shared multicast tree, or returns nil to fall back to independent
+// instantiation.
+func (e *embedder) steinerInterPaths(start graph.NodeID, targets []graph.NodeID) []graph.Path {
+	g := e.p.Net.G
+	edges, ok := steiner.MulticastTreeWith(g, start, targets, e.ledger.CostOptions(e.p.Rate), e.treeFor)
+	if !ok {
+		return nil
+	}
+	paths, ok := steiner.PathsFrom(g, edges, start, targets)
+	if !ok {
+		return nil
+	}
+	return paths
+}
+
+// withHopVariant appends the fewest-hops path a→b to the choices in
+// delay-bounded mode, when it is strictly shorter than everything already
+// there: the min-cost path minimizes price, the hop variant minimizes
+// propagation delay, and the candidate generation explores both.
+func (e *embedder) withHopVariant(a, b graph.NodeID, choices []graph.Path) []graph.Path {
+	if e.opts.MaxDelay <= 0 {
+		return choices
+	}
+	hop, ok := e.p.Net.G.MinHopPath(a, b, e.ledger.CostOptions(e.p.Rate))
+	if !ok {
+		return choices
+	}
+	for _, existing := range choices {
+		if existing.Len() <= hop.Len() {
+			return choices // cost path already as short
+		}
+	}
+	return append(choices, hop)
+}
+
+// interPaths returns the inter-layer real-path choices from start to the
+// FST node tn, in start→node direction.
+func (e *embedder) interPaths(fst *SearchTree, tn *TreeNode, start graph.NodeID) []graph.Path {
+	if e.opts.MiniPath {
+		path, ok := e.minCostPathCached(start, tn.Node)
+		if !ok {
+			return nil
+		}
+		return e.withHopVariant(start, tn.Node, []graph.Path{path})
+	}
+	raw := fst.PathsToRoot(tn, e.opts.MaxPathsPerMeta)
+	out := make([]graph.Path, len(raw))
+	for i, p := range raw {
+		out[i] = p.Reverse(e.p.Net.G)
+	}
+	return out
+}
+
+// innerPaths returns the inner-layer real-path choices from the BST node
+// tn to the merger node, in node→merger direction.
+func (e *embedder) innerPaths(bst *SearchTree, tn *TreeNode, mergerNode graph.NodeID) []graph.Path {
+	if e.opts.MiniPath {
+		// One tree rooted at the merger serves every inner path of the
+		// pair; reverse to get the node→merger direction.
+		path, ok := e.minCostPathCached(mergerNode, tn.Node)
+		if !ok {
+			return nil
+		}
+		return e.withHopVariant(tn.Node, mergerNode, []graph.Path{path.Reverse(e.p.Net.G)})
+	}
+	return bst.PathsToRoot(tn, e.opts.MaxPathsPerMeta)
+}

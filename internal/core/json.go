@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dagsfc/internal/graph"
+)
+
+// solutionJSON is the on-disk form of a Solution: paths are stored as
+// explicit node sequences so the file is self-describing and robust to
+// edge-ID changes across tool versions; ReadSolutionJSON re-resolves them
+// against the network (picking the cheapest link per hop).
+type solutionJSON struct {
+	Layers []layerJSON `json:"layers"`
+	Tail   []int       `json:"tail_path"`
+}
+
+type layerJSON struct {
+	Nodes      []int   `json:"nodes"`
+	MergerNode int     `json:"merger_node"`
+	InterPaths [][]int `json:"inter_paths"`
+	InnerPaths [][]int `json:"inner_paths,omitempty"`
+}
+
+// WriteSolutionJSON serializes a solution against its problem's network.
+func WriteSolutionJSON(w io.Writer, p *Problem, s *Solution) error {
+	g := p.Net.G
+	out := solutionJSON{Tail: pathNodes(g, s.TailPath)}
+	for _, le := range s.Layers {
+		lj := layerJSON{MergerNode: int(le.MergerNode)}
+		for _, v := range le.Nodes {
+			lj.Nodes = append(lj.Nodes, int(v))
+		}
+		for _, path := range le.InterPaths {
+			lj.InterPaths = append(lj.InterPaths, pathNodes(g, path))
+		}
+		for _, path := range le.InnerPaths {
+			lj.InnerPaths = append(lj.InnerPaths, pathNodes(g, path))
+		}
+		out.Layers = append(out.Layers, lj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSolutionJSON parses a solution and re-resolves its node-sequence
+// paths against the problem's network. It does not validate feasibility;
+// run Validate on the result.
+func ReadSolutionJSON(r io.Reader, p *Problem) (*Solution, error) {
+	var in solutionJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode solution: %w", err)
+	}
+	g := p.Net.G
+	s := &Solution{}
+	tail, err := nodesToPath(g, in.Tail)
+	if err != nil {
+		return nil, fmt.Errorf("core: tail path: %w", err)
+	}
+	s.TailPath = tail
+	for li, lj := range in.Layers {
+		le := LayerEmbedding{MergerNode: graph.NodeID(lj.MergerNode)}
+		for _, v := range lj.Nodes {
+			le.Nodes = append(le.Nodes, graph.NodeID(v))
+		}
+		for pi, seq := range lj.InterPaths {
+			path, err := nodesToPath(g, seq)
+			if err != nil {
+				return nil, fmt.Errorf("core: layer %d inter-path %d: %w", li+1, pi, err)
+			}
+			le.InterPaths = append(le.InterPaths, path)
+		}
+		for pi, seq := range lj.InnerPaths {
+			path, err := nodesToPath(g, seq)
+			if err != nil {
+				return nil, fmt.Errorf("core: layer %d inner-path %d: %w", li+1, pi, err)
+			}
+			le.InnerPaths = append(le.InnerPaths, path)
+		}
+		s.Layers = append(s.Layers, le)
+	}
+	return s, nil
+}
+
+func pathNodes(g *graph.Graph, p graph.Path) []int {
+	nodes := p.Nodes(g)
+	out := make([]int, len(nodes))
+	for i, v := range nodes {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func nodesToPath(g *graph.Graph, seq []int) (graph.Path, error) {
+	if len(seq) == 0 {
+		return graph.Path{}, fmt.Errorf("empty node sequence")
+	}
+	from := graph.NodeID(seq[0])
+	if from < 0 || int(from) >= g.NumNodes() {
+		return graph.Path{}, fmt.Errorf("node %d out of range", seq[0])
+	}
+	path := graph.Path{From: from}
+	for i := 1; i < len(seq); i++ {
+		a, b := graph.NodeID(seq[i-1]), graph.NodeID(seq[i])
+		e, ok := g.FindEdge(a, b)
+		if !ok {
+			return graph.Path{}, fmt.Errorf("no link %d-%d", a, b)
+		}
+		path.Edges = append(path.Edges, e.ID)
+	}
+	return path, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	p := lineFixture()
+	s := lineSolution()
+	var b strings.Builder
+	if err := WriteSolutionJSON(&b, p, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSolutionJSON(strings.NewReader(b.String()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, got); err != nil {
+		t.Fatalf("round-tripped solution invalid: %v", err)
+	}
+	orig, err := ComputeCost(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ComputeCost(p, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Total() != back.Total() {
+		t.Fatalf("cost changed across round trip: %v vs %v", orig.Total(), back.Total())
+	}
+}
+
+func TestSolutionJSONEmptySFC(t *testing.T) {
+	p := lineFixture()
+	p.SFC.Layers = nil
+	res, err := EmbedMBBE(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteSolutionJSON(&b, p, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSolutionJSON(strings.NewReader(b.String()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TailPath.Len() != 3 {
+		t.Fatalf("tail length %d, want 3", got.TailPath.Len())
+	}
+}
+
+func TestSolutionJSONRejectsGarbage(t *testing.T) {
+	p := lineFixture()
+	if _, err := ReadSolutionJSON(strings.NewReader("nope"), p); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A path over a non-existent link.
+	bad := `{"layers":[],"tail_path":[0,3]}`
+	if _, err := ReadSolutionJSON(strings.NewReader(bad), p); err == nil {
+		t.Fatal("teleporting path accepted")
+	}
+	// Empty node sequence.
+	bad = `{"layers":[],"tail_path":[]}`
+	if _, err := ReadSolutionJSON(strings.NewReader(bad), p); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	// Out-of-range node.
+	bad = `{"layers":[],"tail_path":[99]}`
+	if _, err := ReadSolutionJSON(strings.NewReader(bad), p); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}

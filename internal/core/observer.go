@@ -1,0 +1,83 @@
+package core
+
+import "dagsfc/internal/graph"
+
+// Observer receives progress callbacks from one Embed run. All callbacks
+// arrive from the calling goroutine, in search order; an implementation
+// must not retain the pointers past the callback. Useful for debugging,
+// tracing and teaching the algorithm — see the LogObserver helper.
+type Observer interface {
+	// LayerStart fires when the search begins embedding a layer, with the
+	// number of parent sub-solutions whose extensions will be explored.
+	LayerStart(spec LayerSpec, parents int)
+	// SearchDone fires after each forward or backward search.
+	SearchDone(layer int, start graph.NodeID, forward bool, treeSize int, covered bool)
+	// LayerDone fires when a layer's sub-solutions have been selected,
+	// with the cheapest cumulative cost of the survivors.
+	LayerDone(spec LayerSpec, kept int, cheapest float64)
+	// Leaf fires for the winning complete solution just before Embed
+	// returns it.
+	Leaf(total float64)
+}
+
+// FuncObserver adapts plain functions to Observer; nil fields are
+// skipped.
+type FuncObserver struct {
+	OnLayerStart func(spec LayerSpec, parents int)
+	OnSearchDone func(layer int, start graph.NodeID, forward bool, treeSize int, covered bool)
+	OnLayerDone  func(spec LayerSpec, kept int, cheapest float64)
+	OnLeaf       func(total float64)
+}
+
+// LayerStart implements Observer.
+func (f FuncObserver) LayerStart(spec LayerSpec, parents int) {
+	if f.OnLayerStart != nil {
+		f.OnLayerStart(spec, parents)
+	}
+}
+
+// SearchDone implements Observer.
+func (f FuncObserver) SearchDone(layer int, start graph.NodeID, forward bool, treeSize int, covered bool) {
+	if f.OnSearchDone != nil {
+		f.OnSearchDone(layer, start, forward, treeSize, covered)
+	}
+}
+
+// LayerDone implements Observer.
+func (f FuncObserver) LayerDone(spec LayerSpec, kept int, cheapest float64) {
+	if f.OnLayerDone != nil {
+		f.OnLayerDone(spec, kept, cheapest)
+	}
+}
+
+// Leaf implements Observer.
+func (f FuncObserver) Leaf(total float64) {
+	if f.OnLeaf != nil {
+		f.OnLeaf(total)
+	}
+}
+
+// notify helpers keep call sites terse when no observer is configured.
+func (e *embedder) observeLayerStart(spec LayerSpec, parents int) {
+	if e.opts.Observer != nil {
+		e.opts.Observer.LayerStart(spec, parents)
+	}
+}
+
+func (e *embedder) observeSearch(layer int, start graph.NodeID, forward bool, size int, covered bool) {
+	if e.opts.Observer != nil {
+		e.opts.Observer.SearchDone(layer, start, forward, size, covered)
+	}
+}
+
+func (e *embedder) observeLayerDone(spec LayerSpec, kept int, cheapest float64) {
+	if e.opts.Observer != nil {
+		e.opts.Observer.LayerDone(spec, kept, cheapest)
+	}
+}
+
+func (e *embedder) observeLeaf(total float64) {
+	if e.opts.Observer != nil {
+		e.opts.Observer.Leaf(total)
+	}
+}

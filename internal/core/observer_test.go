@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"dagsfc/internal/graph"
+)
+
+func TestObserverCallbackSequence(t *testing.T) {
+	p := lineFixture()
+	var events []string
+	var leafTotal float64
+	opts := MBBEOptions()
+	opts.Observer = FuncObserver{
+		OnLayerStart: func(spec LayerSpec, parents int) {
+			events = append(events, "start")
+			if parents < 1 {
+				t.Errorf("layer %d started with %d parents", spec.Index, parents)
+			}
+		},
+		OnSearchDone: func(layer int, start graph.NodeID, forward bool, size int, covered bool) {
+			if forward {
+				events = append(events, "fwd")
+			} else {
+				events = append(events, "bwd")
+			}
+			if size < 1 {
+				t.Errorf("empty search tree reported")
+			}
+		},
+		OnLayerDone: func(spec LayerSpec, kept int, cheapest float64) {
+			events = append(events, "done")
+			if kept < 1 || cheapest <= 0 {
+				t.Errorf("layer %d done with kept=%d cheapest=%v", spec.Index, kept, cheapest)
+			}
+		},
+		OnLeaf: func(total float64) {
+			events = append(events, "leaf")
+			leafTotal = total
+		},
+	}
+	res, err := Embed(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leafTotal != res.Cost.Total() {
+		t.Fatalf("leaf callback total %v != result %v", leafTotal, res.Cost.Total())
+	}
+	// Two layers: start fwd [bwd...] done, twice, then leaf at the end.
+	if len(events) < 7 {
+		t.Fatalf("too few events: %v", events)
+	}
+	if events[0] != "start" || events[len(events)-1] != "leaf" {
+		t.Fatalf("event order wrong: %v", events)
+	}
+	starts, dones, fwds, bwds := 0, 0, 0, 0
+	for _, ev := range events {
+		switch ev {
+		case "start":
+			starts++
+		case "done":
+			dones++
+		case "fwd":
+			fwds++
+		case "bwd":
+			bwds++
+		}
+	}
+	if starts != 2 || dones != 2 {
+		t.Fatalf("starts=%d dones=%d, want 2/2", starts, dones)
+	}
+	if fwds != 2 || bwds < 1 {
+		t.Fatalf("fwds=%d bwds=%d", fwds, bwds)
+	}
+}
+
+func TestNilObserverFieldsSafe(t *testing.T) {
+	p := lineFixture()
+	opts := MBBEOptions()
+	opts.Observer = FuncObserver{} // all nil functions
+	if _, err := Embed(p, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoObserverNoPanic(t *testing.T) {
+	p := lineFixture()
+	if _, err := EmbedMBBE(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's primary contribution: the optimal
+// DAG-SFC embedding problem (§3.3) — its solution representation, the
+// cost model of eq. (1) with the VNF/link reuse accounting of eqs. (7)–(10),
+// a validator for the capacity and completeness constraints (eqs. (2)–(6))
+// — and the two embedding algorithms, BBE (§4.1–4.4) and MBBE (§4.5),
+// built from forward/backward searches over the paper's FST/BST search
+// trees and a sub-solution tree.
+package core
+
+import (
+	"fmt"
+
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+)
+
+// Problem is one optimal DAG-SFC embedding instance (Definition 1): a
+// target network, a standardized DAG-SFC, and a traffic flow with a
+// source-destination pair, a delivery rate R and a size z.
+type Problem struct {
+	Net *network.Network
+	// Ledger carries pre-existing capacity commitments (the real-time
+	// network view). Nil means a fresh, empty ledger.
+	Ledger *network.Ledger
+	SFC    sfc.DAGSFC
+	Src    graph.NodeID
+	Dst    graph.NodeID
+	// Rate is the flow delivery rate R: every VNF use and link use
+	// consumes this much capacity (times its reuse count).
+	Rate float64
+	// Size is the flow size z: the cost scale factor of eq. (1).
+	Size float64
+}
+
+// ledger returns the problem's ledger, creating an empty one on demand.
+func (p *Problem) ledger() *network.Ledger {
+	if p.Ledger == nil {
+		p.Ledger = network.NewLedger(p.Net)
+	}
+	return p.Ledger
+}
+
+// Validate reports the first structural problem with the instance.
+func (p *Problem) Validate() error {
+	if p.Net == nil {
+		return fmt.Errorf("core: nil network")
+	}
+	n := p.Net.G.NumNodes()
+	if p.Src < 0 || int(p.Src) >= n {
+		return fmt.Errorf("core: source node %d out of range [0,%d)", p.Src, n)
+	}
+	if p.Dst < 0 || int(p.Dst) >= n {
+		return fmt.Errorf("core: destination node %d out of range [0,%d)", p.Dst, n)
+	}
+	if p.Rate <= 0 {
+		return fmt.Errorf("core: flow rate %v must be positive", p.Rate)
+	}
+	if p.Size <= 0 {
+		return fmt.Errorf("core: flow size %v must be positive", p.Size)
+	}
+	if p.Ledger != nil && p.Ledger.Network() != p.Net {
+		return fmt.Errorf("core: ledger belongs to a different network")
+	}
+	if err := p.SFC.Validate(p.Net.Catalog); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LayerSpec is the embedding obligation of one DAG-SFC layer: φ_l regular
+// VNFs plus, for parallel layers, a merger f(n+1).
+type LayerSpec struct {
+	// Index is the 1-based layer number l.
+	Index int
+	// VNFs are the regular categories of the parallel VNF set.
+	VNFs []network.VNFID
+	// Merger reports whether a merger must be rented for this layer.
+	Merger bool
+}
+
+// Required returns every category the layer's forward search must cover:
+// the regular VNFs plus, for parallel layers, the merger category.
+func (ls LayerSpec) Required(c network.Catalog) []network.VNFID {
+	out := append([]network.VNFID(nil), ls.VNFs...)
+	if ls.Merger {
+		out = append(out, c.Merger())
+	}
+	return out
+}
+
+// LayerSpecs expands the problem's SFC into per-layer obligations.
+func (p *Problem) LayerSpecs() []LayerSpec {
+	specs := make([]LayerSpec, len(p.SFC.Layers))
+	for i, l := range p.SFC.Layers {
+		specs[i] = LayerSpec{Index: i + 1, VNFs: l.VNFs, Merger: l.Parallel()}
+	}
+	return specs
+}

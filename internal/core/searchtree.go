@@ -1,0 +1,280 @@
+package core
+
+import (
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+)
+
+// TreeNode is one node of a Forward or Backward Search Tree, laid out as
+// the paper's Table 1 prescribes: the binary-tree pointers (father, left
+// child = first node discovered in the next iteration, right child = next
+// node of the same iteration), the network node ID, the available VNF set,
+// and the previous/next node lists that record physical adjacency between
+// tree nodes of consecutive iterations.
+type TreeNode struct {
+	Father *TreeNode // element 1
+	Left   *TreeNode // element 2
+	Right  *TreeNode // element 3
+
+	// Node is the network node this tree node stands for (element 4).
+	Node graph.NodeID
+	// Available is the subset of the layer's required categories that this
+	// node can actually serve: deployed here with enough residual
+	// processing capacity (element 5).
+	Available []network.VNFID
+
+	// Prev links this node to the tree nodes of the previous iteration it
+	// is physically adjacent to, together with the cheapest connecting
+	// link (element 6). Walking Prev choices back to the root enumerates
+	// the real-paths the search has instantiated — the dotted arrows of
+	// the paper's Fig. 4.
+	Prev []TreeLink
+	// Next is the inverse of Prev, pointing forward (element 7).
+	Next []TreeLink
+
+	// Iteration is the search iteration that discovered the node; the
+	// root is iteration 1, matching V^{F,l}_{v,1} = {v}.
+	Iteration int
+}
+
+// TreeLink is one physical adjacency between tree nodes of consecutive
+// iterations.
+type TreeLink struct {
+	To   *TreeNode
+	Edge graph.EdgeID
+}
+
+// SearchTree is an FST or BST: the breadth-first exploration of one layer's
+// forward or backward search, stored as a left-child/right-sibling binary
+// tree plus a by-node index.
+type SearchTree struct {
+	Root *TreeNode
+	// byNode indexes tree nodes by network node; BFS discovers each node
+	// at most once.
+	byNode map[graph.NodeID]*TreeNode
+	// levels[i] lists the nodes of iteration i+1 in discovery order.
+	levels [][]*TreeNode
+	// covered reports whether the search found every required category.
+	covered bool
+}
+
+// Contains reports whether the tree discovered network node v.
+func (t *SearchTree) Contains(v graph.NodeID) bool {
+	_, ok := t.byNode[v]
+	return ok
+}
+
+// NodeOf returns the tree node for network node v, or nil.
+func (t *SearchTree) NodeOf(v graph.NodeID) *TreeNode { return t.byNode[v] }
+
+// Size reports the number of tree nodes (|V^{F,l}| or |V^{B,l}|).
+func (t *SearchTree) Size() int { return len(t.byNode) }
+
+// Iterations reports how many search iterations ran.
+func (t *SearchTree) Iterations() int { return len(t.levels) }
+
+// Level returns the tree nodes discovered in iteration i (1-based), in
+// discovery order.
+func (t *SearchTree) Level(i int) []*TreeNode {
+	if i < 1 || i > len(t.levels) {
+		return nil
+	}
+	return t.levels[i-1]
+}
+
+// Covered reports whether the search satisfied its coverage goal
+// (L_l ⊆ F^{F,l} resp. F^{B,l}).
+func (t *SearchTree) Covered() bool { return t.covered }
+
+// Nodes calls fn for every tree node in discovery order.
+func (t *SearchTree) Nodes(fn func(*TreeNode)) {
+	for _, level := range t.levels {
+		for _, tn := range level {
+			fn(tn)
+		}
+	}
+}
+
+// NodesWith returns the tree nodes whose available set includes category f,
+// in discovery order (nearest first).
+func (t *SearchTree) NodesWith(f network.VNFID) []*TreeNode {
+	var out []*TreeNode
+	t.Nodes(func(tn *TreeNode) {
+		for _, a := range tn.Available {
+			if a == f {
+				out = append(out, tn)
+				return
+			}
+		}
+	})
+	return out
+}
+
+// PathToRoot returns one real-path from tn's network node back to the
+// root's, following the first Prev link at every level (the cheapest
+// discovered adjacency). For an FST the returned path runs node→start, so
+// callers reverse it to obtain the start→node direction; for a BST it runs
+// node→end, which is already the inner-layer direction.
+func (t *SearchTree) PathToRoot(tn *TreeNode) graph.Path {
+	p := graph.Path{From: tn.Node}
+	for cur := tn; len(cur.Prev) > 0; cur = cur.Prev[0].To {
+		p.Edges = append(p.Edges, cur.Prev[0].Edge)
+	}
+	return p
+}
+
+// PathsToRoot enumerates up to max real-paths from tn's network node to the
+// root's by branching over the Prev lists (depth-first over choice
+// points). max <= 0 yields a single path. The first returned path equals
+// PathToRoot(tn).
+func (t *SearchTree) PathsToRoot(tn *TreeNode, max int) []graph.Path {
+	if max <= 1 {
+		return []graph.Path{t.PathToRoot(tn)}
+	}
+	var out []graph.Path
+	var walk func(cur *TreeNode, edges []graph.EdgeID)
+	walk = func(cur *TreeNode, edges []graph.EdgeID) {
+		if len(out) >= max {
+			return
+		}
+		if len(cur.Prev) == 0 {
+			out = append(out, graph.Path{From: tn.Node, Edges: append([]graph.EdgeID(nil), edges...)})
+			return
+		}
+		for _, link := range cur.Prev {
+			walk(link.To, append(edges, link.Edge))
+			if len(out) >= max {
+				return
+			}
+		}
+	}
+	walk(tn, nil)
+	return out
+}
+
+// searchConfig controls one breadth-first search run.
+type searchConfig struct {
+	// required is the category coverage goal.
+	required []network.VNFID
+	// within restricts the search to a node set (backward searches stay
+	// inside the forward search's node set). Nil = unrestricted.
+	within func(graph.NodeID) bool
+	// maxNodes aborts the search once the discovered set would exceed this
+	// size without achieving coverage (MBBE's Xmax). 0 = unlimited.
+	maxNodes int
+}
+
+// runSearch performs the paper's iterative breadth-first search from start
+// and materializes the search tree. Edges are admitted only with residual
+// bandwidth ≥ rate; a category counts as available on a node only if its
+// instance there has residual capacity ≥ rate. The search stops as soon as
+// the accumulated available sets cover the required categories (the tree's
+// covered flag), or when the graph (or the maxNodes budget) is exhausted.
+func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
+	ledger := p.ledger()
+	g := p.Net.G
+
+	needed := make(map[network.VNFID]bool, len(cfg.required))
+	for _, f := range cfg.required {
+		needed[f] = true
+	}
+	missing := make(map[network.VNFID]bool, len(needed))
+	for f := range needed {
+		missing[f] = true
+	}
+
+	available := func(v graph.NodeID) []network.VNFID {
+		var out []network.VNFID
+		for f := range needed {
+			if ledger.InstanceResidual(v, f) >= p.Rate {
+				out = append(out, f)
+			}
+		}
+		sortVNFs(out)
+		return out
+	}
+
+	t := &SearchTree{byNode: make(map[graph.NodeID]*TreeNode)}
+	root := &TreeNode{Node: start, Available: available(start), Iteration: 1}
+	t.Root = root
+	t.byNode[start] = root
+	t.levels = [][]*TreeNode{{root}}
+	for _, f := range root.Available {
+		delete(missing, f)
+	}
+	if len(missing) == 0 {
+		t.covered = true
+		return t
+	}
+
+	for {
+		frontier := t.levels[len(t.levels)-1]
+		var next []*TreeNode
+		for _, tn := range frontier {
+			for _, arc := range g.Neighbors(tn.Node) {
+				if cfg.within != nil && !cfg.within(arc.To) {
+					continue
+				}
+				if ledger.EdgeResidual(arc.Edge) < p.Rate {
+					continue
+				}
+				if existing, seen := t.byNode[arc.To]; seen {
+					// Record extra adjacency from the previous iteration
+					// (enables alternative path enumeration), but do not
+					// re-discover.
+					if existing.Iteration == tn.Iteration+1 {
+						existing.Prev = append(existing.Prev, TreeLink{To: tn, Edge: arc.Edge})
+						tn.Next = append(tn.Next, TreeLink{To: existing, Edge: arc.Edge})
+					}
+					continue
+				}
+				if cfg.maxNodes > 0 && len(t.byNode) >= cfg.maxNodes {
+					// Budget exhausted (MBBE's Xmax): keep what this
+					// iteration discovered so far and report coverage as
+					// it stands.
+					if len(next) > 0 {
+						t.levels = append(t.levels, next)
+					}
+					t.covered = len(missing) == 0
+					return t
+				}
+				child := &TreeNode{
+					Father:    tn,
+					Node:      arc.To,
+					Available: available(arc.To),
+					Iteration: tn.Iteration + 1,
+					Prev:      []TreeLink{{To: tn, Edge: arc.Edge}},
+				}
+				tn.Next = append(tn.Next, TreeLink{To: child, Edge: arc.Edge})
+				// Binary-tree shape: first child hangs left, later nodes of
+				// the same iteration chain off the previous node's right.
+				if len(next) == 0 {
+					tn.Left = child
+				} else {
+					next[len(next)-1].Right = child
+				}
+				t.byNode[arc.To] = child
+				next = append(next, child)
+				for _, f := range child.Available {
+					delete(missing, f)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return t // graph exhausted
+		}
+		t.levels = append(t.levels, next)
+		if len(missing) == 0 {
+			t.covered = true
+			return t
+		}
+	}
+}
+
+func sortVNFs(v []network.VNFID) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+
+	"dagsfc/internal/graph"
+)
+
+// edgeUse is one layer's bandwidth demand on a link, in reuse counts.
+type edgeUse struct {
+	edge  graph.EdgeID
+	count int
+}
+
+// extension is one feasible way to embed a single layer given the start
+// node (the previous layer's end node): the candidate sub-solution of
+// §4.4, minus its position in the sub-solution tree. Extensions are
+// computed once per (layer, start node) and shared by every sub-solution
+// that ends on that start node.
+type extension struct {
+	endNode    graph.NodeID
+	nodes      []graph.NodeID
+	interPaths []graph.Path
+	innerPaths []graph.Path
+	localCost  float64
+	// delay is the layer's end-to-end delay contribution; computed only
+	// in delay-bounded mode (Options.MaxDelay > 0), else zero.
+	delay   float64
+	instUse []InstanceUseKey
+	edgeUse []edgeUse
+}
+
+// subSolution is a node of the paper's sub-solution tree (§4.4.2). The
+// tree is stored bottom-up through parent pointers: the path from any
+// layer-ω sub-solution back to the root spells out a complete embedding.
+type subSolution struct {
+	parent *subSolution
+	ext    *extension // nil for the root (source node, no cost)
+	layer  int
+	cum    float64
+	// cumDelay accumulates layer delays in delay-bounded mode.
+	cumDelay float64
+}
+
+func (ss *subSolution) endNode(src graph.NodeID) graph.NodeID {
+	if ss.ext == nil {
+		return src
+	}
+	return ss.ext.endNode
+}
+
+// chainEdgeUse sums the reuse count of edge e along the sub-solution chain.
+func (ss *subSolution) chainEdgeUse(e graph.EdgeID) int {
+	total := 0
+	for cur := ss; cur != nil; cur = cur.parent {
+		if cur.ext == nil {
+			continue
+		}
+		for _, u := range cur.ext.edgeUse {
+			if u.edge == e {
+				total += u.count
+			}
+		}
+	}
+	return total
+}
+
+// chainInstanceUse sums the uses of instance key along the chain.
+func (ss *subSolution) chainInstanceUse(key InstanceUseKey) int {
+	total := 0
+	for cur := ss; cur != nil; cur = cur.parent {
+		if cur.ext == nil {
+			continue
+		}
+		for _, k := range cur.ext.instUse {
+			if k == key {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// feasibleAfter reports whether appending ext to the chain ending at ss
+// stays within the ledger's residual capacities.
+func feasibleAfter(p *Problem, ss *subSolution, ext *extension) bool {
+	ledger := p.ledger()
+	// Instances: count duplicate uses within ext itself plus the chain.
+	counted := make(map[InstanceUseKey]int, len(ext.instUse))
+	for _, key := range ext.instUse {
+		counted[key]++
+	}
+	for key, n := range counted {
+		demand := float64(n+ss.chainInstanceUse(key)) * p.Rate
+		if ledger.InstanceResidual(key.Node, key.VNF) < demand-1e-9 {
+			return false
+		}
+	}
+	for _, u := range ext.edgeUse {
+		demand := float64(u.count+ss.chainEdgeUse(u.edge)) * p.Rate
+		if ledger.EdgeResidual(u.edge) < demand-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildExtension assembles and prices an extension from its parts.
+// interPaths run start→VNF node; innerPaths run VNF node→merger (nil for
+// single-VNF layers).
+func buildExtension(p *Problem, spec LayerSpec, nodes []graph.NodeID, endNode graph.NodeID,
+	interPaths, innerPaths []graph.Path) *extension {
+
+	ext := &extension{
+		endNode:    endNode,
+		nodes:      nodes,
+		interPaths: interPaths,
+		innerPaths: innerPaths,
+	}
+	g := p.Net.G
+	// VNF rents.
+	for i, node := range nodes {
+		inst, ok := p.Net.Instance(node, spec.VNFs[i])
+		if !ok {
+			return nil
+		}
+		ext.instUse = append(ext.instUse, InstanceUseKey{node, spec.VNFs[i]})
+		ext.localCost += inst.Price * p.Size
+	}
+	if spec.Merger {
+		inst, ok := p.Net.Instance(endNode, p.Net.Catalog.Merger())
+		if !ok {
+			return nil
+		}
+		ext.instUse = append(ext.instUse, InstanceUseKey{endNode, p.Net.Catalog.Merger()})
+		ext.localCost += inst.Price * p.Size
+	}
+	// Inter-layer multicast: each link at most once for this layer.
+	interUnion := make(map[graph.EdgeID]bool)
+	for _, path := range interPaths {
+		for _, e := range path.Edges {
+			interUnion[e] = true
+		}
+	}
+	// Inner-layer: every traversal counts.
+	innerCount := make(map[graph.EdgeID]int)
+	for _, path := range innerPaths {
+		for _, e := range path.Edges {
+			innerCount[e]++
+		}
+	}
+	for e := range interUnion {
+		c := 1 + innerCount[e]
+		delete(innerCount, e)
+		ext.edgeUse = append(ext.edgeUse, edgeUse{edge: e, count: c})
+	}
+	for e, c := range innerCount {
+		ext.edgeUse = append(ext.edgeUse, edgeUse{edge: e, count: c})
+	}
+	// Sort before summing: float addition in map-iteration order would
+	// break run-to-run reproducibility in the last ULP.
+	sort.Slice(ext.edgeUse, func(i, j int) bool { return ext.edgeUse[i].edge < ext.edgeUse[j].edge })
+	for _, u := range ext.edgeUse {
+		ext.localCost += g.Edge(u.edge).Price * float64(u.count) * p.Size
+	}
+	return ext
+}
+
+// assemble converts a layer-ω sub-solution chain plus a tail path into a
+// Solution.
+func assemble(ss *subSolution, omega int, tail graph.Path) *Solution {
+	s := &Solution{Layers: make([]LayerEmbedding, omega), TailPath: tail}
+	for cur := ss; cur != nil; cur = cur.parent {
+		if cur.ext == nil {
+			continue
+		}
+		ext := cur.ext
+		le := LayerEmbedding{
+			Nodes:      ext.nodes,
+			MergerNode: ext.endNode,
+			InterPaths: ext.interPaths,
+			InnerPaths: ext.innerPaths,
+		}
+		s.Layers[cur.layer-1] = le
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"dagsfc/internal/graph"
+)
+
+// Validate checks a solution against every constraint of the optimization
+// model (§3.3):
+//
+//   - completeness (eqs. 4–6): every DAG position is assigned to exactly
+//     one node that actually hosts the category, and every inter-layer and
+//     inner-layer meta-path is implemented by a contiguous real-path with
+//     matching endpoints;
+//   - capacity (eqs. 2–3): with the reuse counts of eqs. 7–10, no VNF
+//     instance exceeds its processing capability and no link exceeds its
+//     bandwidth, on top of whatever the problem's ledger already committed.
+//
+// It returns nil exactly when the solution is feasible.
+func Validate(p *Problem, s *Solution) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	g := p.Net.G
+	merger := p.Net.Catalog.Merger()
+
+	if len(s.Layers) != p.SFC.Omega() {
+		return fmt.Errorf("core: solution has %d layers, SFC has %d", len(s.Layers), p.SFC.Omega())
+	}
+	for li, le := range s.Layers {
+		spec := p.SFC.Layers[li]
+		l := li + 1
+		if len(le.Nodes) != spec.Width() {
+			return fmt.Errorf("core: layer %d assigns %d VNFs, spec has %d", l, len(le.Nodes), spec.Width())
+		}
+		if len(le.InterPaths) != spec.Width() {
+			return fmt.Errorf("core: layer %d has %d inter-layer paths, want %d", l, len(le.InterPaths), spec.Width())
+		}
+		// Assignment hosting (eq. 4 plus the V_i membership of eq. 5/6).
+		for i, node := range le.Nodes {
+			if !p.Net.HasVNF(node, spec.VNFs[i]) {
+				return fmt.Errorf("core: layer %d: node %d does not host f(%d)", l, node, spec.VNFs[i])
+			}
+		}
+		start := s.endNodeBefore(li, p.Src)
+		for i, path := range le.InterPaths {
+			if err := path.Validate(g); err != nil {
+				return fmt.Errorf("core: layer %d inter-path %d: %w", l, i, err)
+			}
+			if path.From != start {
+				return fmt.Errorf("core: layer %d inter-path %d starts at %d, want %d", l, i, path.From, start)
+			}
+			if to := path.To(g); to != le.Nodes[i] {
+				return fmt.Errorf("core: layer %d inter-path %d ends at %d, want %d", l, i, to, le.Nodes[i])
+			}
+		}
+		if spec.Parallel() {
+			if !p.Net.HasVNF(le.MergerNode, merger) {
+				return fmt.Errorf("core: layer %d: node %d does not host the merger", l, le.MergerNode)
+			}
+			if len(le.InnerPaths) != spec.Width() {
+				return fmt.Errorf("core: layer %d has %d inner-layer paths, want %d", l, len(le.InnerPaths), spec.Width())
+			}
+			for i, path := range le.InnerPaths {
+				if err := path.Validate(g); err != nil {
+					return fmt.Errorf("core: layer %d inner-path %d: %w", l, i, err)
+				}
+				if path.From != le.Nodes[i] {
+					return fmt.Errorf("core: layer %d inner-path %d starts at %d, want %d", l, i, path.From, le.Nodes[i])
+				}
+				if to := path.To(g); to != le.MergerNode {
+					return fmt.Errorf("core: layer %d inner-path %d ends at %d, want merger node %d", l, i, to, le.MergerNode)
+				}
+			}
+		} else {
+			if len(le.InnerPaths) != 0 {
+				return fmt.Errorf("core: layer %d is single-VNF but has inner-layer paths", l)
+			}
+			if le.MergerNode != le.Nodes[0] {
+				return fmt.Errorf("core: layer %d is single-VNF; MergerNode %d must equal the VNF node %d",
+					l, le.MergerNode, le.Nodes[0])
+			}
+		}
+	}
+	// Tail path closes the chain at the destination.
+	if err := s.TailPath.Validate(g); err != nil {
+		return fmt.Errorf("core: tail path: %w", err)
+	}
+	wantFrom := s.endNodeBefore(len(s.Layers), p.Src)
+	if s.TailPath.From != wantFrom {
+		return fmt.Errorf("core: tail path starts at %d, want layer-ω end node %d", s.TailPath.From, wantFrom)
+	}
+	if to := s.TailPath.To(g); to != p.Dst {
+		return fmt.Errorf("core: tail path ends at %d, want destination %d", to, p.Dst)
+	}
+
+	// Capacity constraints (eqs. 2–3) via the reuse counts.
+	cb, err := ComputeCost(p, s)
+	if err != nil {
+		return err
+	}
+	ledger := p.ledger()
+	for key, alpha := range cb.InstanceUse {
+		demand := float64(alpha) * p.Rate
+		if ledger.InstanceResidual(key.Node, key.VNF) < demand-1e-9 {
+			return fmt.Errorf("core: instance f(%d) on node %d over capacity: need %v, residual %v",
+				key.VNF, key.Node, demand, ledger.InstanceResidual(key.Node, key.VNF))
+		}
+	}
+	for e, alpha := range cb.EdgeUse {
+		demand := float64(alpha) * p.Rate
+		if ledger.EdgeResidual(e) < demand-1e-9 {
+			return fmt.Errorf("core: link %d over capacity: need %v, residual %v", e, demand, ledger.EdgeResidual(e))
+		}
+	}
+	return nil
+}
+
+// Commit reserves a validated solution's capacity demands on the problem's
+// ledger, so subsequent embeddings see the depleted real-time network. It
+// validates first and reserves atomically: on any failure nothing is
+// committed.
+func Commit(p *Problem, s *Solution) (CostBreakdown, error) {
+	if err := Validate(p, s); err != nil {
+		return CostBreakdown{}, err
+	}
+	cb, err := ComputeCost(p, s)
+	if err != nil {
+		return CostBreakdown{}, err
+	}
+	ledger := p.ledger()
+	// Validate already proved feasibility against this ledger, so the
+	// reservations below cannot fail; guard anyway and roll back.
+	var instDone []InstanceUseKey
+	var instAmt []float64
+	var edgeDone []graph.EdgeID
+	var edgeAmt []float64
+	rollback := func() {
+		for i, key := range instDone {
+			ledger.ReleaseInstance(key.Node, key.VNF, instAmt[i])
+		}
+		for i, e := range edgeDone {
+			ledger.ReleaseEdge(e, edgeAmt[i])
+		}
+	}
+	for key, alpha := range cb.InstanceUse {
+		amt := float64(alpha) * p.Rate
+		if err := ledger.ReserveInstance(key.Node, key.VNF, amt); err != nil {
+			rollback()
+			return CostBreakdown{}, err
+		}
+		instDone = append(instDone, key)
+		instAmt = append(instAmt, amt)
+	}
+	for e, alpha := range cb.EdgeUse {
+		amt := float64(alpha) * p.Rate
+		if err := ledger.ReserveEdge(e, amt); err != nil {
+			rollback()
+			return CostBreakdown{}, err
+		}
+		edgeDone = append(edgeDone, e)
+		edgeAmt = append(edgeAmt, amt)
+	}
+	return cb, nil
+}
+
+// Release returns a previously committed solution's capacity to the
+// problem's ledger — a flow departing in an online scenario. It is the
+// exact inverse of Commit: the same reuse counts are recomputed and
+// released. Releasing a solution that was never committed under-counts
+// the ledger; the caller owns that pairing.
+func Release(p *Problem, s *Solution) error {
+	cb, err := ComputeCost(p, s)
+	if err != nil {
+		return err
+	}
+	ledger := p.ledger()
+	for key, alpha := range cb.InstanceUse {
+		ledger.ReleaseInstance(key.Node, key.VNF, float64(alpha)*p.Rate)
+	}
+	for e, alpha := range cb.EdgeUse {
+		ledger.ReleaseEdge(e, float64(alpha)*p.Rate)
+	}
+	return nil
+}

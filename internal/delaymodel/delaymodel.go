@@ -1,0 +1,56 @@
+// Package delaymodel holds the end-to-end delay parameters shared by the
+// latency evaluator (internal/latency) and the delay-bounded embedding
+// mode of the core algorithms (core.Options.MaxDelay). It is a leaf
+// package so both can depend on it without cycles.
+package delaymodel
+
+import "dagsfc/internal/network"
+
+// Params configures the delay model. All delays are in arbitrary time
+// units (milliseconds in the examples).
+type Params struct {
+	// ProcDelay overrides the processing delay of specific categories.
+	ProcDelay map[network.VNFID]float64
+	// DefaultProcDelay applies to categories absent from ProcDelay.
+	DefaultProcDelay float64
+	// MergerDelay is the cost of integrating the parallel branches'
+	// intermediate results.
+	MergerDelay float64
+	// HopDelay is the propagation delay per traversed link.
+	HopDelay float64
+}
+
+// Default returns a reasonable middlebox-like configuration:
+// 1.0 per VNF, 0.1 per merge, 0.05 per hop.
+func Default() Params {
+	return Params{DefaultProcDelay: 1.0, MergerDelay: 0.1, HopDelay: 0.05}
+}
+
+// Proc returns the processing delay of category f.
+func (p Params) Proc(f network.VNFID) float64 {
+	if d, ok := p.ProcDelay[f]; ok {
+		return d
+	}
+	return p.DefaultProcDelay
+}
+
+// LayerDelay computes one layer's contribution: the slowest branch
+// (inter-layer hops + processing + inner-layer hops) plus the merger
+// overhead for parallel layers. interHops/innerHops are per-branch link
+// counts; innerHops may be nil for single-VNF layers.
+func (p Params) LayerDelay(vnfs []network.VNFID, interHops, innerHops []int, parallel bool) float64 {
+	slowest := 0.0
+	for i, f := range vnfs {
+		d := float64(interHops[i])*p.HopDelay + p.Proc(f)
+		if parallel && innerHops != nil {
+			d += float64(innerHops[i]) * p.HopDelay
+		}
+		if d > slowest {
+			slowest = d
+		}
+	}
+	if parallel {
+		slowest += p.MergerDelay
+	}
+	return slowest
+}

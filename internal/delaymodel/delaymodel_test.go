@@ -1,0 +1,47 @@
+package delaymodel
+
+import (
+	"math"
+	"testing"
+
+	"dagsfc/internal/network"
+)
+
+func TestProcOverrides(t *testing.T) {
+	p := Params{DefaultProcDelay: 1, ProcDelay: map[network.VNFID]float64{2: 7}}
+	if p.Proc(1) != 1 || p.Proc(2) != 7 {
+		t.Fatal("Proc lookup wrong")
+	}
+}
+
+func TestLayerDelaySingle(t *testing.T) {
+	p := Params{DefaultProcDelay: 1, HopDelay: 0.5, MergerDelay: 10}
+	d := p.LayerDelay([]network.VNFID{1}, []int{3}, nil, false)
+	if math.Abs(d-2.5) > 1e-12 { // 3 hops * 0.5 + 1 proc, no merger
+		t.Fatalf("single layer delay = %v, want 2.5", d)
+	}
+}
+
+func TestLayerDelayParallelTakesMax(t *testing.T) {
+	p := Params{DefaultProcDelay: 1, HopDelay: 1, MergerDelay: 0.25,
+		ProcDelay: map[network.VNFID]float64{2: 5}}
+	// Branch 1: 1+1+1=3; branch 2: 0+5+2=7. Max 7 + merger 0.25.
+	d := p.LayerDelay([]network.VNFID{1, 2}, []int{1, 0}, []int{1, 2}, true)
+	if math.Abs(d-7.25) > 1e-12 {
+		t.Fatalf("parallel layer delay = %v, want 7.25", d)
+	}
+}
+
+func TestLayerDelayEmpty(t *testing.T) {
+	p := Default()
+	if d := p.LayerDelay(nil, nil, nil, false); d != 0 {
+		t.Fatalf("empty layer delay = %v", d)
+	}
+}
+
+func TestDefaultSane(t *testing.T) {
+	p := Default()
+	if p.DefaultProcDelay <= 0 || p.HopDelay <= 0 || p.MergerDelay <= 0 {
+		t.Fatalf("Default() = %+v", p)
+	}
+}

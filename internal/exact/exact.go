@@ -1,0 +1,283 @@
+// Package exact solves small DAG-SFC embedding instances to optimality
+// (within the min-cost-path-per-meta-path model) by dynamic programming
+// over (layer, end node) states. It stands in for the paper's integer
+// program: the paper never reports IP solver results, but an exact
+// reference lets the test suite and the gap experiment (E8 in DESIGN.md)
+// measure how far BBE/MBBE are from optimal on instances where
+// enumeration is tractable.
+//
+// Model notes, documented as substitutions in DESIGN.md:
+//
+//   - every meta-path is implemented by one min-cost path between its two
+//     endpoints (all algorithms in this repository share that choice);
+//     inter-layer multicast dedup is still applied when pricing a layer;
+//   - capacities are assumed non-binding during the search (the paper's
+//     evaluation uses ample capacities); the final solution is validated,
+//     and a capacity violation is reported as infeasible rather than
+//     silently mispriced.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+)
+
+// Limits guards against accidentally running the exponential search on a
+// large instance.
+type Limits struct {
+	// MaxNodes caps the network size; 0 means DefaultMaxNodes.
+	MaxNodes int
+	// MaxWidth caps the parallel VNF set size; 0 means DefaultMaxWidth.
+	MaxWidth int
+}
+
+// Default limits: up to 60 nodes and width-3 layers stay comfortably
+// sub-second.
+const (
+	DefaultMaxNodes = 60
+	DefaultMaxWidth = 3
+)
+
+// ErrTooLarge is returned when the instance exceeds the limits.
+var ErrTooLarge = errors.New("exact: instance exceeds configured limits")
+
+// Embed solves the instance to optimality and returns the cheapest
+// embedding, or core.ErrNoEmbedding if none exists.
+func Embed(p *core.Problem, lim Limits) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := lim.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	maxWidth := lim.MaxWidth
+	if maxWidth == 0 {
+		maxWidth = DefaultMaxWidth
+	}
+	if p.Net.G.NumNodes() > maxNodes {
+		return nil, fmt.Errorf("%w: %d nodes > %d", ErrTooLarge, p.Net.G.NumNodes(), maxNodes)
+	}
+	if p.SFC.MaxWidth() > maxWidth {
+		return nil, fmt.Errorf("%w: layer width %d > %d", ErrTooLarge, p.SFC.MaxWidth(), maxWidth)
+	}
+	s := &solver{p: p}
+	return s.run()
+}
+
+type solver struct {
+	p *core.Problem
+	// dist[v] is the min-cost path tree from v, computed lazily.
+	trees map[graph.NodeID]*graph.ShortestTree
+	// memo[state] is the cheapest completion cost from that state, with
+	// the chosen layer embedding for reconstruction.
+	memo map[state]*memoEntry
+}
+
+type state struct {
+	layer int // next layer to embed (1-based); ω+1 means "go to dst"
+	start graph.NodeID
+}
+
+type memoEntry struct {
+	cost float64 // completion cost from this state (may be +Inf)
+	le   *core.LayerEmbedding
+	next graph.NodeID
+}
+
+func (s *solver) run() (*core.Result, error) {
+	p := s.p
+	s.trees = make(map[graph.NodeID]*graph.ShortestTree)
+	s.memo = make(map[state]*memoEntry)
+
+	best := s.solve(state{layer: 1, start: p.Src})
+	if best.cost >= graph.Inf {
+		return nil, core.ErrNoEmbedding
+	}
+	// Reconstruct.
+	sol := &core.Solution{}
+	cur := state{layer: 1, start: p.Src}
+	for cur.layer <= p.SFC.Omega() {
+		entry := s.memo[cur]
+		sol.Layers = append(sol.Layers, *entry.le)
+		cur = state{layer: cur.layer + 1, start: entry.next}
+	}
+	tail, ok := s.pathBetween(cur.start, p.Dst)
+	if !ok {
+		return nil, core.ErrNoEmbedding
+	}
+	sol.TailPath = tail
+
+	if err := core.Validate(p, sol); err != nil {
+		// Capacities bind; the DP's independence assumption fails.
+		return nil, fmt.Errorf("%w: optimal assignment violates capacity: %v", core.ErrNoEmbedding, err)
+	}
+	cb, err := core.ComputeCost(p, sol)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Solution: sol, Cost: cb}, nil
+}
+
+// solve returns the memoized cheapest completion from st.
+func (s *solver) solve(st state) *memoEntry {
+	if entry, ok := s.memo[st]; ok {
+		return entry
+	}
+	entry := &memoEntry{cost: graph.Inf}
+	s.memo[st] = entry
+	p := s.p
+
+	if st.layer > p.SFC.Omega() {
+		if tail, ok := s.pathBetween(st.start, p.Dst); ok {
+			entry.cost = tail.Cost(p.Net.G) * p.Size
+		}
+		return entry
+	}
+
+	spec := p.LayerSpecs()[st.layer-1]
+	hostSets := make([][]graph.NodeID, len(spec.VNFs))
+	for i, f := range spec.VNFs {
+		hostSets[i] = s.feasibleHosts(f)
+		if len(hostSets[i]) == 0 {
+			return entry
+		}
+	}
+	var mergerHosts []graph.NodeID
+	if spec.Merger {
+		mergerHosts = s.feasibleHosts(p.Net.Catalog.Merger())
+		if len(mergerHosts) == 0 {
+			return entry
+		}
+	}
+
+	assignment := make([]graph.NodeID, len(spec.VNFs))
+	var enumerate func(i int)
+	enumerate = func(i int) {
+		if i < len(spec.VNFs) {
+			for _, v := range hostSets[i] {
+				assignment[i] = v
+				enumerate(i + 1)
+			}
+			return
+		}
+		ends := mergerHosts
+		if !spec.Merger {
+			ends = assignment[:1]
+		}
+		for _, end := range ends {
+			le, layerCost, ok := s.embedLayer(spec, st.start, assignment, end)
+			if !ok {
+				continue
+			}
+			rest := s.solve(state{layer: st.layer + 1, start: end})
+			total := layerCost + rest.cost
+			if total < entry.cost {
+				leCopy := le
+				entry.cost = total
+				entry.le = &leCopy
+				entry.next = end
+			}
+		}
+	}
+	enumerate(0)
+	return entry
+}
+
+// feasibleHosts lists nodes hosting f with residual capacity for at least
+// one use at the flow rate, sorted for determinism.
+func (s *solver) feasibleHosts(f network.VNFID) []graph.NodeID {
+	p := s.p
+	ledger := ensureLedger(p)
+	var out []graph.NodeID
+	for _, v := range p.Net.NodesWith(f) {
+		if ledger.InstanceResidual(v, f) >= p.Rate {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// embedLayer prices one concrete layer embedding: VNF rents plus link cost
+// with inter-layer multicast dedup and inner-layer unicast counting.
+func (s *solver) embedLayer(spec core.LayerSpec, start graph.NodeID,
+	assignment []graph.NodeID, end graph.NodeID) (core.LayerEmbedding, float64, bool) {
+
+	p := s.p
+	le := core.LayerEmbedding{
+		Nodes:      append([]graph.NodeID(nil), assignment...),
+		MergerNode: end,
+	}
+	cost := 0.0
+	for i, v := range assignment {
+		inst, ok := p.Net.Instance(v, spec.VNFs[i])
+		if !ok {
+			return le, 0, false
+		}
+		cost += inst.Price * p.Size
+	}
+	if spec.Merger {
+		inst, ok := p.Net.Instance(end, p.Net.Catalog.Merger())
+		if !ok {
+			return le, 0, false
+		}
+		cost += inst.Price * p.Size
+	}
+	interUnion := make(map[graph.EdgeID]bool)
+	for _, v := range assignment {
+		path, ok := s.pathBetween(start, v)
+		if !ok {
+			return le, 0, false
+		}
+		le.InterPaths = append(le.InterPaths, path)
+		for _, e := range path.Edges {
+			interUnion[e] = true
+		}
+	}
+	// Sum in ascending edge order for bit-for-bit reproducibility.
+	interIDs := make([]graph.EdgeID, 0, len(interUnion))
+	for e := range interUnion {
+		interIDs = append(interIDs, e)
+	}
+	sort.Slice(interIDs, func(i, j int) bool { return interIDs[i] < interIDs[j] })
+	for _, e := range interIDs {
+		cost += p.Net.G.Edge(e).Price * p.Size
+	}
+	if spec.Merger {
+		for _, v := range assignment {
+			path, ok := s.pathBetween(v, end)
+			if !ok {
+				return le, 0, false
+			}
+			le.InnerPaths = append(le.InnerPaths, path)
+			cost += path.Cost(p.Net.G) * p.Size
+		}
+	}
+	return le, cost, true
+}
+
+// pathBetween returns a min-cost path using memoized Dijkstra trees.
+func (s *solver) pathBetween(a, b graph.NodeID) (graph.Path, bool) {
+	if a == b {
+		return graph.EmptyPath(a), true
+	}
+	tree, ok := s.trees[a]
+	if !ok {
+		tree = s.p.Net.G.Dijkstra(a, ensureLedger(s.p).CostOptions(s.p.Rate))
+		s.trees[a] = tree
+	}
+	return tree.PathTo(b)
+}
+
+func ensureLedger(p *core.Problem) *network.Ledger {
+	if p.Ledger == nil {
+		p.Ledger = network.NewLedger(p.Net)
+	}
+	return p.Ledger
+}

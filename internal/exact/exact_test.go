@@ -1,0 +1,161 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/baseline"
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/netgen"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/sfcgen"
+)
+
+// lineFixture mirrors core's: optimal total is 59 with f(3)@3.
+func lineFixture() *core.Problem {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(1, 2, 2, 10)
+	g.MustAddEdge(2, 3, 3, 10)
+	net := network.New(g, network.Catalog{N: 3})
+	net.MustAddInstance(1, 1, 10, 10)
+	net.MustAddInstance(2, 2, 20, 10)
+	net.MustAddInstance(1, 3, 30, 10)
+	net.MustAddInstance(3, 3, 12, 10)
+	net.MustAddInstance(2, network.VNFID(4), 5, 10)
+	return &core.Problem{
+		Net: net,
+		SFC: sfc.DAGSFC{Layers: []sfc.Layer{
+			{VNFs: []network.VNFID{1}},
+			{VNFs: []network.VNFID{2, 3}},
+		}},
+		Src: 0, Dst: 3, Rate: 1, Size: 1,
+	}
+}
+
+func randomProblem(rng *rand.Rand, nodes, kinds, sfcSize int) *core.Problem {
+	cfg := netgen.Default()
+	cfg.Nodes = nodes
+	cfg.VNFKinds = kinds
+	cfg.Connectivity = 4
+	net := netgen.MustGenerate(cfg, rng)
+	s := sfcgen.MustGenerate(sfcgen.Config{Size: sfcSize, LayerWidth: 3, VNFKinds: kinds}, rng)
+	return &core.Problem{
+		Net: net, SFC: s,
+		Src: graph.NodeID(rng.Intn(nodes)), Dst: graph.NodeID(rng.Intn(nodes)),
+		Rate: 1, Size: 1,
+	}
+}
+
+func TestExactFindsGlobalOptimumOnFixture(t *testing.T) {
+	p := lineFixture()
+	res, err := Embed(p, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(p, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	// The exact solver must find the f(3)@3 placement that BBE's
+	// coverage-stopping forward search misses: total 59, not 73.
+	if res.Cost.Total() != 59 {
+		t.Fatalf("exact cost = %v, want 59 (%s)", res.Cost.Total(), res.Solution.String())
+	}
+}
+
+func TestExactLowerBoundsHeuristicsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cross-check skipped in -short mode")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 20, 6, 1+rng.Intn(5))
+		opt, err := Embed(p, Limits{})
+		if err != nil {
+			if !errors.Is(err, core.ErrNoEmbedding) {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			continue
+		}
+		if err := core.Validate(p, opt.Solution); err != nil {
+			t.Fatalf("seed %d: exact solution invalid: %v", seed, err)
+		}
+		const eps = 1e-6
+		if res, err := core.EmbedMBBE(p); err == nil {
+			if res.Cost.Total() < opt.Cost.Total()-eps {
+				t.Fatalf("seed %d: MBBE %v beat 'exact' %v", seed, res.Cost.Total(), opt.Cost.Total())
+			}
+		}
+		if res, err := core.EmbedBBE(p); err == nil {
+			if res.Cost.Total() < opt.Cost.Total()-eps {
+				t.Fatalf("seed %d: BBE %v beat 'exact' %v", seed, res.Cost.Total(), opt.Cost.Total())
+			}
+		}
+		if res, err := baseline.EmbedMINV(p); err == nil {
+			if res.Cost.Total() < opt.Cost.Total()-eps {
+				t.Fatalf("seed %d: MINV %v beat 'exact' %v", seed, res.Cost.Total(), opt.Cost.Total())
+			}
+		}
+	}
+}
+
+func TestExactEmptySFC(t *testing.T) {
+	p := lineFixture()
+	p.SFC = sfc.DAGSFC{}
+	res, err := Embed(p, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() != 6 { // 0->3 over the line: 1+2+3
+		t.Fatalf("cost = %v, want 6", res.Cost.Total())
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	p := lineFixture()
+	ledger := network.NewLedger(p.Net)
+	if err := ledger.ReserveInstance(2, 2, 10); err != nil { // only f(2) host
+		t.Fatal(err)
+	}
+	p.Ledger = ledger
+	if _, err := Embed(p, Limits{}); !errors.Is(err, core.ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestExactRefusesLargeInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomProblem(rng, 100, 4, 3)
+	if _, err := Embed(p, Limits{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// Raising the limit admits it.
+	if _, err := Embed(p, Limits{MaxNodes: 200}); errors.Is(err, ErrTooLarge) {
+		t.Fatal("explicit limit ignored")
+	}
+}
+
+func TestExactRefusesWideLayers(t *testing.T) {
+	p := lineFixture()
+	p.Net.MustAddInstance(2, 1, 1, 10)
+	p.SFC = sfc.DAGSFC{Layers: []sfc.Layer{{VNFs: []network.VNFID{1, 2, 3}}}}
+	if _, err := Embed(p, Limits{MaxWidth: 2}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactDeterministic(t *testing.T) {
+	p1 := randomProblem(rand.New(rand.NewSource(3)), 20, 4, 4)
+	p2 := randomProblem(rand.New(rand.NewSource(3)), 20, 4, 4)
+	a, errA := Embed(p1, Limits{})
+	b, errB := Embed(p2, Limits{})
+	if (errA == nil) != (errB == nil) {
+		t.Fatal("determinism broken")
+	}
+	if errA == nil && a.Cost.Total() != b.Cost.Total() {
+		t.Fatalf("costs differ: %v vs %v", a.Cost.Total(), b.Cost.Total())
+	}
+}

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int, avgDeg float64) *Graph {
+	rng := rand.New(rand.NewSource(1))
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(NodeID(rng.Intn(v)), NodeID(v), 1+rng.Float64()*9, 100)
+	}
+	target := int(avgDeg * float64(n) / 2)
+	for g.NumEdges() < target {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b && !g.HasEdge(a, b) {
+			g.MustAddEdge(a, b, 1+rng.Float64()*9, 100)
+		}
+	}
+	return g
+}
+
+func BenchmarkDijkstra500(b *testing.B) {
+	g := benchGraph(500, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(NodeID(i%500), nil)
+	}
+}
+
+func BenchmarkDijkstra1000Filtered(b *testing.B) {
+	g := benchGraph(1000, 6)
+	opts := &CostOptions{MinCapacity: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(NodeID(i%1000), opts)
+	}
+}
+
+func BenchmarkBFSFrontiers500(b *testing.B) {
+	g := benchGraph(500, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSFrontiers(NodeID(i%500), 3, nil)
+	}
+}
+
+func BenchmarkKShortest500(b *testing.B) {
+	g := benchGraph(500, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KShortestPaths(NodeID(i%500), NodeID((i+250)%500), 3, nil)
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+// BFSLevels runs a breadth-first search from src and returns the hop level
+// of every node (-1 for unreachable). Level 0 is src itself. This is the
+// primitive behind the paper's forward/backward search iterations I^F_l and
+// I^B_l: iteration q discovers exactly the nodes at level q-1.
+func (g *Graph) BFSLevels(src NodeID) []int {
+	return g.BFSLevelsWithin(src, nil)
+}
+
+// BFSLevelsWithin is BFSLevels restricted to the nodes for which allow
+// returns true (src is always allowed). A nil allow permits every node.
+// The backward search of BBE uses this with the forward search node set as
+// the allowed region (§4.3.1).
+func (g *Graph) BFSLevelsWithin(src NodeID, allow func(NodeID) bool) []int {
+	level := make([]int, g.n)
+	for i := range level {
+		level[i] = -1
+	}
+	if g.checkNode(src) != nil {
+		return level
+	}
+	level[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, arc := range g.adj[v] {
+			w := arc.To
+			if level[w] >= 0 {
+				continue
+			}
+			if allow != nil && !allow(w) {
+				continue
+			}
+			level[w] = level[v] + 1
+			queue = append(queue, w)
+		}
+	}
+	return level
+}
+
+// MinHopPath returns a path from src to dst with the fewest links,
+// honoring opts (capacity filters, bans); among equal-hop paths the one
+// found first in adjacency order is returned. The delay-bounded embedding
+// mode uses this as the propagation-optimal alternative to min-cost
+// paths. ok is false if dst is unreachable.
+func (g *Graph) MinHopPath(src, dst NodeID, opts *CostOptions) (Path, bool) {
+	if g.checkNode(src) != nil || g.checkNode(dst) != nil {
+		return Path{}, false
+	}
+	if src == dst {
+		return EmptyPath(src), true
+	}
+	if opts != nil && opts.BannedNodes[src] {
+		return Path{}, false
+	}
+	parentEdge := make([]EdgeID, g.n)
+	parentNode := make([]NodeID, g.n)
+	seen := make([]bool, g.n)
+	for i := range parentEdge {
+		parentEdge[i] = None
+		parentNode[i] = None
+	}
+	seen[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, arc := range g.adj[v] {
+			if seen[arc.To] || !opts.admits(g, arc) {
+				continue
+			}
+			seen[arc.To] = true
+			parentEdge[arc.To] = arc.Edge
+			parentNode[arc.To] = v
+			if arc.To == dst {
+				var rev []EdgeID
+				for u := dst; u != src; u = parentNode[u] {
+					rev = append(rev, parentEdge[u])
+				}
+				edges := make([]EdgeID, len(rev))
+				for i, id := range rev {
+					edges[len(rev)-1-i] = id
+				}
+				return Path{From: src, Edges: edges}, true
+			}
+			queue = append(queue, arc.To)
+		}
+	}
+	return Path{}, false
+}
+
+// BFSFrontiers returns the nodes of each BFS level from src as separate
+// slices: frontiers[0] == {src}, frontiers[q] holds the nodes first reached
+// after q hops. Only levels up to maxLevel are expanded (maxLevel < 0 means
+// no limit). Nodes within a frontier appear in discovery order, which is
+// deterministic given the adjacency order.
+func (g *Graph) BFSFrontiers(src NodeID, maxLevel int, allow func(NodeID) bool) [][]NodeID {
+	if g.checkNode(src) != nil {
+		return nil
+	}
+	seen := make([]bool, g.n)
+	seen[src] = true
+	frontiers := [][]NodeID{{src}}
+	for maxLevel < 0 || len(frontiers) <= maxLevel {
+		last := frontiers[len(frontiers)-1]
+		var next []NodeID
+		for _, v := range last {
+			for _, arc := range g.adj[v] {
+				w := arc.To
+				if seen[w] {
+					continue
+				}
+				if allow != nil && !allow(w) {
+					continue
+				}
+				seen[w] = true
+				next = append(next, w)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontiers = append(frontiers, next)
+	}
+	return frontiers
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance assigned to unreachable nodes.
+var Inf = math.Inf(1)
+
+// CostOptions filters and re-weights edges during shortest-path searches.
+// The zero value means: use static edge prices, admit every edge.
+type CostOptions struct {
+	// MinCapacity excludes edges whose (residual) capacity is below this
+	// demand. Zero admits all edges.
+	MinCapacity float64
+	// Residual, when non-nil, overrides Edge.Capacity as the capacity used
+	// for the MinCapacity filter. The network layer passes its live
+	// capacity ledger here so searches see the "real-time network graph"
+	// of Algorithm 1.
+	Residual func(EdgeID) float64
+	// BannedEdges and BannedNodes exclude specific elements; used by Yen's
+	// algorithm and by failure-injection tests. A nil map bans nothing.
+	BannedEdges map[EdgeID]bool
+	BannedNodes map[NodeID]bool
+}
+
+func (o *CostOptions) admits(g *Graph, arc Arc) bool {
+	if o == nil {
+		return true
+	}
+	if o.BannedEdges[arc.Edge] || o.BannedNodes[arc.To] {
+		return false
+	}
+	if o.MinCapacity > 0 {
+		capa := g.Edge(arc.Edge).Capacity
+		if o.Residual != nil {
+			capa = o.Residual(arc.Edge)
+		}
+		if capa < o.MinCapacity {
+			return false
+		}
+	}
+	return true
+}
+
+// ShortestTree is the result of a single-source Dijkstra run: for every
+// node, the minimum total link price from the source and the final edge of
+// one cheapest path.
+type ShortestTree struct {
+	Src    NodeID
+	Dist   []float64
+	parent []EdgeID // edge used to reach node, None for src/unreachable
+	prev   []NodeID // predecessor node, None for src/unreachable
+}
+
+// Reachable reports whether v is reachable from the source.
+func (t *ShortestTree) Reachable(v NodeID) bool { return !math.IsInf(t.Dist[v], 1) }
+
+// PathTo reconstructs one cheapest path from the source to v.
+func (t *ShortestTree) PathTo(v NodeID) (Path, bool) {
+	if !t.Reachable(v) {
+		return Path{}, false
+	}
+	var rev []EdgeID
+	for u := v; u != t.Src; u = t.prev[u] {
+		rev = append(rev, t.parent[u])
+	}
+	edges := make([]EdgeID, len(rev))
+	for i, id := range rev {
+		edges[len(rev)-1-i] = id
+	}
+	return Path{From: t.Src, Edges: edges}, true
+}
+
+// Dijkstra computes cheapest paths (by link price) from src to every node,
+// honoring opts. It runs in O((N+M) log N).
+func (g *Graph) Dijkstra(src NodeID, opts *CostOptions) *ShortestTree {
+	t := &ShortestTree{
+		Src:    src,
+		Dist:   make([]float64, g.n),
+		parent: make([]EdgeID, g.n),
+		prev:   make([]NodeID, g.n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Inf
+		t.parent[i] = None
+		t.prev[i] = None
+	}
+	if g.checkNode(src) != nil {
+		return t
+	}
+	if opts != nil && opts.BannedNodes[src] {
+		return t
+	}
+	t.Dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		v := item.node
+		if item.dist > t.Dist[v] {
+			continue // stale entry
+		}
+		for _, arc := range g.adj[v] {
+			if !opts.admits(g, arc) {
+				continue
+			}
+			nd := item.dist + g.Edge(arc.Edge).Price
+			if nd < t.Dist[arc.To] {
+				t.Dist[arc.To] = nd
+				t.parent[arc.To] = arc.Edge
+				t.prev[arc.To] = v
+				heap.Push(pq, distItem{node: arc.To, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+// MinCostPath returns one cheapest path from src to dst under opts, or
+// (Path{}, false) if dst is unreachable. When src == dst it returns the
+// empty path.
+func (g *Graph) MinCostPath(src, dst NodeID, opts *CostOptions) (Path, bool) {
+	if src == dst {
+		if g.checkNode(src) != nil {
+			return Path{}, false
+		}
+		return EmptyPath(src), true
+	}
+	return g.Dijkstra(src, opts).PathTo(dst)
+}
+
+type distItem struct {
+	node NodeID
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

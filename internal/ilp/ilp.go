@@ -1,0 +1,183 @@
+// Package ilp solves small 0-1 integer linear programs by LP-based branch
+// and bound: each node solves the LP relaxation (internal/lp) with the
+// current variable fixings, prunes by bound against the incumbent, and
+// branches on the most fractional binary variable. It is the solver layer
+// for the paper's integer-programming formulation (internal/ipmodel).
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dagsfc/internal/lp"
+)
+
+// Problem is: minimize Objective·x subject to the constraints, x ≥ 0,
+// and x_j ∈ {0,1} for every j with Binary[j]. Non-binary variables are
+// continuous (a mixed 0-1 program).
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []lp.Constraint
+	// Binary marks the 0-1 variables. Length must equal NumVars.
+	Binary []bool
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes explored.
+	// 0 means DefaultMaxNodes.
+	MaxNodes int
+	// Gap is the relative optimality gap at which a node is pruned
+	// against the incumbent; 0 means prove optimality (within float
+	// tolerance).
+	Gap float64
+}
+
+// DefaultMaxNodes bounds the search for callers that pass Options{}.
+const DefaultMaxNodes = 200000
+
+// Solution is an optimal (or first-found within Options) integer solution.
+type Solution struct {
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Proven reports whether optimality was proven (search not truncated
+	// by MaxNodes).
+	Proven bool
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("ilp: infeasible")
+	ErrNoSolution = errors.New("ilp: node limit reached without an integer solution")
+)
+
+const intTol = 1e-6
+
+// Solve runs branch and bound.
+func Solve(p Problem, opts Options) (Solution, error) {
+	if len(p.Binary) != p.NumVars {
+		return Solution{}, fmt.Errorf("ilp: Binary has %d entries for %d variables", len(p.Binary), p.NumVars)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+
+	// Base LP: original constraints plus x_j <= 1 for binaries. Branching
+	// appends fixing rows (x_j <= 0 or x_j >= 1) per node.
+	base := lp.Problem{NumVars: p.NumVars, Objective: p.Objective}
+	base.Constraints = append(base.Constraints, p.Constraints...)
+	for j := 0; j < p.NumVars; j++ {
+		if p.Binary[j] {
+			row := make([]float64, j+1)
+			row[j] = 1
+			base.Constraints = append(base.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1})
+		}
+	}
+
+	s := &search{p: p, base: base, maxNodes: maxNodes, gap: opts.Gap}
+	s.bestObj = math.Inf(1)
+	s.branch(nil)
+
+	sol := Solution{Nodes: s.nodes, Proven: s.nodes < maxNodes}
+	if s.bestX == nil {
+		if s.rootInfeasible {
+			return sol, ErrInfeasible
+		}
+		if !sol.Proven {
+			return sol, ErrNoSolution
+		}
+		return sol, ErrInfeasible
+	}
+	sol.X = s.bestX
+	sol.Objective = s.bestObj
+	return sol, nil
+}
+
+type fixing struct {
+	variable int
+	value    int // 0 or 1
+}
+
+type search struct {
+	p        Problem
+	base     lp.Problem
+	maxNodes int
+	gap      float64
+
+	nodes          int
+	bestX          []float64
+	bestObj        float64
+	rootInfeasible bool
+}
+
+// branch explores one node defined by the fixings list (depth-first).
+func (s *search) branch(fixings []fixing) {
+	if s.nodes >= s.maxNodes {
+		return
+	}
+	s.nodes++
+
+	relaxed := s.base
+	// Full-capacity re-slice so appending fixing rows never mutates the
+	// shared base constraint array.
+	relaxed.Constraints = relaxed.Constraints[:len(relaxed.Constraints):len(relaxed.Constraints)]
+	for _, f := range fixings {
+		row := make([]float64, f.variable+1)
+		row[f.variable] = 1
+		relaxed.Constraints = append(relaxed.Constraints,
+			lp.Constraint{Coeffs: row, Sense: lp.EQ, RHS: float64(f.value)})
+	}
+	rel, err := lp.Solve(relaxed)
+	if err != nil {
+		if s.nodes == 1 {
+			s.rootInfeasible = true
+		}
+		return // infeasible or numerically hopeless branch: prune
+	}
+	// Bound: the relaxation is a lower bound on any completion.
+	cutoff := s.bestObj - math.Abs(s.bestObj)*s.gap
+	if rel.Objective >= cutoff-1e-9 {
+		return
+	}
+	// Most fractional binary variable.
+	branchVar := -1
+	worst := intTol
+	for j := 0; j < s.p.NumVars; j++ {
+		if !s.p.Binary[j] {
+			continue
+		}
+		frac := math.Abs(rel.X[j] - math.Round(rel.X[j]))
+		if frac > worst {
+			worst = frac
+			branchVar = j
+		}
+	}
+	if branchVar == -1 {
+		// Integer feasible: new incumbent.
+		if rel.Objective < s.bestObj-1e-9 {
+			x := make([]float64, len(rel.X))
+			copy(x, rel.X)
+			// Snap binaries exactly.
+			for j := range x {
+				if s.p.Binary[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			s.bestX = x
+			s.bestObj = rel.Objective
+		}
+		return
+	}
+	// Branch on the rounding direction suggested by the relaxation first.
+	first, second := 1, 0
+	if rel.X[branchVar] < 0.5 {
+		first, second = 0, 1
+	}
+	s.branch(append(fixings, fixing{branchVar, first}))
+	s.branch(append(fixings, fixing{branchVar, second}))
+}

@@ -1,0 +1,254 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/lp"
+)
+
+func allBinary(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+13b+7c s.t. 3a+4b+2c <= 6  -> a=0,b=c=1: 20; vs a+c=17, a+b (7>6 infeasible).
+	p := Problem{
+		NumVars:   3,
+		Objective: []float64{-10, -13, -7},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{3, 4, 2}, Sense: lp.LE, RHS: 6},
+		},
+		Binary: allBinary(3),
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective+20) > 1e-6 {
+		t.Fatalf("objective = %v, want -20", s.Objective)
+	}
+	if s.X[0] != 0 || s.X[1] != 1 || s.X[2] != 1 {
+		t.Fatalf("x = %v, want [0 1 1]", s.X)
+	}
+	if !s.Proven {
+		t.Fatal("tiny knapsack should be proven optimal")
+	}
+}
+
+func TestAssignmentProblemMatchesBruteForce(t *testing.T) {
+	// 3x3 assignment: x_{ij} binary, each row/col exactly once, minimize
+	// total cost; compare against permutation enumeration.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		var cost [3][3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		p := Problem{NumVars: 9, Binary: allBinary(9)}
+		p.Objective = make([]float64, 9)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				p.Objective[3*i+j] = cost[i][j]
+			}
+		}
+		for i := 0; i < 3; i++ {
+			row := make([]float64, 9)
+			col := make([]float64, 9)
+			for j := 0; j < 3; j++ {
+				row[3*i+j] = 1
+				col[3*j+i] = 1
+			}
+			p.Constraints = append(p.Constraints,
+				lp.Constraint{Coeffs: row, Sense: lp.EQ, RHS: 1},
+				lp.Constraint{Coeffs: col, Sense: lp.EQ, RHS: 1})
+		}
+		s, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		for _, perm := range perms {
+			c := cost[0][perm[0]] + cost[1][perm[1]] + cost[2][perm[2]]
+			if c < best {
+				best = c
+			}
+		}
+		if math.Abs(s.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: ilp %v, brute force %v", trial, s.Objective, best)
+		}
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Elements {1..4}; sets A={1,2} c=2, B={3,4} c=2, C={1,2,3,4} c=3.
+	// Optimal: C alone (3) beats A+B (4).
+	p := Problem{
+		NumVars:   3,
+		Objective: []float64{2, 2, 3},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 0, 1}, Sense: lp.GE, RHS: 1}, // e1
+			{Coeffs: []float64{1, 0, 1}, Sense: lp.GE, RHS: 1}, // e2
+			{Coeffs: []float64{0, 1, 1}, Sense: lp.GE, RHS: 1}, // e3
+			{Coeffs: []float64{0, 1, 1}, Sense: lp.GE, RHS: 1}, // e4
+		},
+		Binary: allBinary(3),
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-3) > 1e-6 || s.X[2] != 1 {
+		t.Fatalf("set cover: obj %v x %v, want C alone", s.Objective, s.X)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1}, Sense: lp.GE, RHS: 3}, // two binaries can't sum to 3
+		},
+		Binary: allBinary(2),
+	}
+	if _, err := Solve(p, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestIntegralityGapForcesBranching(t *testing.T) {
+	// LP relaxation of x+y >= 1, x+z >= 1, y+z >= 1 (vertex cover on a
+	// triangle) is x=y=z=0.5 with value 1.5; the ILP optimum is 2.
+	p := Problem{
+		NumVars:   3,
+		Objective: []float64{1, 1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1, 0}, Sense: lp.GE, RHS: 1},
+			{Coeffs: []float64{1, 0, 1}, Sense: lp.GE, RHS: 1},
+			{Coeffs: []float64{0, 1, 1}, Sense: lp.GE, RHS: 1},
+		},
+		Binary: allBinary(3),
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("triangle cover = %v, want 2", s.Objective)
+	}
+	if s.Nodes < 2 {
+		t.Fatalf("expected branching, got %d nodes", s.Nodes)
+	}
+}
+
+func TestMixedContinuousBinary(t *testing.T) {
+	// min -y - 0.5c s.t. c <= 10y, c <= 4 with y binary, c continuous:
+	// y=1, c=4 -> -3.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -0.5},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{-10, 1}, Sense: lp.LE, RHS: 0},
+			{Coeffs: []float64{0, 1}, Sense: lp.LE, RHS: 4},
+		},
+		Binary: []bool{true, false},
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective+3) > 1e-6 || s.X[0] != 1 || math.Abs(s.X[1]-4) > 1e-6 {
+		t.Fatalf("mixed solve = %+v", s)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1}, Sense: lp.GE, RHS: 3},
+		},
+		Binary: allBinary(2),
+	}
+	// The root relaxation is already infeasible, so even MaxNodes=1
+	// reports infeasibility...
+	if _, err := Solve(p, Options{MaxNodes: 1}); !errors.Is(err, ErrInfeasible) {
+		t.Fatal("root infeasibility not detected at node limit 1")
+	}
+	// ...whereas a feasible problem with a fractional root cannot finish
+	// in one node.
+	frac := Problem{
+		NumVars:   3,
+		Objective: []float64{1, 1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1, 0}, Sense: lp.GE, RHS: 1},
+			{Coeffs: []float64{1, 0, 1}, Sense: lp.GE, RHS: 1},
+			{Coeffs: []float64{0, 1, 1}, Sense: lp.GE, RHS: 1},
+		},
+		Binary: allBinary(3),
+	}
+	if _, err := Solve(frac, Options{MaxNodes: 1}); !errors.Is(err, ErrNoSolution) {
+		t.Fatalf("err = %v, want ErrNoSolution at node limit", err)
+	}
+}
+
+func TestBadBinaryLength(t *testing.T) {
+	p := Problem{NumVars: 2, Objective: []float64{1, 1}, Binary: []bool{true}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("mismatched Binary accepted")
+	}
+}
+
+func TestRandomKnapsacksMatchDP(t *testing.T) {
+	// Random 0-1 knapsacks cross-checked against exact DP.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(5)
+		weights := make([]int, n)
+		values := make([]float64, n)
+		capTotal := 0
+		for i := 0; i < n; i++ {
+			weights[i] = 1 + rng.Intn(9)
+			values[i] = float64(1 + rng.Intn(30))
+			capTotal += weights[i]
+		}
+		capacity := 1 + rng.Intn(capTotal)
+
+		p := Problem{NumVars: n, Binary: allBinary(n)}
+		p.Objective = make([]float64, n)
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p.Objective[i] = -values[i]
+			row[i] = float64(weights[i])
+		}
+		p.Constraints = []lp.Constraint{{Coeffs: row, Sense: lp.LE, RHS: float64(capacity)}}
+		s, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// DP over capacity.
+		dp := make([]float64, capacity+1)
+		for i := 0; i < n; i++ {
+			for c := capacity; c >= weights[i]; c-- {
+				if v := dp[c-weights[i]] + values[i]; v > dp[c] {
+					dp[c] = v
+				}
+			}
+		}
+		if math.Abs(-s.Objective-dp[capacity]) > 1e-6 {
+			t.Fatalf("trial %d: ilp %v, dp %v", trial, -s.Objective, dp[capacity])
+		}
+	}
+}

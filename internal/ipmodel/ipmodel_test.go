@@ -1,0 +1,242 @@
+package ipmodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/exact"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/netgen"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/sfcgen"
+)
+
+// lineFixture mirrors the core/exact fixture; the global optimum is 59.
+func lineFixture() *core.Problem {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(1, 2, 2, 10)
+	g.MustAddEdge(2, 3, 3, 10)
+	net := network.New(g, network.Catalog{N: 3})
+	net.MustAddInstance(1, 1, 10, 10)
+	net.MustAddInstance(2, 2, 20, 10)
+	net.MustAddInstance(1, 3, 30, 10)
+	net.MustAddInstance(3, 3, 12, 10)
+	net.MustAddInstance(2, network.VNFID(4), 5, 10)
+	return &core.Problem{
+		Net: net,
+		SFC: sfc.DAGSFC{Layers: []sfc.Layer{
+			{VNFs: []network.VNFID{1}},
+			{VNFs: []network.VNFID{2, 3}},
+		}},
+		Src: 0, Dst: 3, Rate: 1, Size: 1,
+	}
+}
+
+func tinyRandom(rng *rand.Rand, nodes, kinds, sfcSize int) *core.Problem {
+	cfg := netgen.Default()
+	cfg.Nodes = nodes
+	cfg.VNFKinds = kinds
+	cfg.Connectivity = 3
+	net := netgen.MustGenerate(cfg, rng)
+	s := sfcgen.MustGenerate(sfcgen.Config{Size: sfcSize, LayerWidth: 2, VNFKinds: kinds}, rng)
+	return &core.Problem{
+		Net: net, SFC: s,
+		Src: graph.NodeID(rng.Intn(nodes)), Dst: graph.NodeID(rng.Intn(nodes)),
+		Rate: 1, Size: 1,
+	}
+}
+
+func TestIPFindsGlobalOptimumOnFixture(t *testing.T) {
+	p := lineFixture()
+	res, err := Embed(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(p, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost.Total()-59) > 1e-6 {
+		t.Fatalf("IP cost = %v, want the global optimum 59 (%s)",
+			res.Cost.Total(), res.Solution.String())
+	}
+}
+
+func TestIPObjectiveMatchesCostEngine(t *testing.T) {
+	// The decoded solution priced by core.ComputeCost must equal the IP's
+	// own objective — this pins the encoding (multicast z's included)
+	// against the reference cost semantics.
+	p := lineFixture()
+	enc, err := Encode(p, Options{PathsPerPair: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Embed(p, Options{PathsPerPair: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the objective via a fresh solve to cross-check.
+	cb, err := core.ComputeCost(p, res.Solution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cb.Total()-res.Cost.Total()) > 1e-6 {
+		t.Fatalf("cost engine %v vs result %v", cb.Total(), res.Cost.Total())
+	}
+	if enc.NumVariables() == 0 || enc.NumConstraints() == 0 {
+		t.Fatal("empty encoding")
+	}
+}
+
+func TestIPNeverWorseThanExactDP(t *testing.T) {
+	// The DP restricts every meta-path to one min-cost path; that path is
+	// in the IP's candidate set, so the IP optimum must be <= the DP's.
+	if testing.Short() {
+		t.Skip("IP cross-check skipped in -short mode")
+	}
+	checked := 0
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := tinyRandom(rng, 8, 3, 1+rng.Intn(3))
+		ip, err := Embed(p, Options{})
+		if err != nil {
+			if errors.Is(err, core.ErrNoEmbedding) {
+				continue
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := core.Validate(p, ip.Solution); err != nil {
+			t.Fatalf("seed %d: IP solution invalid: %v", seed, err)
+		}
+		dp, err := exact.Embed(p, exact.Limits{})
+		if err != nil {
+			continue
+		}
+		checked++
+		if ip.Cost.Total() > dp.Cost.Total()+1e-6 {
+			t.Fatalf("seed %d: IP %v worse than DP %v", seed, ip.Cost.Total(), dp.Cost.Total())
+		}
+	}
+	if checked == 0 {
+		t.Skip("no comparable instances")
+	}
+}
+
+func TestIPLowerBoundsHeuristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("IP cross-check skipped in -short mode")
+	}
+	for seed := int64(20); seed < 26; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := tinyRandom(rng, 8, 3, 2)
+		ip, err := Embed(p, Options{PathsPerPair: 3})
+		if err != nil {
+			continue
+		}
+		if res, err := core.EmbedMBBE(p); err == nil {
+			if res.Cost.Total() < ip.Cost.Total()-1e-6 {
+				t.Fatalf("seed %d: MBBE %v beat the IP optimum %v", seed, res.Cost.Total(), ip.Cost.Total())
+			}
+		}
+	}
+}
+
+func TestIPInfeasibleWhenCategoryMissing(t *testing.T) {
+	p := lineFixture()
+	ledger := network.NewLedger(p.Net)
+	if err := ledger.ReserveInstance(2, 2, 10); err != nil { // only f(2) host
+		t.Fatal(err)
+	}
+	p.Ledger = ledger
+	if _, err := Embed(p, Options{}); !errors.Is(err, core.ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestIPRespectsLinkCapacity(t *testing.T) {
+	// The fixture solution uses edge e1 twice (α=2); leave capacity for
+	// only one use and the IP must route differently or pay more — here
+	// the line topology forces infeasibility of the 73-cost solution but
+	// the 59-cost one uses e1 twice too (inter {e1,e2} + inner e2...).
+	// Constrain e2 instead, which the 59 solution needs three times.
+	p := lineFixture()
+	ledger := network.NewLedger(p.Net)
+	if err := ledger.ReserveEdge(2, 8); err != nil { // residual 2 on e2
+		t.Fatal(err)
+	}
+	p.Ledger = ledger
+	res, err := Embed(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(p, res.Solution); err != nil {
+		t.Fatalf("IP emitted capacity-violating solution: %v", err)
+	}
+	// With e2 nearly saturated the cheap f(3)@3 placement (which needs e2
+	// three times) is excluded; the IP must fall back to 73.
+	if math.Abs(res.Cost.Total()-73) > 1e-6 {
+		t.Fatalf("cost = %v, want 73 under the e2 restriction", res.Cost.Total())
+	}
+}
+
+func TestIPTooLarge(t *testing.T) {
+	p := lineFixture()
+	if _, err := Encode(p, Options{MaxVariables: 3}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestIPCandidateTruncation(t *testing.T) {
+	p := lineFixture()
+	enc, err := Encode(p, Options{MaxCandidatesPerPosition: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cands := range enc.cands {
+		if len(cands) > 1 {
+			t.Fatalf("position %d kept %d candidates", i, len(cands))
+		}
+	}
+	// Truncation keeps the cheapest instance: f(3) candidates are node 3
+	// ($12) and node 1 ($30); node 3 must survive.
+	found := false
+	for i, pos := range enc.positions {
+		if pos.vnf == 3 && enc.cands[i][0] == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("truncation dropped the cheapest f(3) instance")
+	}
+}
+
+func TestIPDeterministic(t *testing.T) {
+	p1 := lineFixture()
+	p2 := lineFixture()
+	a, errA := Embed(p1, Options{})
+	b, errB := Embed(p2, Options{})
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if a.Cost.Total() != b.Cost.Total() {
+		t.Fatalf("IP nondeterministic: %v vs %v", a.Cost.Total(), b.Cost.Total())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	p := lineFixture()
+	enc, err := Encode(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Decode(make([]float64, 3)); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	if _, err := enc.Decode(make([]float64, enc.NumVariables())); err == nil {
+		t.Fatal("all-zero vector accepted (positions unassigned)")
+	}
+}

@@ -1,0 +1,56 @@
+// Package latency evaluates the end-to-end traffic delay of an embedded
+// DAG-SFC. It reproduces the paper's motivation (Fig. 1, after NFP and
+// ParaBox): parallel VNFs process the flow concurrently, so a layer's
+// delay is the maximum over its branches rather than their sum, and a
+// hybrid SFC embedding should deliver noticeably lower delay than the
+// sequential embedding of the same chain.
+package latency
+
+import (
+	"dagsfc/internal/core"
+	"dagsfc/internal/delaymodel"
+	"dagsfc/internal/sfc"
+)
+
+// Params configures the delay model (shared with core's delay-bounded
+// embedding mode; see internal/delaymodel).
+type Params = delaymodel.Params
+
+// DefaultParams returns a reasonable middlebox-like configuration:
+// 1.0 per VNF, 0.1 per merge, 0.05 per hop.
+func DefaultParams() Params { return delaymodel.Default() }
+
+// Evaluate computes the end-to-end delay of a solution: per layer, the
+// slowest branch (inter-layer path + VNF processing + inner-layer path)
+// plus the merger delay for parallel layers, summed over the serial
+// layers, plus the tail path's propagation delay.
+func Evaluate(p *core.Problem, s *core.Solution, pa Params) float64 {
+	total := 0.0
+	for li, le := range s.Layers {
+		spec := p.SFC.Layers[li]
+		interHops := make([]int, len(le.Nodes))
+		for i, path := range le.InterPaths {
+			interHops[i] = path.Len()
+		}
+		var innerHops []int
+		if spec.Parallel() {
+			innerHops = make([]int, len(le.InnerPaths))
+			for i, path := range le.InnerPaths {
+				innerHops[i] = path.Len()
+			}
+		}
+		total += pa.LayerDelay(spec.VNFs, interHops, innerHops, spec.Parallel())
+	}
+	return total + float64(s.TailPath.Len())*pa.HopDelay
+}
+
+// SequentialProblem returns a copy of p whose SFC is the fully sequential
+// form of the same VNF multiset (one layer per VNF, original order). Use
+// it to embed the "traditional SFC" and compare delays against the hybrid
+// embedding.
+func SequentialProblem(p *core.Problem) *core.Problem {
+	q := *p
+	q.Ledger = nil
+	q.SFC = sfc.FromChain(p.SFC.Sequence())
+	return &q
+}

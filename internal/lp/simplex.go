@@ -1,0 +1,354 @@
+// Package lp is a small, dependency-free linear programming solver: a
+// dense two-phase primal simplex with Bland's anti-cycling rule. It
+// exists because the paper formulates DAG-SFC embedding as an integer
+// program (§3.3) and Go has no standard LP/MILP library; internal/ilp
+// builds a 0-1 branch-and-bound solver on top of it, and internal/ipmodel
+// encodes the paper's model for it.
+//
+// The solver targets the small, well-scaled instances that encoding
+// produces (hundreds of variables); it is not meant to compete with
+// industrial LP codes.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint's relation.
+type Sense int8
+
+// Constraint relations.
+const (
+	LE Sense = iota // ≤
+	EQ              // =
+	GE              // ≥
+)
+
+// Constraint is one linear constraint over the problem's variables.
+// Coeffs may be shorter than NumVars; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is: minimize Objective·x subject to the constraints and x ≥ 0.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Solution is an optimal basic feasible solution.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+)
+
+const (
+	eps = 1e-9
+	// maxIter guards against pathological cycling that Bland's rule
+	// should already exclude.
+	maxIterFactor = 200
+)
+
+// Validate reports structural problems with the LP.
+func (p *Problem) Validate() error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("lp: negative variable count")
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Sense != LE && c.Sense != EQ && c.Sense != GE {
+			return fmt.Errorf("lp: constraint %d has invalid sense %d", i, c.Sense)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has non-finite RHS", i)
+		}
+	}
+	return nil
+}
+
+// Solve minimizes the problem with the two-phase simplex method.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	t := newTableau(&p)
+	if err := t.phase1(); err != nil {
+		return Solution{}, err
+	}
+	if err := t.phase2(); err != nil {
+		return Solution{}, err
+	}
+	return t.solution(), nil
+}
+
+// tableau is a dense simplex tableau over the variables
+// [structural | slack/surplus | artificial].
+type tableau struct {
+	p *Problem
+
+	m, n    int // constraints, total columns
+	nStruct int // structural variables
+	nArt    int // artificial variables
+	artBase int // first artificial column
+
+	a     [][]float64 // m x n constraint matrix
+	b     []float64   // m
+	basis []int       // basic variable per row
+
+	cost []float64 // current objective row (length n)
+	z    float64   // current objective value (negated accumulation)
+	// maxEnter is the exclusive bound on entering columns: all columns in
+	// phase 1, structural+slack only in phase 2 (artificials must not
+	// re-enter).
+	maxEnter int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Constraints)
+	t := &tableau{p: p, m: m, nStruct: p.NumVars}
+
+	// Normalize senses first (a negative RHS flips LE<->GE), then count
+	// slack and artificial columns for the normalized forms.
+	senses := make([]Sense, m)
+	nSlack := 0
+	nArt := 0
+	for i, c := range p.Constraints {
+		s := c.Sense
+		if c.RHS < 0 && s != EQ {
+			if s == LE {
+				s = GE
+			} else {
+				s = LE
+			}
+		}
+		senses[i] = s
+		switch s {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t.n = p.NumVars + nSlack + nArt
+	t.nArt = nArt
+	t.artBase = p.NumVars + nSlack
+
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+
+	slack := p.NumVars
+	art := t.artBase
+	for i, c := range p.Constraints {
+		row := make([]float64, t.n)
+		copy(row, c.Coeffs)
+		rhs := c.RHS
+		// Normalize to a nonnegative RHS so the initial basis is feasible.
+		if rhs < 0 {
+			for j := range c.Coeffs {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+		}
+		switch senses[i] {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+		t.b[i] = rhs
+	}
+	return t
+}
+
+// phase1 drives the artificial variables to zero.
+func (t *tableau) phase1() error {
+	if t.nArt == 0 {
+		return nil
+	}
+	// Phase-1 objective: minimize the sum of artificials.
+	t.cost = make([]float64, t.n)
+	for j := t.artBase; j < t.n; j++ {
+		t.cost[j] = 1
+	}
+	t.z = 0
+	t.maxEnter = t.artBase // an artificial that leaves never returns
+	// Price out the artificial basis.
+	for i, bv := range t.basis {
+		if bv >= t.artBase {
+			t.priceOutRow(i)
+		}
+	}
+	if err := t.iterate(); err != nil {
+		return err
+	}
+	// The tableau accumulates z so that the current objective value is
+	// -t.z; a positive phase-1 optimum means some artificial is stuck.
+	if -t.z > eps*float64(t.m+1) {
+		return ErrInfeasible
+	}
+	// Pivot any artificial still in the basis (at zero level) out, or
+	// drop its row if degenerate.
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artBase {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it can never constrain.
+			for j := range t.a[i] {
+				t.a[i][j] = 0
+			}
+			t.b[i] = 0
+		}
+	}
+	return nil
+}
+
+// phase2 minimizes the real objective with artificials forbidden.
+func (t *tableau) phase2() error {
+	t.cost = make([]float64, t.n)
+	copy(t.cost, t.p.Objective)
+	t.z = 0
+	t.maxEnter = t.artBase
+	for i, bv := range t.basis {
+		if bv < len(t.cost) && t.cost[bv] != 0 {
+			t.priceOutRow(i)
+		}
+	}
+	return t.iterate()
+}
+
+// priceOutRow eliminates the basic variable of row i from the cost row.
+func (t *tableau) priceOutRow(i int) {
+	bv := t.basis[i]
+	factor := t.cost[bv]
+	if factor == 0 {
+		return
+	}
+	for j := 0; j < t.n; j++ {
+		t.cost[j] -= factor * t.a[i][j]
+	}
+	t.z -= factor * t.b[i]
+}
+
+// iterate runs simplex pivots until optimality (Bland's rule).
+func (t *tableau) iterate() error {
+	limit := maxIterFactor * (t.n + t.m + 1)
+	for iter := 0; iter < limit; iter++ {
+		// Entering column: smallest index with negative reduced cost
+		// (Bland's rule). Artificials are never re-admitted.
+		enter := -1
+		for j := 0; j < t.maxEnter; j++ {
+			if t.cost[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Leaving row: min ratio, ties by smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return ErrIterLimit
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	for j := 0; j < t.n; j++ {
+		t.a[leave][j] *= inv
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[leave][j]
+		}
+		t.b[i] -= f * t.b[leave]
+	}
+	f := t.cost[enter]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.cost[j] -= f * t.a[leave][j]
+		}
+		t.z -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// solution extracts structural variable values.
+func (t *tableau) solution() Solution {
+	x := make([]float64, t.nStruct)
+	for i, bv := range t.basis {
+		if bv < t.nStruct {
+			x[bv] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j, c := range t.p.Objective {
+		obj += c * x[j]
+	}
+	return Solution{X: x, Objective: obj}
+}

@@ -1,0 +1,264 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMaximizeViaNegation(t *testing.T) {
+	// max x+y s.t. x+y<=4, x<=2, y<=3  ==  min -x-y; optimum -4.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 2},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 3},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+4) > 1e-7 {
+		t.Fatalf("objective = %v, want -4", s.Objective)
+	}
+	if s.X[0]+s.X[1] > 4+1e-7 {
+		t.Fatalf("solution infeasible: %v", s.X)
+	}
+}
+
+func TestEqualities(t *testing.T) {
+	// min x+y s.t. x+y=5, x-y=1 -> x=3, y=2.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 5},
+			{Coeffs: []float64{1, -1}, Sense: EQ, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-7 || math.Abs(s.X[1]-2) > 1e-7 {
+		t.Fatalf("x = %v, want [3 2]", s.X)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x+3y s.t. x+y>=4, x<=3 -> x=3, y=1, obj 9.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 3},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-9) > 1e-7 {
+		t.Fatalf("objective = %v, want 9", s.Objective)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. -x <= -2  (x >= 2) -> 2.
+	p := Problem{
+		NumVars:     1,
+		Objective:   []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{-1}, Sense: LE, RHS: -2}},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-2) > 1e-7 {
+		t.Fatalf("x = %v, want 2", s.X[0])
+	}
+	// Equality with negative RHS: x - y = -3, min y s.t. x >= 1.
+	p = Problem{
+		NumVars:   2,
+		Objective: []float64{0, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Sense: EQ, RHS: -3},
+			{Coeffs: []float64{1, 0}, Sense: GE, RHS: 1},
+		},
+	}
+	s = solveOK(t, p)
+	if math.Abs(s.X[1]-(s.X[0]+3)) > 1e-7 || s.X[0] < 1-1e-7 {
+		t.Fatalf("x = %v violates x-y=-3, x>=1", s.X)
+	}
+	if math.Abs(s.Objective-4) > 1e-7 {
+		t.Fatalf("objective = %v, want 4", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := Problem{
+		NumVars:     1,
+		Objective:   []float64{-1},
+		Constraints: []Constraint{{Coeffs: []float64{-1}, Sense: LE, RHS: 0}},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	s := solveOK(t, Problem{NumVars: 2, Objective: []float64{1, 1}})
+	if s.Objective != 0 || s.X[0] != 0 || s.X[1] != 0 {
+		t.Fatalf("trivial optimum wrong: %+v", s)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Second equality is a duplicate of the first; phase 1 must not
+	// declare infeasibility.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 3},
+			{Coeffs: []float64{2, 2}, Sense: EQ, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]+s.X[1]-3) > 1e-7 {
+		t.Fatalf("x = %v violates x+y=3", s.X)
+	}
+	if math.Abs(s.Objective-3) > 1e-7 { // all weight on x
+		t.Fatalf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// A classically degenerate LP; Bland's rule must terminate.
+	p := Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("Beale optimum = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Problem{
+		{NumVars: -1},
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Sense: LE, RHS: 0}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: 9, RHS: 0}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: LE, RHS: math.NaN()}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Fatalf("bad problem %d accepted", i)
+		}
+	}
+}
+
+// TestRandomLPsSolutionOptimality: on random feasible bounded LPs, the
+// simplex solution must be feasible and at least as good as many random
+// feasible points.
+func TestRandomLPsSolutionOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 2
+		}
+		// Box constraints keep it bounded; random LE rows keep it
+		// interesting but feasible (origin always satisfies them).
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Sense: LE, RHS: 1 + rng.Float64()*4})
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 2
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Sense: LE, RHS: 1 + rng.Float64()*5})
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible(p, s.X, 1e-6) {
+			t.Fatalf("trial %d: infeasible solution %v", trial, s.X)
+		}
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 3
+			}
+			if !feasible(p, x, 0) {
+				continue
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.Objective[j] * x[j]
+			}
+			if obj < s.Objective-1e-6 {
+				t.Fatalf("trial %d: random point %v (obj %v) beats simplex (obj %v)",
+					trial, x, obj, s.Objective)
+			}
+		}
+	}
+}
+
+func feasible(p Problem, x []float64, tol float64) bool {
+	for _, c := range p.Constraints {
+		lhs := 0.0
+		for j, a := range c.Coeffs {
+			lhs += a * x[j]
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol+1e-9 {
+				return false
+			}
+		}
+	}
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,31 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGenerate500(b *testing.B) {
+	cfg := Default()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerate1000(b *testing.B) {
+	cfg := Default()
+	cfg.Nodes = 1000
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package network
+
+import (
+	"fmt"
+
+	"dagsfc/internal/graph"
+)
+
+// Ledger tracks how much bandwidth of every link and how much processing
+// capacity of every VNF instance is already committed. It is the
+// "real-time network graph G_1" that Algorithm 1 consults: embedding
+// algorithms reserve capacity as they commit sub-solutions, and online
+// multi-flow scenarios carry one ledger across many requests.
+//
+// The zero Ledger is not usable; create one with NewLedger.
+type Ledger struct {
+	net      *Network
+	edgeUsed []float64
+	instUsed map[instKey]float64
+}
+
+// NewLedger returns an empty ledger over net.
+func NewLedger(net *Network) *Ledger {
+	return &Ledger{
+		net:      net,
+		edgeUsed: make([]float64, net.G.NumEdges()),
+		instUsed: make(map[instKey]float64),
+	}
+}
+
+// Network returns the network the ledger accounts for.
+func (l *Ledger) Network() *Network { return l.net }
+
+// EdgeResidual reports the remaining bandwidth of edge e.
+func (l *Ledger) EdgeResidual(e graph.EdgeID) float64 {
+	return l.net.G.Edge(e).Capacity - l.edgeUsed[e]
+}
+
+// EdgeUsed reports the committed bandwidth of edge e.
+func (l *Ledger) EdgeUsed(e graph.EdgeID) float64 { return l.edgeUsed[e] }
+
+// InstanceResidual reports the remaining processing capacity of the
+// instance of vnf on node. Missing instances have zero residual; the dummy
+// VNF is infinite.
+func (l *Ledger) InstanceResidual(node graph.NodeID, vnf VNFID) float64 {
+	inst, ok := l.net.Instance(node, vnf)
+	if !ok {
+		return 0
+	}
+	return inst.Capacity - l.instUsed[instKey{node, vnf}]
+}
+
+// InstanceUsed reports the committed capacity of the instance of vnf on
+// node.
+func (l *Ledger) InstanceUsed(node graph.NodeID, vnf VNFID) float64 {
+	return l.instUsed[instKey{node, vnf}]
+}
+
+// ReserveEdge commits amount bandwidth on edge e, failing without side
+// effects if the residual is insufficient.
+func (l *Ledger) ReserveEdge(e graph.EdgeID, amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("network: negative reservation %v on edge %d", amount, e)
+	}
+	if l.EdgeResidual(e) < amount-capacityEps {
+		return fmt.Errorf("network: edge %d over capacity: residual %v < demand %v",
+			e, l.EdgeResidual(e), amount)
+	}
+	l.edgeUsed[e] += amount
+	return nil
+}
+
+// ReleaseEdge returns amount bandwidth to edge e.
+func (l *Ledger) ReleaseEdge(e graph.EdgeID, amount float64) {
+	l.edgeUsed[e] -= amount
+	if l.edgeUsed[e] < 0 {
+		l.edgeUsed[e] = 0
+	}
+}
+
+// ReserveInstance commits amount processing capacity on the instance of
+// vnf at node, failing without side effects if insufficient. Reserving the
+// dummy VNF is a no-op.
+func (l *Ledger) ReserveInstance(node graph.NodeID, vnf VNFID, amount float64) error {
+	if vnf == Dummy {
+		return nil
+	}
+	if amount < 0 {
+		return fmt.Errorf("network: negative reservation %v on instance (%d,%d)", amount, node, vnf)
+	}
+	if l.InstanceResidual(node, vnf) < amount-capacityEps {
+		return fmt.Errorf("network: instance f(%d) on node %d over capacity: residual %v < demand %v",
+			vnf, node, l.InstanceResidual(node, vnf), amount)
+	}
+	l.instUsed[instKey{node, vnf}] += amount
+	return nil
+}
+
+// ReleaseInstance returns amount capacity to the instance of vnf at node.
+func (l *Ledger) ReleaseInstance(node graph.NodeID, vnf VNFID, amount float64) {
+	if vnf == Dummy {
+		return
+	}
+	key := instKey{node, vnf}
+	l.instUsed[key] -= amount
+	if l.instUsed[key] <= 0 {
+		delete(l.instUsed, key)
+	}
+}
+
+// Clone returns an independent copy of the ledger (sharing the immutable
+// network). Search algorithms use clones for what-if exploration.
+func (l *Ledger) Clone() *Ledger {
+	c := &Ledger{
+		net:      l.net,
+		edgeUsed: append([]float64(nil), l.edgeUsed...),
+		instUsed: make(map[instKey]float64, len(l.instUsed)),
+	}
+	for k, v := range l.instUsed {
+		c.instUsed[k] = v
+	}
+	return c
+}
+
+// CostOptions returns graph search options that admit only links with at
+// least demand residual bandwidth according to this ledger.
+func (l *Ledger) CostOptions(demand float64) *graph.CostOptions {
+	return &graph.CostOptions{MinCapacity: demand, Residual: l.EdgeResidual}
+}
+
+// capacityEps absorbs float accumulation error in capacity comparisons.
+const capacityEps = 1e-9

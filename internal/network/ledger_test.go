@@ -1,0 +1,163 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLedgerEdgeReserveRelease(t *testing.T) {
+	net := testNet(t)
+	l := NewLedger(net)
+	if got := l.EdgeResidual(0); got != 10 {
+		t.Fatalf("fresh residual = %v, want 10", got)
+	}
+	if err := l.ReserveEdge(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.EdgeResidual(0); got != 4 {
+		t.Fatalf("residual after reserve = %v, want 4", got)
+	}
+	if err := l.ReserveEdge(0, 5); err == nil {
+		t.Fatal("over-reservation accepted")
+	}
+	if got := l.EdgeResidual(0); got != 4 {
+		t.Fatal("failed reservation had side effects")
+	}
+	l.ReleaseEdge(0, 6)
+	if got := l.EdgeResidual(0); got != 10 {
+		t.Fatalf("residual after release = %v, want 10", got)
+	}
+	l.ReleaseEdge(0, 99) // over-release clamps at zero usage
+	if got := l.EdgeResidual(0); got != 10 {
+		t.Fatal("over-release corrupted ledger")
+	}
+}
+
+func TestLedgerInstanceReserveRelease(t *testing.T) {
+	net := testNet(t)
+	l := NewLedger(net)
+	if got := l.InstanceResidual(0, 1); got != 5 {
+		t.Fatalf("residual = %v, want 5", got)
+	}
+	if err := l.ReserveInstance(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ReserveInstance(0, 1, 0.1); err == nil {
+		t.Fatal("exhausted instance accepted more")
+	}
+	l.ReleaseInstance(0, 1, 5)
+	if got := l.InstanceResidual(0, 1); got != 5 {
+		t.Fatalf("residual after release = %v", got)
+	}
+}
+
+func TestLedgerMissingInstanceHasZeroResidual(t *testing.T) {
+	net := testNet(t)
+	l := NewLedger(net)
+	if got := l.InstanceResidual(3, 1); got != 0 {
+		t.Fatalf("missing instance residual = %v, want 0", got)
+	}
+	if err := l.ReserveInstance(3, 1, 1); err == nil {
+		t.Fatal("reservation on missing instance accepted")
+	}
+}
+
+func TestLedgerDummyIsFree(t *testing.T) {
+	net := testNet(t)
+	l := NewLedger(net)
+	for i := 0; i < 100; i++ {
+		if err := l.ReserveInstance(0, Dummy, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLedgerNegativeReservationRejected(t *testing.T) {
+	net := testNet(t)
+	l := NewLedger(net)
+	if err := l.ReserveEdge(0, -1); err == nil {
+		t.Fatal("negative edge reservation accepted")
+	}
+	if err := l.ReserveInstance(0, 1, -1); err == nil {
+		t.Fatal("negative instance reservation accepted")
+	}
+}
+
+func TestLedgerCloneIndependent(t *testing.T) {
+	net := testNet(t)
+	l := NewLedger(net)
+	if err := l.ReserveEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	c := l.Clone()
+	if err := c.ReserveEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if l.EdgeResidual(0) != 7 || c.EdgeResidual(0) != 3 {
+		t.Fatalf("ledgers entangled: %v vs %v", l.EdgeResidual(0), c.EdgeResidual(0))
+	}
+	if err := c.ReserveInstance(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if l.InstanceResidual(0, 1) != 5 {
+		t.Fatal("instance usage leaked across clone")
+	}
+}
+
+func TestLedgerCostOptionsFilters(t *testing.T) {
+	net := testNet(t)
+	l := NewLedger(net)
+	// Saturate edge 0 (0-1). A search demanding 1 unit must avoid it.
+	if err := l.ReserveEdge(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	opts := l.CostOptions(1)
+	if _, ok := net.G.MinCostPath(0, 1, opts); ok {
+		t.Fatal("saturated edge used")
+	}
+	// Without demand the edge is still admitted.
+	if _, ok := net.G.MinCostPath(0, 1, l.CostOptions(0)); !ok {
+		t.Fatal("zero-demand search should admit saturated edge")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	net := testNet(t)
+	var b strings.Builder
+	if err := net.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G.NumNodes() != net.G.NumNodes() || got.G.NumEdges() != net.G.NumEdges() {
+		t.Fatal("topology not preserved")
+	}
+	if got.NumInstances() != net.NumInstances() || got.Catalog != net.Catalog {
+		t.Fatal("deployment not preserved")
+	}
+	inst, ok := got.Instance(2, 3)
+	if !ok || inst.Price != 30 {
+		t.Fatalf("instance data lost: %+v ok=%v", inst, ok)
+	}
+	e, ok := got.G.FindEdge(1, 2)
+	if !ok || e.Price != 2 || e.Capacity != 10 {
+		t.Fatalf("edge data lost: %+v ok=%v", e, ok)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":-3}`)); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":2,"vnf_kinds":1,"links":[{"a":0,"b":9,"price":1,"capacity":1}]}`)); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":2,"vnf_kinds":1,"instances":[{"node":0,"vnf":7,"price":1,"capacity":1}]}`)); err == nil {
+		t.Fatal("out-of-catalog instance accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package network
+
+import (
+	"testing"
+
+	"dagsfc/internal/graph"
+)
+
+func testNet(t *testing.T) *Network {
+	t.Helper()
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(1, 2, 2, 10)
+	g.MustAddEdge(2, 3, 3, 10)
+	net := New(g, Catalog{N: 3})
+	net.MustAddInstance(0, 1, 10, 5)
+	net.MustAddInstance(1, 2, 20, 5)
+	net.MustAddInstance(2, 2, 15, 5)
+	net.MustAddInstance(2, 3, 30, 5)
+	net.MustAddInstance(3, net.Catalog.Merger(), 1, 5)
+	return net
+}
+
+func TestCatalog(t *testing.T) {
+	c := Catalog{N: 3}
+	if c.Merger() != 4 {
+		t.Fatalf("Merger = %d, want 4", c.Merger())
+	}
+	if !c.IsRegular(1) || !c.IsRegular(3) || c.IsRegular(0) || c.IsRegular(4) {
+		t.Fatal("IsRegular boundaries wrong")
+	}
+	if !c.Valid(0) || !c.Valid(4) || c.Valid(5) || c.Valid(-1) {
+		t.Fatal("Valid boundaries wrong")
+	}
+	regs := c.Regulars()
+	if len(regs) != 3 || regs[0] != 1 || regs[2] != 3 {
+		t.Fatalf("Regulars = %v", regs)
+	}
+}
+
+func TestAddInstanceValidation(t *testing.T) {
+	net := testNet(t)
+	if err := net.AddInstance(0, 1, 5, 5); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+	if err := net.AddInstance(0, Dummy, 5, 5); err == nil {
+		t.Fatal("dummy deployment accepted")
+	}
+	if err := net.AddInstance(0, 9, 5, 5); err == nil {
+		t.Fatal("out-of-catalog VNF accepted")
+	}
+	if err := net.AddInstance(99, 1, 5, 5); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := net.AddInstance(1, 1, -5, 5); err == nil {
+		t.Fatal("negative price accepted")
+	}
+}
+
+func TestInstanceLookup(t *testing.T) {
+	net := testNet(t)
+	inst, ok := net.Instance(2, 2)
+	if !ok || inst.Price != 15 || inst.Capacity != 5 {
+		t.Fatalf("Instance(2,2) = %+v ok=%v", inst, ok)
+	}
+	if _, ok := net.Instance(3, 1); ok {
+		t.Fatal("phantom instance found")
+	}
+}
+
+func TestDummyInstanceEverywhere(t *testing.T) {
+	net := testNet(t)
+	for v := 0; v < 4; v++ {
+		inst, ok := net.Instance(graph.NodeID(v), Dummy)
+		if !ok || inst.Price != 0 {
+			t.Fatalf("dummy at node %d = %+v ok=%v", v, inst, ok)
+		}
+	}
+	if _, ok := net.Instance(-1, Dummy); ok {
+		t.Fatal("dummy on invalid node")
+	}
+}
+
+func TestNodesWithAndVNFsAt(t *testing.T) {
+	net := testNet(t)
+	v2 := net.NodesWith(2)
+	if len(v2) != 2 || v2[0] != 1 || v2[1] != 2 {
+		t.Fatalf("V_2 = %v", v2)
+	}
+	if len(net.NodesWith(1)) != 1 {
+		t.Fatalf("V_1 = %v", net.NodesWith(1))
+	}
+	fv := net.VNFsAt(2)
+	if len(fv) != 2 || fv[0] != 2 || fv[1] != 3 {
+		t.Fatalf("F_2 = %v", fv)
+	}
+	if len(net.VNFsAt(3)) != 1 {
+		t.Fatalf("F_3 = %v", net.VNFsAt(3))
+	}
+}
+
+func TestAvgPrices(t *testing.T) {
+	net := testNet(t)
+	// Regular instances priced 10,20,15,30 -> mean 18.75 (merger excluded).
+	if got := net.AvgVNFPrice(); got != 18.75 {
+		t.Fatalf("AvgVNFPrice = %v, want 18.75", got)
+	}
+	if got := net.AvgLinkPrice(); got != 2 {
+		t.Fatalf("AvgLinkPrice = %v, want 2", got)
+	}
+}
+
+func TestNetworkCloneIsDeep(t *testing.T) {
+	net := testNet(t)
+	c := net.Clone()
+	c.MustAddInstance(3, 1, 7, 7)
+	if net.HasVNF(3, 1) {
+		t.Fatal("clone mutation leaked")
+	}
+	if !c.HasVNF(3, 1) || c.NumInstances() != net.NumInstances()+1 {
+		t.Fatal("clone missing its own instance")
+	}
+	c.G.MustAddEdge(0, 3, 1, 1)
+	if net.G.NumEdges() == c.G.NumEdges() {
+		t.Fatal("graph shared between clone and original")
+	}
+}

@@ -1,0 +1,122 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfcgen"
+)
+
+// TimedRequest is a flow with an arrival time and a holding duration;
+// its capacity is released when it departs.
+type TimedRequest struct {
+	Request
+	Arrival  float64
+	Duration float64
+}
+
+// ChurnReport extends Report with occupancy statistics.
+type ChurnReport struct {
+	Report
+	// PeakActive is the largest number of simultaneously embedded flows.
+	PeakActive int
+}
+
+// RunChurn processes timed requests in event order: at each arrival the
+// flow is embedded (or rejected) against the current residual network; at
+// each departure its reservations are released. This exercises the
+// paper's "real-time network graph" under realistic flow churn, where
+// capacity freed by departures can admit later flows a static run would
+// reject.
+func RunChurn(net *network.Network, reqs []TimedRequest, embed Embedder) (ChurnReport, error) {
+	type event struct {
+		time    float64
+		arrival bool
+		idx     int
+	}
+	var events []event
+	for i, r := range reqs {
+		if r.Duration < 0 {
+			return ChurnReport{}, fmt.Errorf("online: request %d has negative duration", i)
+		}
+		events = append(events, event{time: r.Arrival, arrival: true, idx: i})
+		events = append(events, event{time: r.Arrival + r.Duration, arrival: false, idx: i})
+	}
+	// Departures before arrivals at equal timestamps, so a zero-gap
+	// reuse of capacity is possible; ties otherwise by request index.
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.time != eb.time {
+			return ea.time < eb.time
+		}
+		if ea.arrival != eb.arrival {
+			return !ea.arrival
+		}
+		return ea.idx < eb.idx
+	})
+
+	ledger := network.NewLedger(net)
+	report := ChurnReport{Report: Report{Outcomes: make([]Outcome, len(reqs))}}
+	active := map[int]*core.Solution{}
+	problems := map[int]*core.Problem{}
+	for _, ev := range events {
+		req := reqs[ev.idx]
+		if !ev.arrival {
+			if sol, ok := active[ev.idx]; ok {
+				if err := core.Release(problems[ev.idx], sol); err != nil {
+					return report, err
+				}
+				delete(active, ev.idx)
+				delete(problems, ev.idx)
+			}
+			continue
+		}
+		p := &core.Problem{
+			Net: net, Ledger: ledger, SFC: req.SFC,
+			Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
+		}
+		res, err := embed(p)
+		if err != nil {
+			report.Outcomes[ev.idx] = Outcome{Err: err}
+			report.Rejected++
+			continue
+		}
+		if _, err := core.Commit(p, res.Solution); err != nil {
+			report.Outcomes[ev.idx] = Outcome{Err: err}
+			report.Rejected++
+			continue
+		}
+		active[ev.idx] = res.Solution
+		problems[ev.idx] = p
+		report.Outcomes[ev.idx] = Outcome{Accepted: true, Cost: res.Cost.Total()}
+		report.Accepted++
+		report.TotalCost += res.Cost.Total()
+		if len(active) > report.PeakActive {
+			report.PeakActive = len(active)
+		}
+	}
+	return report, nil
+}
+
+// RandomTimedRequests draws n Poisson-ish arrivals (exponential
+// inter-arrival gaps with the given mean) holding for an exponential
+// duration with the given mean.
+func RandomTimedRequests(net *network.Network, cfg sfcgen.Config, n int,
+	rate, size, meanGap, meanHold float64, rng *rand.Rand) []TimedRequest {
+
+	base := RandomRequests(net, cfg, n, rate, size, rng)
+	out := make([]TimedRequest, n)
+	clock := 0.0
+	for i, r := range base {
+		clock += rng.ExpFloat64() * meanGap
+		out[i] = TimedRequest{
+			Request:  r,
+			Arrival:  clock,
+			Duration: rng.ExpFloat64() * meanHold,
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// Package online embeds a sequence of flow requests on a shared network,
+// committing each accepted embedding's capacity so later requests see the
+// depleted real-time network (the "real-time network graph" of
+// Algorithm 1 exercised across many flows). It reports acceptance and
+// cost statistics, the standard online-NFV evaluation the paper's model
+// supports but does not itself sweep.
+package online
+
+import (
+	"errors"
+	"math/rand"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/sfcgen"
+)
+
+// Request is one flow to embed.
+type Request struct {
+	SFC  sfc.DAGSFC
+	Src  graph.NodeID
+	Dst  graph.NodeID
+	Rate float64
+	Size float64
+}
+
+// Embedder abstracts the embedding algorithm under test.
+type Embedder func(p *core.Problem) (*core.Result, error)
+
+// Outcome records what happened to one request.
+type Outcome struct {
+	Accepted bool
+	Cost     float64
+	Err      error
+}
+
+// Report aggregates a run.
+type Report struct {
+	Outcomes  []Outcome
+	Accepted  int
+	Rejected  int
+	TotalCost float64
+}
+
+// AcceptanceRatio is accepted / total (0 for an empty run).
+func (r Report) AcceptanceRatio() float64 {
+	n := len(r.Outcomes)
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Accepted) / float64(n)
+}
+
+// Run embeds the requests in order on one shared ledger over net. A
+// request whose embedding fails (core.ErrNoEmbedding) is rejected and
+// consumes nothing; any other error aborts the run.
+func Run(net *network.Network, reqs []Request, embed Embedder) (Report, error) {
+	ledger := network.NewLedger(net)
+	report := Report{}
+	for _, req := range reqs {
+		p := &core.Problem{
+			Net: net, Ledger: ledger, SFC: req.SFC,
+			Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
+		}
+		res, err := embed(p)
+		if err != nil {
+			if errors.Is(err, core.ErrNoEmbedding) {
+				report.Outcomes = append(report.Outcomes, Outcome{Err: err})
+				report.Rejected++
+				continue
+			}
+			return report, err
+		}
+		if _, err := core.Commit(p, res.Solution); err != nil {
+			// The embedding was validated against the ledger it was
+			// produced with, so commit cannot fail; treat defensively as
+			// a rejection.
+			report.Outcomes = append(report.Outcomes, Outcome{Err: err})
+			report.Rejected++
+			continue
+		}
+		report.Outcomes = append(report.Outcomes, Outcome{Accepted: true, Cost: res.Cost.Total()})
+		report.Accepted++
+		report.TotalCost += res.Cost.Total()
+	}
+	return report, nil
+}
+
+// RandomRequests draws n requests with the given SFC generator config,
+// uniform src/dst pairs and a fixed rate/size — the workload of the
+// online example and tests.
+func RandomRequests(net *network.Network, cfg sfcgen.Config, n int, rate, size float64, rng *rand.Rand) []Request {
+	reqs := make([]Request, n)
+	nodes := net.G.NumNodes()
+	for i := range reqs {
+		s := sfcgen.MustGenerate(cfg, rng)
+		src := graph.NodeID(rng.Intn(nodes))
+		dst := graph.NodeID(rng.Intn(nodes))
+		for dst == src && nodes > 1 {
+			dst = graph.NodeID(rng.Intn(nodes))
+		}
+		reqs[i] = Request{SFC: s, Src: src, Dst: dst, Rate: rate, Size: size}
+	}
+	return reqs
+}

@@ -1,0 +1,148 @@
+package online
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/baseline"
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/netgen"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/sfcgen"
+)
+
+// tinyNet: line 0-1-2 with a single f(1) instance of capacity 2.
+func tinyNet() *network.Network {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1, 100)
+	g.MustAddEdge(1, 2, 1, 100)
+	net := network.New(g, network.Catalog{N: 1})
+	net.MustAddInstance(1, 1, 10, 2)
+	return net
+}
+
+func chainReq(rate float64) Request {
+	return Request{
+		SFC: sfc.DAGSFC{Layers: []sfc.Layer{{VNFs: []network.VNFID{1}}}},
+		Src: 0, Dst: 2, Rate: rate, Size: 1,
+	}
+}
+
+func TestRunDepletesCapacity(t *testing.T) {
+	net := tinyNet()
+	reqs := []Request{chainReq(1), chainReq(1), chainReq(1)}
+	report, err := Run(net, reqs, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The instance has capacity 2 at rate 1: exactly two flows fit.
+	if report.Accepted != 2 || report.Rejected != 1 {
+		t.Fatalf("accepted/rejected = %d/%d, want 2/1", report.Accepted, report.Rejected)
+	}
+	if !report.Outcomes[0].Accepted || !report.Outcomes[1].Accepted || report.Outcomes[2].Accepted {
+		t.Fatalf("outcome order wrong: %+v", report.Outcomes)
+	}
+	if report.AcceptanceRatio() != 2.0/3.0 {
+		t.Fatalf("acceptance ratio = %v", report.AcceptanceRatio())
+	}
+	// Each accepted flow: VNF 10 + links (0-1, 1-2) = 12.
+	if report.TotalCost != 24 {
+		t.Fatalf("total cost = %v, want 24", report.TotalCost)
+	}
+}
+
+func TestRunRejectionConsumesNothing(t *testing.T) {
+	net := tinyNet()
+	// First request too big, second fits: the failed attempt must not
+	// have leaked reservations.
+	reqs := []Request{chainReq(5), chainReq(2)}
+	report, err := Run(net, reqs, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Accepted != 1 || report.Outcomes[0].Accepted {
+		t.Fatalf("report = %+v", report)
+	}
+	if !errors.Is(report.Outcomes[0].Err, core.ErrNoEmbedding) {
+		t.Fatalf("rejection error = %v", report.Outcomes[0].Err)
+	}
+}
+
+func TestRunAbortsOnHardError(t *testing.T) {
+	net := tinyNet()
+	bad := Request{SFC: sfc.DAGSFC{Layers: []sfc.Layer{{VNFs: []network.VNFID{1}}}},
+		Src: 0, Dst: 2, Rate: -1, Size: 1} // invalid problem, not a rejection
+	_, err := Run(net, []Request{bad}, core.EmbedMBBE)
+	if err == nil {
+		t.Fatal("hard error swallowed")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	report, err := Run(tinyNet(), nil, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AcceptanceRatio() != 0 || len(report.Outcomes) != 0 {
+		t.Fatalf("empty run report = %+v", report)
+	}
+}
+
+func TestRandomRequestsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := netgen.Default()
+	cfg.Nodes = 30
+	cfg.VNFKinds = 6
+	net := netgen.MustGenerate(cfg, rng)
+	reqs := RandomRequests(net, sfcgen.Config{Size: 4, LayerWidth: 3, VNFKinds: 6}, 20, 1, 1, rng)
+	if len(reqs) != 20 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Src == r.Dst {
+			t.Fatalf("request %d: src == dst", i)
+		}
+		if r.SFC.Size() != 4 {
+			t.Fatalf("request %d: size %d", i, r.SFC.Size())
+		}
+	}
+}
+
+func TestRunComparesAlgorithms(t *testing.T) {
+	// MBBE should accept at least as many flows as MINV on a capacity-
+	// constrained network and cost less in total per accepted flow —
+	// checked loosely: both runs complete and report sane numbers.
+	rng := rand.New(rand.NewSource(5))
+	cfg := netgen.Default()
+	cfg.Nodes = 40
+	cfg.VNFKinds = 6
+	cfg.InstanceCapacity = 3
+	cfg.LinkCapacity = 20
+	net := netgen.MustGenerate(cfg, rng)
+	reqs := RandomRequests(net, sfcgen.Config{Size: 4, LayerWidth: 3, VNFKinds: 6}, 30, 1, 1, rng)
+
+	mbbe, err := Run(net, reqs, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minv, err := Run(net, reqs, baseline.EmbedMINV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mbbe.Accepted == 0 {
+		t.Fatal("MBBE accepted nothing")
+	}
+	if mbbe.Accepted+mbbe.Rejected != len(reqs) || minv.Accepted+minv.Rejected != len(reqs) {
+		t.Fatal("outcome counts inconsistent")
+	}
+	if mbbe.Accepted > 0 && minv.Accepted > 0 {
+		mAvg := mbbe.TotalCost / float64(mbbe.Accepted)
+		nAvg := minv.TotalCost / float64(minv.Accepted)
+		if mAvg > nAvg {
+			t.Logf("note: MBBE avg %v > MINV avg %v on this instance", mAvg, nAvg)
+		}
+	}
+}

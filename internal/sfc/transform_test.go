@@ -1,0 +1,185 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagsfc/internal/network"
+)
+
+func TestChainToDAGGroupsReaders(t *testing.T) {
+	rt := StockRules()
+	// IDS, Monitor, TrafficShaper are mutually read-only -> one layer.
+	s := ChainToDAG([]network.VNFID{IDS, Monitor, TrafficShaper}, rt, 0)
+	if s.Omega() != 1 || s.Layers[0].Width() != 3 {
+		t.Fatalf("readers not grouped: %v", s)
+	}
+}
+
+func TestChainToDAGRespectsConflicts(t *testing.T) {
+	rt := StockRules()
+	// NAT and LoadBalancer both write headers -> separate layers.
+	s := ChainToDAG([]network.VNFID{NAT, LoadBalancer}, rt, 0)
+	if s.Omega() != 2 {
+		t.Fatalf("conflicting writers grouped: %v", s)
+	}
+}
+
+func TestChainToDAGFirewallSplits(t *testing.T) {
+	rt := StockRules()
+	s := ChainToDAG([]network.VNFID{Firewall, IDS, Monitor}, rt, 0)
+	if s.Omega() != 2 {
+		t.Fatalf("dropper should isolate: %v", s)
+	}
+	if s.Layers[0].Width() != 1 || s.Layers[0].VNFs[0] != Firewall {
+		t.Fatalf("firewall not alone in first layer: %v", s)
+	}
+}
+
+func TestChainToDAGMaxWidth(t *testing.T) {
+	rt := StockRules()
+	// Without the cap these three group together; with maxWidth=2 the
+	// third starts a new layer.
+	s := ChainToDAG([]network.VNFID{IDS, Monitor, TrafficShaper}, rt, 2)
+	if s.Omega() != 2 || s.Layers[0].Width() != 2 || s.Layers[1].Width() != 1 {
+		t.Fatalf("maxWidth not honored: %v", s)
+	}
+}
+
+func TestChainToDAGEmptyChain(t *testing.T) {
+	s := ChainToDAG(nil, StockRules(), 3)
+	if s.Omega() != 0 || s.Size() != 0 {
+		t.Fatalf("empty chain produced %v", s)
+	}
+}
+
+func TestChainToDAGPreservesMultisetAndOrderProperty(t *testing.T) {
+	rt := StockRules()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n % 12)
+		chain := make([]network.VNFID, size)
+		for i := range chain {
+			chain[i] = network.VNFID(rng.Intn(NumStockVNFs) + 1)
+		}
+		s := ChainToDAG(chain, rt, 3)
+		// 1. Sequence must equal the chain exactly (greedy grouping never
+		// reorders).
+		seq := s.Sequence()
+		if len(seq) != len(chain) {
+			return false
+		}
+		for i := range chain {
+			if seq[i] != chain[i] {
+				return false
+			}
+		}
+		// 2. Every pair within a layer must be parallelizable.
+		for _, l := range s.Layers {
+			if len(l.VNFs) > 3 {
+				return false
+			}
+			for i := 0; i < len(l.VNFs); i++ {
+				for j := i + 1; j < len(l.VNFs); j++ {
+					if !rt.CanParallelize(l.VNFs[i], l.VNFs[j]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelizeChain(t *testing.T) {
+	d := DAG{
+		Nodes: []network.VNFID{1, 2, 3},
+		Edges: [][2]int{{0, 1}, {1, 2}},
+	}
+	s, err := d.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Omega() != 3 || s.MaxWidth() != 1 {
+		t.Fatalf("chain levelize = %v", s)
+	}
+}
+
+func TestLevelizeDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3 with distinct categories.
+	d := DAG{
+		Nodes: []network.VNFID{1, 2, 3, 4},
+		Edges: [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+	}
+	s, err := d.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Omega() != 3 {
+		t.Fatalf("diamond layers = %d, want 3: %v", s.Omega(), s)
+	}
+	if s.Layers[1].Width() != 2 {
+		t.Fatalf("middle layer = %v", s.Layers[1])
+	}
+}
+
+func TestLevelizeLongestPathDominates(t *testing.T) {
+	// 0->1->3 and 0->3 and 0->2: position 3 must land after 1.
+	d := DAG{
+		Nodes: []network.VNFID{1, 2, 3, 4},
+		Edges: [][2]int{{0, 1}, {1, 3}, {0, 3}, {0, 2}},
+	}
+	s, err := d.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Levels: 0 -> {1,2} -> {3}. Categories: [1], [2|3], [4].
+	if s.Omega() != 3 || !s.Layers[2].Contains(4) {
+		t.Fatalf("levelize = %v", s)
+	}
+}
+
+func TestLevelizeCycleDetected(t *testing.T) {
+	d := DAG{Nodes: []network.VNFID{1, 2}, Edges: [][2]int{{0, 1}, {1, 0}}}
+	if _, err := d.Levelize(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestLevelizeRejectsBadEdges(t *testing.T) {
+	d := DAG{Nodes: []network.VNFID{1}, Edges: [][2]int{{0, 5}}}
+	if _, err := d.Levelize(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	d = DAG{Nodes: []network.VNFID{1}, Edges: [][2]int{{0, 0}}}
+	if _, err := d.Levelize(); err == nil {
+		t.Fatal("self edge accepted")
+	}
+}
+
+func TestLevelizeSplitsDuplicateCategoriesInLevel(t *testing.T) {
+	// Two independent positions with the same category would collide in
+	// one layer; they must be split.
+	d := DAG{Nodes: []network.VNFID{5, 5}}
+	s, err := d.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Omega() != 2 || s.Size() != 2 {
+		t.Fatalf("duplicate split = %v", s)
+	}
+	if err := s.Validate(network.Catalog{N: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelizeEmpty(t *testing.T) {
+	s, err := (DAG{}).Levelize()
+	if err != nil || s.Omega() != 0 {
+		t.Fatalf("empty dag: %v, %v", s, err)
+	}
+}

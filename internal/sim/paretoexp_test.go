@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunParetoShape(t *testing.T) {
+	factors := []float64{0.8, 1.0, math.Inf(1)}
+	points, err := RunPareto(factors, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Factor 1.0 admits the unbounded solution itself, so it can never be
+	// infeasible when the reference embeds.
+	if points[1].Infeasible != 0 {
+		t.Fatalf("factor 1.0 infeasible %d times", points[1].Infeasible)
+	}
+	// The unbounded column mirrors the reference.
+	if points[2].Cost.N == 0 {
+		t.Fatal("unbounded reference empty")
+	}
+	// Feasible bounded runs never exceed their budget on average: the
+	// bounded mean delay is at most the unbounded mean.
+	if points[0].Cost.N > 0 && points[0].Delay.Mean > points[2].Delay.Mean+1e-9 {
+		t.Fatalf("bounded delay %v above unbounded %v", points[0].Delay.Mean, points[2].Delay.Mean)
+	}
+}
+
+func TestRunParetoDeterministic(t *testing.T) {
+	factors := DefaultParetoBounds()
+	a, err := RunPareto(factors, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPareto(factors, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Cost.Mean != b[i].Cost.Mean || a[i].Infeasible != b[i].Infeasible {
+			t.Fatalf("pareto point %d not reproducible", i)
+		}
+	}
+}
+
+func TestParetoTable(t *testing.T) {
+	points, err := RunPareto([]float64{1.0, math.Inf(1)}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ParetoTable(points).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "unbounded") {
+		t.Fatalf("table missing unbounded row:\n%s", b.String())
+	}
+}

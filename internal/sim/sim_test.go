@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dagsfc/internal/core"
+)
+
+// tinyExperiment is a fast sweep used by the harness tests.
+func tinyExperiment(trials int) *Experiment {
+	return &Experiment{
+		Name:       "tiny",
+		Title:      "tiny sweep",
+		XLabel:     "SFC size",
+		Xs:         []float64{1, 3},
+		Algorithms: []Algorithm{MBBE, MINV, RANV},
+		Trials:     trials,
+		Configure: func(x float64) PointConfig {
+			cfg := baseConfig()
+			cfg.Net.Nodes = 40
+			cfg.Net.VNFKinds = 6
+			cfg.SFC.Size = int(x)
+			return cfg
+		},
+	}
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	e := tinyExperiment(3)
+	points, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		for _, alg := range e.Algorithms {
+			cell := p.Cells[alg]
+			if cell == nil {
+				t.Fatalf("missing cell for %s at x=%v", alg, p.X)
+			}
+			if cell.Cost.N+cell.Failures != e.Trials {
+				t.Fatalf("%s at x=%v: %d successes + %d failures != %d trials",
+					alg, p.X, cell.Cost.N, cell.Failures, e.Trials)
+			}
+			if cell.Cost.N > 0 && cell.Cost.Mean <= 0 {
+				t.Fatalf("%s at x=%v: nonpositive mean cost %v", alg, p.X, cell.Cost.Mean)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a, err := tinyExperiment(3).Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tinyExperiment(3).Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for alg, cell := range a[i].Cells {
+			other := b[i].Cells[alg]
+			if cell.Cost.Mean != other.Cost.Mean || cell.Failures != other.Failures {
+				t.Fatalf("seed 42 not reproducible for %s at x=%v", alg, a[i].X)
+			}
+		}
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	seq := tinyExperiment(6)
+	par := tinyExperiment(6)
+	par.Parallelism = 4
+	a, err := seq.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for alg, cell := range a[i].Cells {
+			other := b[i].Cells[alg]
+			if cell.Cost.Mean != other.Cost.Mean || cell.Cost.N != other.Cost.N ||
+				cell.Failures != other.Failures {
+				t.Fatalf("parallel run diverged for %s at x=%v: %+v vs %+v",
+					alg, a[i].X, cell.Cost, other.Cost)
+			}
+		}
+	}
+}
+
+func TestRunParallelismExceedingTrials(t *testing.T) {
+	e := tinyExperiment(2)
+	e.Parallelism = 64
+	if _, err := e.Run(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSkipHonored(t *testing.T) {
+	e := tinyExperiment(2)
+	e.Algorithms = []Algorithm{MBBE, BBE}
+	e.Skip = func(alg Algorithm, x float64) bool { return alg == BBE && x > 1 }
+	points, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbeAt3 := points[1].Cells[BBE]
+	if bbeAt3.Cost.N != 0 || bbeAt3.Failures != 0 {
+		t.Fatalf("BBE should be skipped at x=3: %+v", bbeAt3)
+	}
+	if points[0].Cells[BBE].Cost.N == 0 {
+		t.Fatal("BBE should run at x=1")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	e := tinyExperiment(1)
+	e.Configure = func(x float64) PointConfig {
+		cfg := baseConfig()
+		cfg.Net.Nodes = 0
+		return cfg
+	}
+	if _, err := e.Run(1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunCustomAlgorithm(t *testing.T) {
+	e := tinyExperiment(3)
+	calls := 0
+	e.Algorithms = []Algorithm{"MYALG", MINV}
+	e.Custom = map[Algorithm]EmbedFunc{
+		"MYALG": func(p *core.Problem, seed int64) (*core.Result, error) {
+			calls++
+			return core.EmbedMBBE(p)
+		},
+	}
+	points, err := e.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2*3 { // 2 points x 3 trials
+		t.Fatalf("custom embedder called %d times, want 6", calls)
+	}
+	for _, p := range points {
+		cell := p.Cells["MYALG"]
+		if cell == nil || cell.Cost.N+cell.Failures != 3 {
+			t.Fatalf("custom cell wrong at x=%v: %+v", p.X, cell)
+		}
+		// Our custom is MBBE: it must beat MINV here as usual.
+		if cell.Cost.N > 0 && p.Cells[MINV].Cost.N > 0 &&
+			cell.Cost.Mean > p.Cells[MINV].Cost.Mean {
+			t.Fatalf("custom MBBE lost to MINV at x=%v", p.X)
+		}
+	}
+}
+
+// TestRunCustomOverridesBuiltin: a Custom entry under a built-in name
+// takes precedence.
+func TestRunCustomOverridesBuiltin(t *testing.T) {
+	e := tinyExperiment(1)
+	e.Algorithms = []Algorithm{MINV}
+	overridden := false
+	e.Custom = map[Algorithm]EmbedFunc{
+		MINV: func(p *core.Problem, seed int64) (*core.Result, error) {
+			overridden = true
+			return core.EmbedMBBE(p)
+		},
+	}
+	if _, err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if !overridden {
+		t.Fatal("custom entry did not override the built-in")
+	}
+}
+
+func TestRunUnknownAlgorithmCountsAsFailure(t *testing.T) {
+	e := tinyExperiment(1)
+	e.Algorithms = []Algorithm{"NOPE"}
+	points, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Cells["NOPE"].Failures != 1 {
+		t.Fatal("unknown algorithm should fail the trial")
+	}
+}
+
+func TestExperimentCatalog(t *testing.T) {
+	exps := Experiments(5)
+	for _, name := range Names() {
+		e, ok := exps[name]
+		if !ok {
+			t.Fatalf("experiment %q missing from catalog", name)
+		}
+		if e.Trials != 5 {
+			t.Fatalf("%s trials = %d, want 5", name, e.Trials)
+		}
+		if len(e.Xs) == 0 || e.Configure == nil {
+			t.Fatalf("%s incompletely defined", name)
+		}
+		// Every x must produce a valid generator config.
+		for _, x := range e.Xs {
+			cfg := e.Configure(x)
+			if err := cfg.Net.Validate(); err != nil {
+				t.Fatalf("%s x=%v: %v", name, x, err)
+			}
+			if err := cfg.SFC.Validate(); err != nil {
+				t.Fatalf("%s x=%v: %v", name, x, err)
+			}
+		}
+	}
+	if _, err := Lookup("fig6a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("bogus", 2); err == nil {
+		t.Fatal("bogus experiment looked up")
+	}
+}
+
+func TestFig6aSkipsBBEPastCutoff(t *testing.T) {
+	e := Fig6a(1)
+	if !e.Skip(BBE, 6) || e.Skip(BBE, 5) || e.Skip(MBBE, 9) {
+		t.Fatal("BBE cutoff rule wrong")
+	}
+}
+
+func TestTables(t *testing.T) {
+	e := tinyExperiment(3)
+	points, err := e.Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := CostTable(e, points).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, alg := range e.Algorithms {
+		if !strings.Contains(out, string(alg)) {
+			t.Fatalf("cost table missing %s:\n%s", alg, out)
+		}
+	}
+	b.Reset()
+	if err := TimeTable(e, points).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := FailureTable(e, points).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	e := tinyExperiment(5)
+	points, err := e.Run(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, ok := Reduction(points, MBBE, RANV)
+	if !ok {
+		t.Fatal("no comparable points")
+	}
+	// MBBE should beat the random baseline on average.
+	if frac <= 0 {
+		t.Fatalf("MBBE vs RANV reduction = %v, want > 0", frac)
+	}
+	if _, ok := Reduction(points, "NOPE", MINV); ok {
+		t.Fatal("reduction against missing algorithm should fail")
+	}
+}
+
+func TestTrialSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for p := 0; p < 10; p++ {
+		for tr := 0; tr < 10; tr++ {
+			s := trialSeed(1, p, tr)
+			if seen[s] {
+				t.Fatalf("seed collision at point %d trial %d", p, tr)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTopologiesSmall(t *testing.T) {
+	points, err := RunTopologies(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(topologyCatalog()) {
+		t.Fatalf("points = %d, want %d", len(points), len(topologyCatalog()))
+	}
+	names := map[string]bool{}
+	for _, p := range points {
+		names[p.Name] = true
+		for _, alg := range topoAlgorithms {
+			cell := p.Cells[alg]
+			if cell == nil {
+				t.Fatalf("%s: missing cell for %s", p.Name, alg)
+			}
+			if cell.Cost.N+cell.Failures != 2 {
+				t.Fatalf("%s/%s: %d+%d != 2 trials", p.Name, alg, cell.Cost.N, cell.Failures)
+			}
+		}
+	}
+	for _, want := range []string{"random", "ring", "grid", "torus", "fat-tree", "scale-free", "waxman"} {
+		if !names[want] {
+			t.Fatalf("topology %q missing", want)
+		}
+	}
+}
+
+func TestRunTopologiesDeterministic(t *testing.T) {
+	a, err := RunTopologies(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTopologies(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for alg, cell := range a[i].Cells {
+			if other := b[i].Cells[alg]; cell.Cost.Mean != other.Cost.Mean {
+				t.Fatalf("%s/%s not reproducible", a[i].Name, alg)
+			}
+		}
+	}
+}
+
+func TestTopoTable(t *testing.T) {
+	points, err := RunTopologies(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := TopoTable(points).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ring", "fat-tree", "MBBE saving"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package steiner computes approximate minimum-cost Steiner trees with
+// the classic KMB algorithm (Kou, Markowsky, Berman 1981; 2(1-1/t)
+// approximation): metric closure over the terminals, minimum spanning
+// tree of the closure, expansion of closure edges into shortest paths,
+// and pruning of non-terminal leaves.
+//
+// The DAG-SFC cost model pays each link of a layer's inter-layer
+// multicast once (eq. 9), so the cheapest way to reach a layer's VNF set
+// from its start node is a Steiner tree over {start} ∪ {VNF nodes} — an
+// improvement over instantiating each meta-path independently that the
+// embedding algorithms expose as an option (core.Options.MulticastSteiner).
+package steiner
+
+import (
+	"sort"
+
+	"dagsfc/internal/graph"
+)
+
+// TreeSource supplies shortest-path trees by root; embedding algorithms
+// pass their memoized Dijkstra cache here so repeated Steiner queries
+// share work. A nil source runs fresh Dijkstras.
+type TreeSource func(root graph.NodeID) *graph.ShortestTree
+
+// Tree returns the edge set of an approximate minimum-cost tree spanning
+// the terminals, honoring opts (capacity filters, bans). Duplicate
+// terminals are allowed. ok is false if the terminals are not mutually
+// reachable. A single (or empty) terminal set yields an empty tree.
+func Tree(g *graph.Graph, terminals []graph.NodeID, opts *graph.CostOptions) ([]graph.EdgeID, bool) {
+	return TreeWith(g, terminals, opts, nil)
+}
+
+// TreeWith is Tree with an explicit shortest-path tree source.
+func TreeWith(g *graph.Graph, terminals []graph.NodeID, opts *graph.CostOptions, src TreeSource) ([]graph.EdgeID, bool) {
+	terms := dedupe(terminals)
+	if len(terms) <= 1 {
+		return nil, true
+	}
+	if src == nil {
+		src = func(root graph.NodeID) *graph.ShortestTree { return g.Dijkstra(root, opts) }
+	}
+
+	// 1. Metric closure: shortest-path trees from every terminal.
+	trees := make(map[graph.NodeID]*graph.ShortestTree, len(terms))
+	for _, t := range terms {
+		trees[t] = src(t)
+	}
+
+	// 2. MST of the closure (Prim over the terminal set).
+	inTree := map[graph.NodeID]bool{terms[0]: true}
+	type closureEdge struct{ from, to graph.NodeID }
+	var mst []closureEdge
+	for len(inTree) < len(terms) {
+		best := closureEdge{}
+		bestCost := graph.Inf
+		for from := range inTree {
+			tree := trees[from]
+			for _, to := range terms {
+				if inTree[to] {
+					continue
+				}
+				if d := tree.Dist[to]; d < bestCost {
+					bestCost = d
+					best = closureEdge{from, to}
+				}
+			}
+		}
+		if bestCost == graph.Inf {
+			return nil, false // disconnected terminals
+		}
+		inTree[best.to] = true
+		mst = append(mst, best)
+	}
+
+	// 3. Expand closure edges into real paths; union the edges.
+	edgeSet := map[graph.EdgeID]bool{}
+	for _, ce := range mst {
+		path, ok := trees[ce.from].PathTo(ce.to)
+		if !ok {
+			return nil, false
+		}
+		for _, e := range path.Edges {
+			edgeSet[e] = true
+		}
+	}
+
+	// 4. MST of the induced subgraph (drops cycles the union may form),
+	// then prune non-terminal leaves.
+	edges := mstOfSubgraph(g, edgeSet)
+	edges = prune(g, edges, terms)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	return edges, true
+}
+
+// MulticastTree returns an edge set connecting root to every target,
+// chosen as the cheaper of (a) the KMB Steiner tree over {root}∪targets
+// and (b) the union of min-cost paths from root (which is itself a tree).
+// By construction the result is never more expensive than instantiating
+// the targets' meta-paths independently — the quantity the inter-layer
+// multicast cost model (eq. 9) pays.
+func MulticastTree(g *graph.Graph, root graph.NodeID, targets []graph.NodeID, opts *graph.CostOptions) ([]graph.EdgeID, bool) {
+	return MulticastTreeWith(g, root, targets, opts, nil)
+}
+
+// MulticastTreeWith is MulticastTree with an explicit shortest-path tree
+// source.
+func MulticastTreeWith(g *graph.Graph, root graph.NodeID, targets []graph.NodeID, opts *graph.CostOptions, src TreeSource) ([]graph.EdgeID, bool) {
+	terms := append([]graph.NodeID{root}, targets...)
+	kmb, kmbOK := TreeWith(g, terms, opts, src)
+
+	if src == nil {
+		src = func(r graph.NodeID) *graph.ShortestTree { return g.Dijkstra(r, opts) }
+	}
+	spt := src(root)
+	union := map[graph.EdgeID]bool{}
+	sptOK := true
+	for _, target := range dedupe(targets) {
+		p, ok := spt.PathTo(target)
+		if !ok {
+			sptOK = false
+			break
+		}
+		for _, e := range p.Edges {
+			union[e] = true
+		}
+	}
+	switch {
+	case !kmbOK && !sptOK:
+		return nil, false
+	case !sptOK:
+		return kmb, true
+	}
+	unionEdges := make([]graph.EdgeID, 0, len(union))
+	for e := range union {
+		unionEdges = append(unionEdges, e)
+	}
+	sort.Slice(unionEdges, func(i, j int) bool { return unionEdges[i] < unionEdges[j] })
+	if !kmbOK || Cost(g, unionEdges) <= Cost(g, kmb) {
+		return unionEdges, true
+	}
+	return kmb, true
+}
+
+// Cost sums the prices of the tree's edges.
+func Cost(g *graph.Graph, edges []graph.EdgeID) float64 {
+	var c float64
+	for _, e := range edges {
+		c += g.Edge(e).Price
+	}
+	return c
+}
+
+// PathsFrom turns a tree into one path per target, each running from root
+// to the target along tree edges. ok is false if a target is not in the
+// tree's component. Targets equal to the root get empty paths.
+func PathsFrom(g *graph.Graph, edges []graph.EdgeID, root graph.NodeID, targets []graph.NodeID) ([]graph.Path, bool) {
+	parent := map[graph.NodeID]graph.EdgeID{}
+	visited := map[graph.NodeID]bool{root: true}
+	adj := map[graph.NodeID][]graph.EdgeID{}
+	for _, e := range edges {
+		edge := g.Edge(e)
+		adj[edge.A] = append(adj[edge.A], e)
+		adj[edge.B] = append(adj[edge.B], e)
+	}
+	queue := []graph.NodeID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[v] {
+			w := g.Edge(e).Other(v)
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			parent[w] = e
+			queue = append(queue, w)
+		}
+	}
+	paths := make([]graph.Path, len(targets))
+	for i, target := range targets {
+		if target == root {
+			paths[i] = graph.EmptyPath(root)
+			continue
+		}
+		if !visited[target] {
+			return nil, false
+		}
+		var rev []graph.EdgeID
+		for v := target; v != root; {
+			e := parent[v]
+			rev = append(rev, e)
+			v = g.Edge(e).Other(v)
+		}
+		p := graph.Path{From: root, Edges: make([]graph.EdgeID, len(rev))}
+		for j, e := range rev {
+			p.Edges[len(rev)-1-j] = e
+		}
+		paths[i] = p
+	}
+	return paths, true
+}
+
+func dedupe(nodes []graph.NodeID) []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, v := range nodes {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mstOfSubgraph computes a minimum spanning forest of the subgraph induced
+// by edgeSet (Kruskal with a tiny union-find).
+func mstOfSubgraph(g *graph.Graph, edgeSet map[graph.EdgeID]bool) []graph.EdgeID {
+	edges := make([]graph.EdgeID, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := g.Edge(edges[i]), g.Edge(edges[j])
+		if a.Price != b.Price {
+			return a.Price < b.Price
+		}
+		return edges[i] < edges[j]
+	})
+	parent := map[graph.NodeID]graph.NodeID{}
+	var find func(v graph.NodeID) graph.NodeID
+	find = func(v graph.NodeID) graph.NodeID {
+		p, ok := parent[v]
+		if !ok || p == v {
+			parent[v] = v
+			return v
+		}
+		root := find(p)
+		parent[v] = root
+		return root
+	}
+	var out []graph.EdgeID
+	for _, e := range edges {
+		edge := g.Edge(e)
+		ra, rb := find(edge.A), find(edge.B)
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		out = append(out, e)
+	}
+	return out
+}
+
+// prune repeatedly removes leaves that are not terminals.
+func prune(g *graph.Graph, edges []graph.EdgeID, terminals []graph.NodeID) []graph.EdgeID {
+	isTerm := map[graph.NodeID]bool{}
+	for _, t := range terminals {
+		isTerm[t] = true
+	}
+	alive := map[graph.EdgeID]bool{}
+	degree := map[graph.NodeID]int{}
+	for _, e := range edges {
+		alive[e] = true
+		degree[g.Edge(e).A]++
+		degree[g.Edge(e).B]++
+	}
+	for {
+		removed := false
+		for _, e := range edges {
+			if !alive[e] {
+				continue
+			}
+			edge := g.Edge(e)
+			for _, v := range []graph.NodeID{edge.A, edge.B} {
+				if degree[v] == 1 && !isTerm[v] {
+					alive[e] = false
+					degree[edge.A]--
+					degree[edge.B]--
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	var out []graph.EdgeID
+	for _, e := range edges {
+		if alive[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/graph"
+)
+
+// starFixture: a hub (0) with three spokes (1,2,3) of price 1 each, plus
+// expensive direct links between the spokes (price 5).
+func starFixture() *graph.Graph {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(0, 2, 1, 10)
+	g.MustAddEdge(0, 3, 1, 10)
+	g.MustAddEdge(1, 2, 5, 10)
+	g.MustAddEdge(2, 3, 5, 10)
+	return g
+}
+
+func TestTreeUsesSteinerPoint(t *testing.T) {
+	g := starFixture()
+	// Terminals are the spokes; the optimal tree routes through the hub
+	// (cost 3) instead of direct links (cost 10).
+	edges, ok := Tree(g, []graph.NodeID{1, 2, 3}, nil)
+	if !ok {
+		t.Fatal("no tree")
+	}
+	if got := Cost(g, edges); got != 3 {
+		t.Fatalf("tree cost = %v, want 3 (via hub)", got)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("tree has %d edges, want 3", len(edges))
+	}
+}
+
+func TestTreeTrivialCases(t *testing.T) {
+	g := starFixture()
+	if edges, ok := Tree(g, nil, nil); !ok || len(edges) != 0 {
+		t.Fatal("empty terminal set should yield empty tree")
+	}
+	if edges, ok := Tree(g, []graph.NodeID{2}, nil); !ok || len(edges) != 0 {
+		t.Fatal("single terminal should yield empty tree")
+	}
+	if edges, ok := Tree(g, []graph.NodeID{2, 2, 2}, nil); !ok || len(edges) != 0 {
+		t.Fatal("duplicate single terminal should yield empty tree")
+	}
+}
+
+func TestTreeDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(2, 3, 1, 10)
+	if _, ok := Tree(g, []graph.NodeID{0, 3}, nil); ok {
+		t.Fatal("disconnected terminals produced a tree")
+	}
+}
+
+func TestTreeHonorsCapacityFilter(t *testing.T) {
+	g := starFixture()
+	// Make the hub's spoke to node 2 too thin; the tree must fall back to
+	// a direct link.
+	opts := &graph.CostOptions{MinCapacity: 1, Residual: func(e graph.EdgeID) float64 {
+		if e == 1 { // 0-2
+			return 0
+		}
+		return 10
+	}}
+	edges, ok := Tree(g, []graph.NodeID{1, 2, 3}, opts)
+	if !ok {
+		t.Fatal("no tree under filter")
+	}
+	for _, e := range edges {
+		if e == 1 {
+			t.Fatal("tree used the saturated link")
+		}
+	}
+	if got := Cost(g, edges); got != 7 { // 0-1, 0-3, 2-3(5)
+		t.Fatalf("filtered tree cost = %v, want 7", got)
+	}
+}
+
+func TestPathsFrom(t *testing.T) {
+	g := starFixture()
+	edges, ok := Tree(g, []graph.NodeID{0, 1, 2, 3}, nil)
+	if !ok {
+		t.Fatal("no tree")
+	}
+	paths, ok := PathsFrom(g, edges, 0, []graph.NodeID{1, 2, 3, 0})
+	if !ok {
+		t.Fatal("paths not derivable")
+	}
+	for i, want := range []graph.NodeID{1, 2, 3, 0} {
+		if paths[i].From != 0 || paths[i].To(g) != want {
+			t.Fatalf("path %d: %d->%d, want 0->%d", i, paths[i].From, paths[i].To(g), want)
+		}
+		if err := paths[i].Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !paths[3].IsEmpty() {
+		t.Fatal("root target should get an empty path")
+	}
+	// The union of the derived paths must stay within the tree.
+	inTree := map[graph.EdgeID]bool{}
+	for _, e := range edges {
+		inTree[e] = true
+	}
+	for _, p := range paths {
+		for _, e := range p.Edges {
+			if !inTree[e] {
+				t.Fatal("derived path left the tree")
+			}
+		}
+	}
+}
+
+func TestPathsFromMissingTarget(t *testing.T) {
+	g := starFixture()
+	edges := []graph.EdgeID{0} // only 0-1
+	if _, ok := PathsFrom(g, edges, 0, []graph.NodeID{3}); ok {
+		t.Fatal("unreachable target accepted")
+	}
+}
+
+func TestMulticastTreeStar(t *testing.T) {
+	g := starFixture()
+	edges, ok := MulticastTree(g, 1, []graph.NodeID{2, 3}, nil)
+	if !ok {
+		t.Fatal("no multicast tree")
+	}
+	// From spoke 1 to spokes 2,3: via hub costs 3; that beats 1-2 (5) +
+	// hub leg, and any direct-link mix.
+	if got := Cost(g, edges); got != 3 {
+		t.Fatalf("multicast tree cost = %v, want 3", got)
+	}
+}
+
+func TestMulticastTreeNeverWorseThanIndependentPathsProperty(t *testing.T) {
+	// On random graphs, MulticastTree's cost must never exceed the union
+	// cost of independent shortest paths from the root — the exact
+	// quantity the multicast cost model pays.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(15)
+		g := graph.New(n)
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(graph.NodeID(rng.Intn(v)), graph.NodeID(v), 1+rng.Float64()*9, 10)
+		}
+		for i := 0; i < n/2; i++ {
+			a, b := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if a != b && !g.HasEdge(a, b) {
+				g.MustAddEdge(a, b, 1+rng.Float64()*9, 10)
+			}
+		}
+		root := graph.NodeID(rng.Intn(n))
+		var targets []graph.NodeID
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			targets = append(targets, graph.NodeID(rng.Intn(n)))
+		}
+		edges, ok := MulticastTree(g, root, targets, nil)
+		if !ok {
+			t.Fatalf("trial %d: connected graph yielded no tree", trial)
+		}
+		// Independent shortest paths union.
+		tree := g.Dijkstra(root, nil)
+		union := map[graph.EdgeID]bool{}
+		for _, term := range targets {
+			p, ok := tree.PathTo(term)
+			if !ok {
+				t.Fatalf("trial %d: unreachable terminal", trial)
+			}
+			for _, e := range p.Edges {
+				union[e] = true
+			}
+		}
+		var unionCost float64
+		for e := range union {
+			unionCost += g.Edge(e).Price
+		}
+		if Cost(g, edges) > unionCost+1e-9 {
+			t.Fatalf("trial %d: multicast tree %v worse than path union %v", trial, Cost(g, edges), unionCost)
+		}
+		// And the tree must actually span root and targets.
+		if _, ok := PathsFrom(g, edges, root, targets); !ok {
+			t.Fatalf("trial %d: tree does not span targets", trial)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package viz renders networks and embeddings as Graphviz DOT, the
+// debugging view for small instances: nodes annotated with their hosted
+// VNFs, links with prices, and an embedded solution's rented instances
+// and real-paths highlighted.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Name is the DOT graph name; defaults to "dagsfc".
+	Name string
+	// ShowPrices annotates links and instances with prices.
+	ShowPrices bool
+	// Solution, when non-nil, highlights the embedding: rented nodes are
+	// filled, used links are bold and colored by role (inter-layer,
+	// inner-layer, tail).
+	Solution *core.Solution
+	// Problem must accompany Solution (for layer structure and prices).
+	Problem *core.Problem
+}
+
+// edge roles for coloring.
+const (
+	roleInter = "inter"
+	roleInner = "inner"
+	roleTail  = "tail"
+)
+
+var roleColors = map[string]string{
+	roleInter: "red",
+	roleInner: "blue",
+	roleTail:  "darkgreen",
+}
+
+// WriteDOT renders the network (and optional solution overlay) as DOT.
+func WriteDOT(w io.Writer, net *network.Network, opts Options) error {
+	name := opts.Name
+	if name == "" {
+		name = "dagsfc"
+	}
+	if (opts.Solution == nil) != (opts.Problem == nil) {
+		return fmt.Errorf("viz: Solution and Problem must be set together")
+	}
+
+	rented := map[graph.NodeID][]network.VNFID{}
+	edgeRole := map[graph.EdgeID]string{}
+	var src, dst graph.NodeID = graph.None, graph.None
+	if opts.Solution != nil {
+		s, p := opts.Solution, opts.Problem
+		src, dst = p.Src, p.Dst
+		for li, le := range s.Layers {
+			spec := p.SFC.Layers[li]
+			for i, node := range le.Nodes {
+				rented[node] = append(rented[node], spec.VNFs[i])
+			}
+			if spec.Parallel() {
+				rented[le.MergerNode] = append(rented[le.MergerNode], p.Net.Catalog.Merger())
+			}
+			for _, path := range le.InterPaths {
+				markEdges(edgeRole, path, roleInter)
+			}
+			for _, path := range le.InnerPaths {
+				markEdges(edgeRole, path, roleInner)
+			}
+		}
+		markEdges(edgeRole, s.TailPath, roleTail)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	b.WriteString("  node [shape=ellipse fontsize=10];\n")
+	for v := 0; v < net.G.NumNodes(); v++ {
+		node := graph.NodeID(v)
+		label := fmt.Sprintf("%d", v)
+		if vnfs := net.VNFsAt(node); len(vnfs) > 0 {
+			parts := make([]string, len(vnfs))
+			for i, f := range vnfs {
+				parts[i] = vnfLabel(net, f)
+				if opts.ShowPrices {
+					if inst, ok := net.Instance(node, f); ok {
+						parts[i] += fmt.Sprintf(":%.0f", inst.Price)
+					}
+				}
+			}
+			label += "\\n" + strings.Join(parts, ",")
+		}
+		attrs := []string{dotLabel(label)}
+		switch {
+		case node == src && node == dst:
+			attrs = append(attrs, "shape=doubleoctagon")
+		case node == src:
+			attrs = append(attrs, "shape=invhouse", `color=darkgreen`)
+		case node == dst:
+			attrs = append(attrs, "shape=house", `color=darkgreen`)
+		}
+		if uses := rented[node]; len(uses) > 0 {
+			sort.Slice(uses, func(i, j int) bool { return uses[i] < uses[j] })
+			attrs = append(attrs, "style=filled", "fillcolor=lightyellow")
+			marks := make([]string, len(uses))
+			for i, f := range uses {
+				marks[i] = vnfLabel(net, f)
+			}
+			attrs[0] = dotLabel(label + "\\n[rents " + strings.Join(marks, "+") + "]")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", v, strings.Join(attrs, " "))
+	}
+	for _, e := range net.G.Edges() {
+		attrs := []string{}
+		if opts.ShowPrices {
+			attrs = append(attrs, dotLabel(trimFloat(e.Price)))
+		}
+		if role, ok := edgeRole[e.ID]; ok {
+			attrs = append(attrs, "penwidth=2.5", "color="+roleColors[role])
+		} else if opts.Solution != nil {
+			attrs = append(attrs, "color=gray70")
+		}
+		line := fmt.Sprintf("  n%d -- n%d", e.A, e.B)
+		if len(attrs) > 0 {
+			line += " [" + strings.Join(attrs, " ") + "]"
+		}
+		b.WriteString(line + ";\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// markEdges records a path's edges under role, never downgrading an edge
+// that already carries a role (inter wins over inner for display).
+func markEdges(roles map[graph.EdgeID]string, path graph.Path, role string) {
+	for _, e := range path.Edges {
+		if _, ok := roles[e]; !ok {
+			roles[e] = role
+		}
+	}
+}
+
+// dotLabel quotes a label without escaping the \n sequences DOT needs
+// verbatim. Labels here only contain [0-9a-z:,+\[\]] and \n, so quoting
+// is the only concern.
+func dotLabel(s string) string {
+	return `label="` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+func vnfLabel(net *network.Network, f network.VNFID) string {
+	if f == net.Catalog.Merger() {
+		return "m"
+	}
+	return fmt.Sprintf("f%d", f)
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

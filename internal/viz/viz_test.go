@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+)
+
+func fixture() (*core.Problem, *core.Solution) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(1, 2, 2, 10)
+	g.MustAddEdge(2, 3, 3, 10)
+	net := network.New(g, network.Catalog{N: 3})
+	net.MustAddInstance(1, 1, 10, 10)
+	net.MustAddInstance(2, 2, 20, 10)
+	net.MustAddInstance(1, 3, 30, 10)
+	net.MustAddInstance(2, network.VNFID(4), 5, 10)
+	p := &core.Problem{
+		Net: net,
+		SFC: sfc.DAGSFC{Layers: []sfc.Layer{
+			{VNFs: []network.VNFID{1}},
+			{VNFs: []network.VNFID{2, 3}},
+		}},
+		Src: 0, Dst: 3, Rate: 1, Size: 1,
+	}
+	res, err := core.EmbedMBBE(p)
+	if err != nil {
+		panic(err)
+	}
+	return p, res.Solution
+}
+
+func TestWriteDOTNetworkOnly(t *testing.T) {
+	p, _ := fixture()
+	var b strings.Builder
+	if err := WriteDOT(&b, p.Net, Options{ShowPrices: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"graph dagsfc {", "n0 --", "f1:10", "f2:20", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rents") {
+		t.Fatal("network-only render shows rented instances")
+	}
+}
+
+func TestWriteDOTWithSolution(t *testing.T) {
+	p, s := fixture()
+	var b strings.Builder
+	if err := WriteDOT(&b, p.Net, Options{Name: "demo", Solution: s, Problem: p}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"graph demo {",
+		"rents",           // rented node annotation
+		"fillcolor",       // rented node fill
+		"color=red",       // inter-layer path
+		"color=darkgreen", // tail path or src/dst
+		"invhouse",        // source marker
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// The merger must be labeled "m".
+	if !strings.Contains(out, "m") {
+		t.Fatal("merger not labeled")
+	}
+}
+
+func TestWriteDOTRequiresBothOrNeither(t *testing.T) {
+	p, s := fixture()
+	var b strings.Builder
+	if err := WriteDOT(&b, p.Net, Options{Solution: s}); err == nil {
+		t.Fatal("solution without problem accepted")
+	}
+	if err := WriteDOT(&b, p.Net, Options{Problem: p}); err == nil {
+		t.Fatal("problem without solution accepted")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1: "1", 2.5: "2.5", 3.25: "3.25", 10.1: "10.1"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
