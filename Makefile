@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race short bench repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke repro examples vet fmt
 
 all: build vet test
+
+# check is the pre-commit gate: build, vet, the full test suite, and the
+# race detector (the telemetry registry is written from concurrent trial
+# runners, so -race is load-bearing here, not ceremony).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -21,12 +26,19 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+race: test-race
+
 short:
 	$(GO) test -short ./...
 
 # One testing.B benchmark per paper figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Compile and run every benchmark exactly once — catches bit-rotted
+# benchmark code without the full -bench timing cost.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # Regenerate every table/figure of the paper at full trial count.
 repro:

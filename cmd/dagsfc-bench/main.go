@@ -6,6 +6,13 @@
 // Usage:
 //
 //	dagsfc-bench [-exp all|fig6a|...|runtime|gap|delay] [-trials N] [-seed S] [-csv DIR]
+//	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	             [-metrics-out metrics.prom] [-debug-addr localhost:6060]
+//
+// The diagnostics flags profile a whole run and snapshot the telemetry
+// registry (per-algorithm embed latency histograms and search-effort
+// counters) on exit; -debug-addr additionally serves live /metrics and
+// /debug/pprof/ while the sweep executes. See README.md, Observability.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"dagsfc/internal/diag"
 	"dagsfc/internal/latency"
 	"dagsfc/internal/sim"
 	"dagsfc/internal/tablefmt"
@@ -29,9 +37,19 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		parallel = flag.Int("parallel", 1, "concurrent trials per point (results identical; timings noisier). The runtime experiment always runs sequentially")
 	)
+	diagFlags := diag.RegisterFlags()
 	flag.Parse()
-	if err := run(*expName, *trials, *seed, *csvDir, *parallel); err != nil {
+	session, err := diagFlags.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagsfc-bench:", err)
+		os.Exit(1)
+	}
+	runErr := run(*expName, *trials, *seed, *csvDir, *parallel)
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dagsfc-bench:", runErr)
 		os.Exit(1)
 	}
 }

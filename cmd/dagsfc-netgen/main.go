@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"dagsfc/internal/diag"
 	"dagsfc/internal/netgen"
 )
 
@@ -23,6 +24,7 @@ func main() {
 		seed = flag.Int64("seed", 1, "generator seed")
 		out  = flag.String("o", "", "output file (default stdout)")
 	)
+	diagFlags := diag.RegisterFlags()
 	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "network size (number of nodes)")
 	flag.Float64Var(&cfg.Connectivity, "conn", cfg.Connectivity, "target average node degree")
 	flag.IntVar(&cfg.VNFKinds, "kinds", cfg.VNFKinds, "number of VNF categories")
@@ -34,8 +36,17 @@ func main() {
 	flag.Float64Var(&cfg.InstanceCapacity, "inst-cap", cfg.InstanceCapacity, "instance processing capacity")
 	flag.Parse()
 
-	if err := run(cfg, *seed, *out); err != nil {
+	session, err := diagFlags.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagsfc-netgen:", err)
+		os.Exit(1)
+	}
+	runErr := run(cfg, *seed, *out)
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dagsfc-netgen:", runErr)
 		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"dagsfc"
+	"dagsfc/internal/diag"
 	"dagsfc/internal/sfcgen"
 )
 
@@ -25,7 +26,13 @@ func main() {
 		n     = flag.Int("n", 1, "how many SFCs to generate")
 		seed  = flag.Int64("seed", 1, "generator seed")
 	)
+	diagFlags := diag.RegisterFlags()
 	flag.Parse()
+	session, err := diagFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagsfc-sfcgen:", err)
+		os.Exit(1)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	cfg := sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds}
 	for i := 0; i < *n; i++ {
@@ -35,5 +42,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(dagsfc.FormatSFC(s))
+	}
+	if err := session.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsfc-sfcgen:", err)
+		os.Exit(1)
 	}
 }

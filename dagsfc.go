@@ -126,7 +126,16 @@ type (
 	Observer = core.Observer
 	// FuncObserver adapts plain functions to Observer.
 	FuncObserver = core.FuncObserver
+	// MultiObserver fans callbacks out to several observers.
+	MultiObserver = core.MultiObserver
+	// TraceRecorder is an Observer capturing one Embed run as a telemetry
+	// span tree (the -trace-out/-explain machinery of cmd/dagsfc-embed).
+	TraceRecorder = core.TraceRecorder
 )
+
+// NewTraceRecorder starts recording an Embed run as a span tree; set it as
+// (or into) Options.Observer, call Finish after Embed returns, then Trace.
+func NewTraceRecorder(alg string) *TraceRecorder { return core.NewTraceRecorder(alg) }
 
 // Generator configurations (see internal/netgen and internal/sfcgen).
 type (

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"dagsfc/internal/baseline"
 	"dagsfc/internal/core"
 	"dagsfc/internal/graph"
 	"dagsfc/internal/network"
+	"dagsfc/internal/telemetry"
 )
 
 // Options tunes the annealing schedule.
@@ -35,7 +37,7 @@ type Options struct {
 const DefaultIterations = 2000
 
 // Embed anneals the problem and returns the best feasible solution found.
-func Embed(p *core.Problem, rng *rand.Rand, opts Options) (*core.Result, error) {
+func Embed(p *core.Problem, rng *rand.Rand, opts Options) (res *core.Result, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -43,6 +45,24 @@ func Embed(p *core.Problem, rng *rand.Rand, opts Options) (*core.Result, error) 
 	if iters == 0 {
 		iters = DefaultIterations
 	}
+
+	// Telemetry: the annealer's work units are proposal evaluations
+	// ("search nodes"), solution builds ("searches" — each build routes
+	// every meta-path over cached Dijkstra trees) and accepted moves
+	// ("candidates"). The MINV warm start records its own sample under
+	// alg="minv".
+	begin := time.Now()
+	var evaluations, builds, accepted int
+	defer func() {
+		telemetry.RecordEmbed(telemetry.EmbedSample{
+			Alg:         "sa",
+			Elapsed:     time.Since(begin),
+			Failed:      err != nil,
+			SearchNodes: evaluations,
+			Searches:    builds,
+			Candidates:  accepted,
+		})
+	}()
 
 	// Initial state: the greedy baseline.
 	init, err := baseline.EmbedMINV(p)
@@ -73,8 +93,11 @@ func Embed(p *core.Problem, rng *rand.Rand, opts Options) (*core.Result, error) 
 			temp *= cooling
 			continue
 		}
+		evaluations++
+		builds++
 		cost, feasible := s.evaluate(proposal)
 		if feasible && (cost < curCost || rng.Float64() < math.Exp((curCost-cost)/math.Max(temp, 1e-12))) {
+			accepted++
 			cur = proposal
 			curCost = cost
 			if cost < bestCost {
@@ -85,6 +108,7 @@ func Embed(p *core.Problem, rng *rand.Rand, opts Options) (*core.Result, error) 
 		temp *= cooling
 	}
 
+	builds++
 	sol, ok := s.build(bestAssign)
 	if !ok {
 		return nil, fmt.Errorf("%w: annealer lost its feasible incumbent", core.ErrNoEmbedding)

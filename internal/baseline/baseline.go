@@ -14,10 +14,12 @@ package baseline
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"dagsfc/internal/core"
 	"dagsfc/internal/graph"
 	"dagsfc/internal/network"
+	"dagsfc/internal/telemetry"
 )
 
 // EmbedRANV embeds the problem's DAG-SFC with the randomized benchmark.
@@ -25,7 +27,7 @@ import (
 // benchmarks "do not always result in a solution"); it is reported as
 // core.ErrNoEmbedding.
 func EmbedRANV(p *core.Problem, rng *rand.Rand) (*core.Result, error) {
-	return embedWithPicker(p, func(cands []network.Instance, _ network.VNFID) network.Instance {
+	return embedWithPicker(p, "ranv", func(cands []network.Instance, _ network.VNFID) network.Instance {
 		return cands[rng.Intn(len(cands))]
 	})
 }
@@ -33,7 +35,7 @@ func EmbedRANV(p *core.Problem, rng *rand.Rand) (*core.Result, error) {
 // EmbedMINV embeds the problem's DAG-SFC with the naive greedy benchmark:
 // cheapest feasible instance per position (ties broken by lowest node ID).
 func EmbedMINV(p *core.Problem) (*core.Result, error) {
-	return embedWithPicker(p, func(cands []network.Instance, _ network.VNFID) network.Instance {
+	return embedWithPicker(p, "minv", func(cands []network.Instance, _ network.VNFID) network.Instance {
 		best := cands[0]
 		for _, c := range cands[1:] {
 			if c.Price < best.Price || (c.Price == best.Price && c.Node < best.Node) {
@@ -47,12 +49,29 @@ func EmbedMINV(p *core.Problem) (*core.Result, error) {
 // embedWithPicker runs the shared benchmark skeleton: pick a host per DAG
 // position with the given policy, then connect all meta-paths with
 // min-cost paths on the real-time network.
-func embedWithPicker(p *core.Problem, pick func([]network.Instance, network.VNFID) network.Instance) (*core.Result, error) {
+func embedWithPicker(p *core.Problem, label string, pick func([]network.Instance, network.VNFID) network.Instance) (res *core.Result, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	ledger := ensureLedger(p)
 	g := p.Net.G
+
+	// Telemetry: the benchmarks have no search trees, so "search nodes"
+	// counts candidate instances examined, "searches" counts min-cost path
+	// computations, and "candidates" counts host choices made. Shared metric
+	// names with BBE/MBBE/SA keep the /metrics view comparable.
+	begin := time.Now()
+	var instancesExamined, pathSearches, choices int
+	defer func() {
+		telemetry.RecordEmbed(telemetry.EmbedSample{
+			Alg:         label,
+			Elapsed:     time.Since(begin),
+			Failed:      err != nil,
+			SearchNodes: instancesExamined,
+			Searches:    pathSearches,
+			Candidates:  choices,
+		})
+	}()
 
 	// uses tracks how many times this embedding has already committed each
 	// instance, so capacity filtering accounts for intra-SFC reuse.
@@ -62,8 +81,10 @@ func embedWithPicker(p *core.Problem, pick func([]network.Instance, network.VNFI
 		return ledger.InstanceResidual(inst.Node, inst.VNF)-already >= p.Rate
 	}
 	choose := func(f network.VNFID) (graph.NodeID, error) {
+		choices++
 		var cands []network.Instance
 		for _, node := range p.Net.NodesWith(f) {
+			instancesExamined++
 			inst, ok := p.Net.Instance(node, f)
 			if ok && feasible(inst) {
 				cands = append(cands, inst)
@@ -78,6 +99,7 @@ func embedWithPicker(p *core.Problem, pick func([]network.Instance, network.VNFI
 	}
 
 	minPath := func(a, b graph.NodeID) (graph.Path, error) {
+		pathSearches++
 		path, ok := g.MinCostPath(a, b, ledger.CostOptions(p.Rate))
 		if !ok {
 			return graph.Path{}, fmt.Errorf("%w: no path %d->%d", core.ErrNoEmbedding, a, b)

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"dagsfc/internal/delaymodel"
 	"dagsfc/internal/graph"
 	"dagsfc/internal/network"
 	"dagsfc/internal/steiner"
+	"dagsfc/internal/telemetry"
 )
 
 // ErrNoEmbedding is returned when the search space contains no feasible
@@ -77,6 +79,9 @@ type Options struct {
 	// Observer, when non-nil, receives progress callbacks during the
 	// search (see Observer).
 	Observer Observer
+	// Label names this configuration in telemetry metrics (the "alg"
+	// label). BBEOptions/MBBEOptions set it; empty means "custom".
+	Label string
 }
 
 // BBEOptions returns the configuration for the plain Breadth-first
@@ -91,6 +96,7 @@ func BBEOptions() Options {
 		MaxMergerCandidates:     16,
 		MaxExtensionsPerStart:   512,
 		MaxSubSolutionsPerLayer: 1024,
+		Label:                   "bbe",
 	}
 }
 
@@ -99,6 +105,7 @@ func BBEOptions() Options {
 func MBBESteinerOptions() Options {
 	opts := MBBEOptions()
 	opts.MulticastSteiner = true
+	opts.Label = "mbbe+st"
 	return opts
 }
 
@@ -115,6 +122,7 @@ func MBBEOptions() Options {
 		MaxExtensionsPerStart:   256,
 		MaxSubSolutionsPerLayer: 2048,
 		DedupByEndNode:          4,
+		Label:                   "mbbe",
 	}
 }
 
@@ -129,6 +137,11 @@ type Stats struct {
 	// (before pruning); SubSolutions the number inserted into the tree.
 	Extensions   int
 	SubSolutions int
+	// CapacityRejections counts parent×extension candidates discarded by
+	// a capacity feasibility check; DelayRejections those pruned by the
+	// delay bound.
+	CapacityRejections int
+	DelayRejections    int
 }
 
 // Result is a successful embedding: the solution, its priced breakdown and
@@ -161,7 +174,21 @@ func Embed(p *Problem, opts Options) (*Result, error) {
 		p: p, opts: opts, ledger: p.ledger(),
 		trees: make(map[graph.NodeID]*graph.ShortestTree),
 	}
-	return e.run()
+	start := time.Now()
+	res, err := e.run()
+	label := opts.Label
+	if label == "" {
+		label = "custom"
+	}
+	telemetry.RecordEmbed(telemetry.EmbedSample{
+		Alg:         label,
+		Elapsed:     time.Since(start),
+		Failed:      err != nil,
+		SearchNodes: e.stats.TreeNodes,
+		Searches:    e.stats.ForwardSearches + e.stats.BackwardSearches,
+		Candidates:  e.stats.Extensions,
+	})
+	return res, err
 }
 
 type embedder struct {
@@ -215,14 +242,18 @@ func (e *embedder) run() (*Result, error) {
 	for _, spec := range specs {
 		e.observeLayerStart(spec, len(frontier))
 		var next []*subSolution
+		considered, capRejected, delayRejected := 0, 0, 0
 		for _, parent := range frontier {
 			exts := e.extensions(spec, parent.endNode(p.Src))
 			var children []*subSolution
 			for _, ext := range exts {
+				considered++
 				if e.opts.MaxDelay > 0 && parent.cumDelay+ext.delay > e.opts.MaxDelay {
+					delayRejected++
 					continue
 				}
 				if !feasibleAfter(p, parent, ext) {
+					capRejected++
 					continue
 				}
 				children = append(children, &subSolution{
@@ -239,6 +270,9 @@ func (e *embedder) run() (*Result, error) {
 			}
 			next = append(next, children...)
 		}
+		e.stats.CapacityRejections += capRejected
+		e.stats.DelayRejections += delayRejected
+		e.observeFiltered(spec.Index, considered, capRejected, delayRejected)
 		if len(next) == 0 {
 			return nil, fmt.Errorf("%w: layer %d has no feasible sub-solution", ErrNoEmbedding, spec.Index)
 		}
@@ -355,26 +389,32 @@ func (e *embedder) extensions(spec LayerSpec, start graph.NodeID) []*extension {
 func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extension {
 	p := e.p
 	required := spec.Required(p.Net.Catalog)
+	e.observeSearchStart(spec.Index, start, true)
 	fst := runSearch(p, start, searchConfig{required: required, maxNodes: e.opts.Xmax})
 	e.stats.ForwardSearches++
 	e.stats.TreeNodes += fst.Size()
 	e.observeSearch(spec.Index, start, true, fst.Size(), fst.Covered())
 	if !fst.Covered() {
+		e.observeExtensions(spec.Index, start, 0, 0)
 		return nil
 	}
-	if !spec.Merger {
-		return e.trimExtensions(e.singleVNFExtensions(spec, start, fst))
-	}
 	var exts []*extension
-	mergerID := p.Net.Catalog.Merger()
-	mergers := fst.NodesWith(mergerID)
-	if e.opts.MaxMergerCandidates > 0 && len(mergers) > e.opts.MaxMergerCandidates {
-		mergers = mergers[:e.opts.MaxMergerCandidates]
+	if !spec.Merger {
+		exts = e.singleVNFExtensions(spec, start, fst)
+	} else {
+		mergerID := p.Net.Catalog.Merger()
+		mergers := fst.NodesWith(mergerID)
+		if e.opts.MaxMergerCandidates > 0 && len(mergers) > e.opts.MaxMergerCandidates {
+			mergers = mergers[:e.opts.MaxMergerCandidates]
+		}
+		for _, mergerTN := range mergers {
+			exts = append(exts, e.pairExtensions(spec, start, fst, mergerTN)...)
+		}
 	}
-	for _, mergerTN := range mergers {
-		exts = append(exts, e.pairExtensions(spec, start, fst, mergerTN)...)
-	}
-	return e.trimExtensions(exts)
+	generated := len(exts)
+	exts = e.trimExtensions(exts)
+	e.observeExtensions(spec.Index, start, generated, len(exts))
+	return exts
 }
 
 // truncateWithDelayDiversity keeps the cheapest limit sub-solutions (the
@@ -479,6 +519,7 @@ func (e *embedder) singleVNFExtensions(spec LayerSpec, start graph.NodeID, fst *
 // the FST.
 func (e *embedder) pairExtensions(spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode) []*extension {
 	p := e.p
+	e.observeSearchStart(spec.Index, mergerTN.Node, false)
 	bst := runSearch(p, mergerTN.Node, searchConfig{
 		required: spec.VNFs,
 		within:   fst.Contains,

@@ -23,21 +23,27 @@ import (
 // deployment pattern; the invariants checked (iteration count, per-level
 // node sets, coverage transitions, BST ⊆ FST) are the ones the paper's
 // prose asserts.
-func TestPaperFig3ForwardBackwardWalk(t *testing.T) {
-	const (
-		vA = graph.NodeID(0)
-		vB = graph.NodeID(1)
-		vH = graph.NodeID(2)
-		vC = graph.NodeID(3)
-		vE = graph.NodeID(4)
-		vL = graph.NodeID(5)
-	)
+// Node names of the Fig. 3 reconstruction, shared with the trace test
+// (internal/core/tracing_test.go).
+const (
+	fig3vA = graph.NodeID(0)
+	fig3vB = graph.NodeID(1)
+	fig3vH = graph.NodeID(2)
+	fig3vC = graph.NodeID(3)
+	fig3vE = graph.NodeID(4)
+	fig3vL = graph.NodeID(5)
+)
+
+// fig3Problem reconstructs the paper's Fig. 3 instance: the Fig. 2
+// DAG-SFC's second layer [f2|f3|f4|f5 +merger] embedded from the node
+// hosting f(1).
+func fig3Problem() *Problem {
 	g := graph.New(6)
-	g.MustAddEdge(vA, vB, 1, 10)
-	g.MustAddEdge(vA, vH, 1, 10)
-	g.MustAddEdge(vB, vC, 1, 10)
-	g.MustAddEdge(vB, vE, 1, 10)
-	g.MustAddEdge(vH, vL, 1, 10)
+	g.MustAddEdge(fig3vA, fig3vB, 1, 10)
+	g.MustAddEdge(fig3vA, fig3vH, 1, 10)
+	g.MustAddEdge(fig3vB, fig3vC, 1, 10)
+	g.MustAddEdge(fig3vB, fig3vE, 1, 10)
+	g.MustAddEdge(fig3vH, fig3vL, 1, 10)
 
 	// Catalog f(1)..f(7), merger = f(8) as in the paper.
 	net := network.New(g, network.Catalog{N: 7})
@@ -47,21 +53,34 @@ func TestPaperFig3ForwardBackwardWalk(t *testing.T) {
 			net.MustAddInstance(v, f, 10, 10)
 		}
 	}
-	deploy(vA, 1, 6, 7, merger)
-	deploy(vB, 2, 3)
-	deploy(vH, 5)
-	deploy(vC, 2, 3, 5)
-	deploy(vE, 4)
-	deploy(vL, merger)
+	deploy(fig3vA, 1, 6, 7, merger)
+	deploy(fig3vB, 2, 3)
+	deploy(fig3vH, 5)
+	deploy(fig3vC, 2, 3, 5)
+	deploy(fig3vE, 4)
+	deploy(fig3vL, merger)
 
-	p := &Problem{
+	return &Problem{
 		Net: net,
 		SFC: sfc.DAGSFC{Layers: []sfc.Layer{
 			{VNFs: []network.VNFID{1}},
 			{VNFs: []network.VNFID{2, 3, 4, 5}},
 		}},
-		Src: vA, Dst: vL, Rate: 1, Size: 1,
+		Src: fig3vA, Dst: fig3vL, Rate: 1, Size: 1,
 	}
+}
+
+func TestPaperFig3ForwardBackwardWalk(t *testing.T) {
+	const (
+		vA = fig3vA
+		vB = fig3vB
+		vH = fig3vH
+		vC = fig3vC
+		vE = fig3vE
+		vL = fig3vL
+	)
+	p := fig3Problem()
+	net := p.Net
 	spec := p.LayerSpecs()[1]
 
 	fst := runSearch(p, vA, searchConfig{required: spec.Required(net.Catalog)})

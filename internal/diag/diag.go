@@ -1,0 +1,146 @@
+// Package diag gives every CLI the same diagnostics surface: pprof CPU
+// and heap profiles, a telemetry metrics snapshot written on exit, and a
+// live debug listener serving /metrics plus /debug/pprof/ while a long
+// run executes. Register the flags before flag.Parse, then bracket main
+// with Start/Close:
+//
+//	flags := diag.RegisterFlags()
+//	flag.Parse()
+//	session, err := flags.Start()
+//	...
+//	defer session.Close()
+package diag
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"dagsfc/internal/telemetry"
+)
+
+// Flags holds the diagnostics configuration; zero values disable each
+// facility.
+type Flags struct {
+	// CPUProfile writes a pprof CPU profile covering the whole run.
+	CPUProfile string
+	// MemProfile writes a pprof heap profile at exit.
+	MemProfile string
+	// MetricsOut writes the Default telemetry registry at exit,
+	// Prometheus text format (or JSON when the path ends in .json).
+	MetricsOut string
+	// DebugAddr serves /metrics and /debug/pprof/ on this address for the
+	// duration of the run, e.g. "localhost:6060".
+	DebugAddr string
+}
+
+// RegisterFlags registers -cpuprofile, -memprofile, -metrics-out and
+// -debug-addr on the default flag set.
+func RegisterFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write a telemetry metrics snapshot to this file at exit (Prometheus text; .json for JSON)")
+	flag.StringVar(&f.DebugAddr, "debug-addr", "", "serve /metrics and /debug/pprof/ on this address while running (e.g. localhost:6060)")
+	return f
+}
+
+// Session is a started diagnostics bracket; Close flushes everything.
+type Session struct {
+	flags      Flags
+	cpuFile    *os.File
+	listener   net.Listener
+	httpServer *http.Server
+}
+
+// Start applies the configuration: begins the CPU profile and launches
+// the debug listener. The returned Session must be Closed (not via defer
+// os.Exit paths) to flush profiles and snapshots.
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: *f}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return nil, err
+		}
+		s.cpuFile = file
+	}
+	if f.DebugAddr != "" {
+		ln, err := net.Listen("tcp", f.DebugAddr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("diag: debug listener: %w", err)
+		}
+		s.listener = ln
+		s.httpServer = &http.Server{Handler: telemetry.DebugMux(telemetry.Default())}
+		go func() { _ = s.httpServer.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/metrics and /debug/pprof/\n", ln.Addr())
+	}
+	return s, nil
+}
+
+// Addr reports the debug listener's bound address ("" when disabled),
+// useful with a ":0" DebugAddr.
+func (s *Session) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the CPU profile, writes the heap profile and metrics
+// snapshot, and shuts the debug listener down. Safe to call once.
+func (s *Session) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.flags.MemProfile != "" {
+		runtime.GC() // get up-to-date heap statistics
+		file, err := os.Create(s.flags.MemProfile)
+		keep(err)
+		if err == nil {
+			keep(pprof.WriteHeapProfile(file))
+			keep(file.Close())
+		}
+	}
+	if s.flags.MetricsOut != "" {
+		keep(WriteMetricsFile(s.flags.MetricsOut))
+	}
+	if s.httpServer != nil {
+		keep(s.httpServer.Close())
+		s.httpServer = nil
+		s.listener = nil
+	}
+	return firstErr
+}
+
+// WriteMetricsFile snapshots the Default registry into path, as
+// Prometheus text or (for .json paths) JSON.
+func WriteMetricsFile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	snap := telemetry.Default().Snapshot()
+	if len(path) > 5 && path[len(path)-5:] == ".json" {
+		return snap.WriteJSON(file)
+	}
+	return snap.WritePrometheus(file)
+}

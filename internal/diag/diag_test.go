@@ -1,0 +1,82 @@
+package diag
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dagsfc/internal/telemetry"
+)
+
+func TestSessionProfilesAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	flags := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		MetricsOut: filepath.Join(dir, "metrics.prom"),
+	}
+	telemetry.Default().Counter("diag_test_hits_total", "").Inc()
+	s, err := flags.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{flags.CPUProfile, flags.MemProfile, flags.MetricsOut} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+	data, err := os.ReadFile(flags.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "diag_test_hits_total") {
+		t.Fatalf("metrics snapshot missing counter:\n%s", data)
+	}
+}
+
+func TestDebugListenerServesMetricsAndPprof(t *testing.T) {
+	flags := Flags{DebugAddr: "127.0.0.1:0"}
+	s, err := flags.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d, body %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestWriteMetricsFileJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := WriteMetricsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(data)), "{") {
+		t.Fatalf("not JSON: %s", data)
+	}
+}

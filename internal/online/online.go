@@ -9,12 +9,15 @@ package online
 import (
 	"errors"
 	"math/rand"
+	"time"
 
 	"dagsfc/internal/core"
 	"dagsfc/internal/graph"
 	"dagsfc/internal/network"
 	"dagsfc/internal/sfc"
 	"dagsfc/internal/sfcgen"
+	"dagsfc/internal/stats"
+	"dagsfc/internal/telemetry"
 )
 
 // Request is one flow to embed.
@@ -33,7 +36,10 @@ type Embedder func(p *core.Problem) (*core.Result, error)
 type Outcome struct {
 	Accepted bool
 	Cost     float64
-	Err      error
+	// Latency is the wall time this request took end to end: the embedding
+	// attempt plus, when accepted, the commit.
+	Latency time.Duration
+	Err     error
 }
 
 // Report aggregates a run.
@@ -53,22 +59,37 @@ func (r Report) AcceptanceRatio() float64 {
 	return float64(r.Accepted) / float64(n)
 }
 
+// LatencySummary aggregates the per-request latencies, in seconds.
+func (r Report) LatencySummary() stats.Summary {
+	var a stats.Accumulator
+	for _, o := range r.Outcomes {
+		a.Add(o.Latency.Seconds())
+	}
+	return a.Summarize()
+}
+
 // Run embeds the requests in order on one shared ledger over net. A
 // request whose embedding fails (core.ErrNoEmbedding) is rejected and
 // consumes nothing; any other error aborts the run.
 func Run(net *network.Network, reqs []Request, embed Embedder) (Report, error) {
 	ledger := network.NewLedger(net)
 	report := Report{}
+	reject := func(begin time.Time, err error) {
+		latency := time.Since(begin)
+		report.Outcomes = append(report.Outcomes, Outcome{Err: err, Latency: latency})
+		report.Rejected++
+		telemetry.RecordOnlineRequest(false, latency)
+	}
 	for _, req := range reqs {
 		p := &core.Problem{
 			Net: net, Ledger: ledger, SFC: req.SFC,
 			Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
 		}
+		begin := time.Now()
 		res, err := embed(p)
 		if err != nil {
 			if errors.Is(err, core.ErrNoEmbedding) {
-				report.Outcomes = append(report.Outcomes, Outcome{Err: err})
-				report.Rejected++
+				reject(begin, err)
 				continue
 			}
 			return report, err
@@ -77,13 +98,14 @@ func Run(net *network.Network, reqs []Request, embed Embedder) (Report, error) {
 			// The embedding was validated against the ledger it was
 			// produced with, so commit cannot fail; treat defensively as
 			// a rejection.
-			report.Outcomes = append(report.Outcomes, Outcome{Err: err})
-			report.Rejected++
+			reject(begin, err)
 			continue
 		}
-		report.Outcomes = append(report.Outcomes, Outcome{Accepted: true, Cost: res.Cost.Total()})
+		latency := time.Since(begin)
+		report.Outcomes = append(report.Outcomes, Outcome{Accepted: true, Cost: res.Cost.Total(), Latency: latency})
 		report.Accepted++
 		report.TotalCost += res.Cost.Total()
+		telemetry.RecordOnlineRequest(true, latency)
 	}
 	return report, nil
 }

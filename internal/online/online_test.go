@@ -71,6 +71,63 @@ func TestRunRejectionConsumesNothing(t *testing.T) {
 	}
 }
 
+// TestRunCommitFailureCountsAsRejection exercises the defensive branch in
+// Run: an Embedder that claims success but hands back a solution the
+// shared ledger can no longer accommodate. A stale-cache embedder models
+// this — it embeds once against a fresh ledger and replays that result for
+// every request, so the second request's Commit sees residual 0 < rate.
+func TestRunCommitFailureCountsAsRejection(t *testing.T) {
+	net := tinyNet() // single f(1) instance, capacity 2
+	req := chainReq(2)
+
+	fresh := tinyNet()
+	cached, err := core.EmbedMBBE(&core.Problem{
+		Net: fresh, SFC: req.SFC, Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := func(p *core.Problem) (*core.Result, error) { return cached, nil }
+
+	report, err := Run(net, []Request{req, req}, stale)
+	if err != nil {
+		t.Fatalf("commit failure must be a rejection, not a run abort: %v", err)
+	}
+	if report.Accepted != 1 || report.Rejected != 1 {
+		t.Fatalf("accepted/rejected = %d/%d, want 1/1", report.Accepted, report.Rejected)
+	}
+	second := report.Outcomes[1]
+	if second.Accepted || second.Err == nil {
+		t.Fatalf("second outcome = %+v, want rejected with error", second)
+	}
+	// The rejection reports the commit-time violation, which is not a
+	// plain no-embedding failure from the algorithm.
+	if errors.Is(second.Err, core.ErrNoEmbedding) {
+		t.Fatalf("commit failure misreported as ErrNoEmbedding: %v", second.Err)
+	}
+}
+
+func TestRunRecordsLatencies(t *testing.T) {
+	net := tinyNet()
+	reqs := []Request{chainReq(1), chainReq(1), chainReq(1)}
+	report, err := Run(net, reqs, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range report.Outcomes {
+		if o.Latency <= 0 {
+			t.Fatalf("outcome %d has no latency: %+v", i, o)
+		}
+	}
+	sum := report.LatencySummary()
+	if sum.N != len(reqs) {
+		t.Fatalf("latency summary N = %d, want %d", sum.N, len(reqs))
+	}
+	if sum.Mean <= 0 || sum.Max < sum.Min {
+		t.Fatalf("latency summary = %+v", sum)
+	}
+}
+
 func TestRunAbortsOnHardError(t *testing.T) {
 	net := tinyNet()
 	bad := Request{SFC: sfc.DAGSFC{Layers: []sfc.Layer{{VNFs: []network.VNFID{1}}}},

@@ -31,16 +31,44 @@ func (a *Accumulator) Add(x float64) {
 	a.m2 += delta * (x - a.mean)
 }
 
+// Merge folds other's observations into a, as if every observation fed to
+// other had been fed to a instead. It uses Chan et al.'s parallel
+// variance combination, so merging per-shard accumulators from concurrent
+// trial runners is exact (up to floating-point rounding) — the pattern
+// sim's parallel sweeps and telemetry aggregation rely on.
+func (a *Accumulator) Merge(other Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = other
+		return
+	}
+	n := a.n + other.n
+	delta := other.mean - a.mean
+	a.mean += delta * float64(other.n) / float64(n)
+	a.m2 += other.m2 + delta*delta*float64(a.n)*float64(other.n)/float64(n)
+	a.n = n
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+}
+
 // N reports the number of observations.
 func (a *Accumulator) N() int { return a.n }
 
 // Mean reports the sample mean (0 with no observations).
 func (a *Accumulator) Mean() float64 { return a.mean }
 
-// Min and Max report the extremes (0 with no observations).
+// Min reports the smallest observation. With no observations it reports
+// 0, not ±Inf — callers rendering tables want a quiet zero, so check N
+// before trusting the extremes of a possibly-empty accumulator.
 func (a *Accumulator) Min() float64 { return a.min }
 
-// Max reports the largest observation.
+// Max reports the largest observation (0 with no observations; see Min).
 func (a *Accumulator) Max() float64 { return a.max }
 
 // Variance reports the unbiased sample variance (0 with <2 observations).

@@ -1,0 +1,21 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the handler a -debug-addr listener serves: the
+// registry's Prometheus text at /metrics and the standard runtime
+// profiles under /debug/pprof/, so a long sim/online run can be
+// inspected (and CPU/heap-profiled) while it executes.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// BucketCount is one cumulative histogram bucket of a snapshot:
+// Count observations were <= UpperBound (math.Inf(1) for the last bucket).
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON encodes the +Inf upper bound of the last bucket as the
+// string "+Inf" (Prometheus convention), since JSON has no infinity.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := any(b.UpperBound)
+	if math.IsInf(b.UpperBound, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(struct {
+		UpperBound any    `json:"le"`
+		Count      uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// SeriesSnapshot is the frozen state of one label set of a family.
+type SeriesSnapshot struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries counter and gauge readings.
+	Value float64 `json:"value,omitempty"`
+	// Buckets, Sum and Count carry histogram readings (cumulative buckets,
+	// Prometheus-style).
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Count   uint64        `json:"count,omitempty"`
+}
+
+// FamilySnapshot is the frozen state of one metric family.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   Kind             `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered
+// deterministically (families by name, series by label set).
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Snapshot freezes the registry's current state. Concurrent writers keep
+// running; per-series values are read atomically (a histogram's buckets,
+// sum and count may be mutually off by in-flight observations).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{}
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := r.families[name]
+		fs := FamilySnapshot{Name: fam.name, Help: fam.help, Kind: fam.kind}
+		keys := make([]string, 0, len(fam.series))
+		for key := range fam.series {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ss := SeriesSnapshot{Labels: fam.labels[key]}
+			switch m := fam.series[key].(type) {
+			case *Counter:
+				ss.Value = m.Value()
+			case *Gauge:
+				ss.Value = m.Value()
+			case *Histogram:
+				var cum uint64
+				for i, ub := range m.upper {
+					cum += m.counts[i].Load()
+					ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: ub, Count: cum})
+				}
+				cum += m.counts[len(m.upper)].Load()
+				ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: inf, Count: cum})
+				ss.Sum = m.Sum()
+				ss.Count = m.Count()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+var inf = math.Inf(1)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, fam := range s.Families {
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, fam.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+			return err
+		}
+		for _, ss := range fam.Series {
+			if fam.Kind == KindHistogram {
+				for _, b := range ss.Buckets {
+					le := "+Inf"
+					if b.UpperBound != inf {
+						le = formatFloat(b.UpperBound)
+					}
+					labels := promLabels(append(append([]Label(nil), ss.Labels...), L("le", le)))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, labels, b.Count); err != nil {
+						return err
+					}
+				}
+				labels := promLabels(ss.Labels)
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.Name, labels, formatFloat(ss.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.Name, labels, ss.Count); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam.Name, promLabels(ss.Labels), formatFloat(ss.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	out := "{"
+	for i, l := range labels {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + "=" + strconv.Quote(l.Value)
+	}
+	return out + "}"
+}
+
+// Handler serves the registry in Prometheus text format — mount it at
+// /metrics on a debug listener.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+}

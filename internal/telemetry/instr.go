@@ -1,0 +1,64 @@
+package telemetry
+
+import "time"
+
+// Shared metric names. Every embedding algorithm under comparison —
+// BBE/MBBE (internal/core), MINV/RANV (internal/baseline) and SA
+// (internal/anneal) — records the same families, labeled by alg, so one
+// Prometheus scrape compares them directly. "Search nodes" is each
+// algorithm's unit of explored state: FST/BST tree nodes for BBE/MBBE,
+// candidate instances examined for the baselines, proposal evaluations
+// for the annealer.
+const (
+	MetricEmbedAttempts  = "dagsfc_embed_attempts_total"
+	MetricEmbedFailures  = "dagsfc_embed_failures_total"
+	MetricEmbedLatency   = "dagsfc_embed_latency_seconds"
+	MetricSearchNodes    = "dagsfc_embed_search_nodes_total"
+	MetricSearches       = "dagsfc_embed_searches_total"
+	MetricCandidates     = "dagsfc_embed_candidates_total"
+	MetricOnlineRequests = "dagsfc_online_requests_total"
+	MetricOnlineLatency  = "dagsfc_online_request_latency_seconds"
+)
+
+// EmbedSample is one completed embedding attempt, however it was
+// produced.
+type EmbedSample struct {
+	// Alg labels the algorithm ("bbe", "mbbe", "minv", "ranv", "sa", ...).
+	Alg string
+	// Elapsed is the attempt's wall-clock time.
+	Elapsed time.Duration
+	// Failed marks attempts that found no feasible embedding.
+	Failed bool
+	// SearchNodes, Searches and Candidates count the attempt's work in the
+	// algorithm's own units (see the metric-name comment above).
+	SearchNodes, Searches, Candidates int
+}
+
+// RecordEmbed records one embedding attempt on the Default registry.
+func RecordEmbed(s EmbedSample) {
+	r := Default()
+	alg := L("alg", s.Alg)
+	r.Counter(MetricEmbedAttempts, "Embedding attempts by algorithm.", alg).Inc()
+	if s.Failed {
+		r.Counter(MetricEmbedFailures, "Embedding attempts that found no feasible solution.", alg).Inc()
+	}
+	r.Histogram(MetricEmbedLatency, "Wall-clock seconds per embedding attempt.",
+		DefLatencyBuckets(), alg).Observe(s.Elapsed.Seconds())
+	r.Counter(MetricSearchNodes, "Search states explored (tree nodes, candidates examined, or proposals).", alg).Add(float64(s.SearchNodes))
+	r.Counter(MetricSearches, "Searches run (FST/BST builds, Dijkstra calls, or tree builds).", alg).Add(float64(s.Searches))
+	r.Counter(MetricCandidates, "Candidate sub-solutions generated.", alg).Add(float64(s.Candidates))
+}
+
+// RecordOnlineRequest records one online-harness request on the Default
+// registry: an accept/reject counter and an end-to-end latency histogram
+// (embed plus commit).
+func RecordOnlineRequest(accepted bool, elapsed time.Duration) {
+	r := Default()
+	outcome := "rejected"
+	if accepted {
+		outcome = "accepted"
+	}
+	r.Counter(MetricOnlineRequests, "Online flow requests by outcome.", L("outcome", outcome)).Inc()
+	r.Histogram(MetricOnlineLatency, "Wall-clock seconds per online request (embed + commit).",
+		DefLatencyBuckets()).Observe(elapsed.Seconds())
+}

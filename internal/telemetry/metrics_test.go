@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests", L("alg", "mbbe"))
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %v, want 3", c.Value())
+	}
+	// Same (name, labels) returns the same instance.
+	if r.Counter("requests_total", "", L("alg", "mbbe")) != c {
+		t.Fatal("counter identity not stable")
+	}
+	// A different label set is a different series.
+	c2 := r.Counter("requests_total", "", L("alg", "bbe"))
+	if c2 == c || c2.Value() != 0 {
+		t.Fatal("label sets not isolated")
+	}
+	g := r.Gauge("inflight", "")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %v, want 3", g.Value())
+	}
+}
+
+func TestCounterDecreasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-55.65) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot()
+	buckets := snap.Families[0].Series[0].Buckets
+	// Cumulative: <=0.1 holds 0.05 and 0.1; <=1 adds 0.5; <=10 adds 5;
+	// +Inf adds 50.
+	wantCum := []uint64{2, 3, 4, 5}
+	if len(buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4", len(buckets))
+	}
+	for i, want := range wantCum {
+		if buckets[i].Count != want {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(buckets[3].UpperBound, 1) {
+		t.Fatal("last bucket not +Inf")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	bs := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", bs)
+		}
+	}
+}
+
+func TestConcurrentUpdatesAreExact(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("n", "").Inc()
+				r.Histogram("h", "", []float64{0.5}).Observe(0.25)
+				r.Gauge("g", "").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h", "", []float64{0.5}).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %v", got)
+	}
+	if got := r.Gauge("g", "").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dagsfc_embed_attempts_total", "Attempts.", L("alg", "mbbe")).Add(7)
+	r.Histogram("dagsfc_embed_latency_seconds", "Latency.", []float64{0.1, 1}, L("alg", "mbbe")).Observe(0.05)
+	var b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dagsfc_embed_attempts_total counter",
+		`dagsfc_embed_attempts_total{alg="mbbe"} 7`,
+		"# TYPE dagsfc_embed_latency_seconds histogram",
+		`dagsfc_embed_latency_seconds_bucket{alg="mbbe",le="0.1"} 1`,
+		`dagsfc_embed_latency_seconds_bucket{alg="mbbe",le="+Inf"} 1`,
+		`dagsfc_embed_latency_seconds_sum{alg="mbbe"} 0.05`,
+		`dagsfc_embed_latency_seconds_count{alg="mbbe"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "help text", L("k", "v")).Inc()
+	var b bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(b.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Families) != 1 || decoded.Families[0].Name != "c" ||
+		decoded.Families[0].Series[0].Value != 1 {
+		t.Fatalf("JSON roundtrip = %+v", decoded)
+	}
+}
+
+// TestJSONExpositionHistogramInf guards against the +Inf bucket bound
+// breaking JSON encoding (encoding/json rejects infinities): the last
+// bucket's le must come out as the string "+Inf".
+func TestJSONExpositionHistogramInf(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{0.1, 1}).Observe(0.5)
+	var b bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON with histogram: %v", err)
+	}
+	if !strings.Contains(b.String(), `"le": "+Inf"`) {
+		t.Fatalf("missing +Inf bucket in:\n%s", b.String())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "").Inc()
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hits 1") {
+		t.Fatalf("/metrics output: %s", b.String())
+	}
+	// The pprof index must be mounted too.
+	resp2, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", resp2.StatusCode)
+	}
+}
+
+func TestRecordEmbedSharedNames(t *testing.T) {
+	// RecordEmbed writes to the Default registry; every algorithm label
+	// must land in the same families.
+	for _, alg := range []string{"bbe", "minv", "sa"} {
+		RecordEmbed(EmbedSample{Alg: alg, Elapsed: time.Millisecond, SearchNodes: 3, Searches: 1, Candidates: 2})
+	}
+	RecordEmbed(EmbedSample{Alg: "bbe", Elapsed: time.Second, Failed: true})
+	snap := Default().Snapshot()
+	byName := map[string]FamilySnapshot{}
+	for _, fam := range snap.Families {
+		byName[fam.Name] = fam
+	}
+	for _, name := range []string{MetricEmbedAttempts, MetricEmbedLatency, MetricSearchNodes} {
+		fam, ok := byName[name]
+		if !ok {
+			t.Fatalf("family %s missing", name)
+		}
+		algs := map[string]bool{}
+		for _, s := range fam.Series {
+			for _, l := range s.Labels {
+				if l.Key == "alg" {
+					algs[l.Value] = true
+				}
+			}
+		}
+		for _, alg := range []string{"bbe", "minv", "sa"} {
+			if !algs[alg] {
+				t.Fatalf("family %s missing alg=%s series", name, alg)
+			}
+		}
+	}
+	if fam := byName[MetricEmbedFailures]; len(fam.Series) == 0 {
+		t.Fatal("failures family missing")
+	}
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock makes span timing deterministic: every timeNow() call
+// advances by step.
+func fakeClock(t *testing.T, step time.Duration) {
+	t.Helper()
+	now := time.Unix(0, 0)
+	timeNow = func() time.Time {
+		now = now.Add(step)
+		return now
+	}
+	t.Cleanup(func() { timeNow = time.Now })
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	tr := NewTrace("embed")
+	tr.Root().SetAttr("alg", "mbbe")
+	layer := tr.Root().StartChild("layer 1")
+	search := layer.StartChild("forward-search")
+	search.SetAttr("tree_size", 6)
+	search.SetAttr("covered", true)
+	search.End()
+	layer.SetAttr("kept", 3)
+	layer.End()
+	tr.Finish()
+
+	if tr.Root().Attr("alg") != "mbbe" {
+		t.Fatal("root attr lost")
+	}
+	if len(tr.Root().Children()) != 1 || len(layer.Children()) != 1 {
+		t.Fatal("tree shape wrong")
+	}
+	if search.Attr("tree_size") != 6 || search.Attr("covered") != true {
+		t.Fatalf("search attrs = %v %v", search.Attr("tree_size"), search.Attr("covered"))
+	}
+	// With a 1ms-per-call clock the search span saw exactly one tick
+	// between StartChild and End... StartChild ticks once, End once.
+	if search.Duration() <= 0 || layer.Duration() < search.Duration() {
+		t.Fatalf("durations inconsistent: layer %v search %v", layer.Duration(), search.Duration())
+	}
+}
+
+func TestSpanEndIdempotentAndFinishClosesOpenSpans(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	tr := NewTrace("embed")
+	layer := tr.Root().StartChild("layer 1")
+	open := layer.StartChild("forward-search") // never explicitly ended
+	layer.End()
+	d := layer.Duration()
+	layer.End() // no-op
+	if layer.Duration() != d {
+		t.Fatal("End not idempotent")
+	}
+	tr.Finish()
+	if open.end.IsZero() {
+		t.Fatal("Finish left a descendant open")
+	}
+}
+
+func TestTraceJSONSchema(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	tr := NewTrace("embed")
+	child := tr.Root().StartChild("layer 1")
+	child.SetAttr("parents", 1)
+	child.End()
+	tr.Finish()
+
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name       string         `json:"name"`
+		StartUs    int64          `json:"start_us"`
+		DurationUs int64          `json:"duration_us"`
+		Attrs      map[string]any `json:"attrs"`
+		Children   []struct {
+			Name    string         `json:"name"`
+			StartUs int64          `json:"start_us"`
+			Attrs   map[string]any `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != "embed" || decoded.StartUs != 0 {
+		t.Fatalf("root = %+v", decoded)
+	}
+	if len(decoded.Children) != 1 || decoded.Children[0].Name != "layer 1" {
+		t.Fatalf("children = %+v", decoded.Children)
+	}
+	if decoded.Children[0].StartUs <= 0 {
+		t.Fatal("child start offset not relative to root")
+	}
+	if decoded.Children[0].Attrs["parents"] != float64(1) {
+		t.Fatalf("attrs = %v", decoded.Children[0].Attrs)
+	}
+	if decoded.DurationUs <= 0 {
+		t.Fatal("root duration missing")
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	tr := NewTrace("embed")
+	tr.Root().SetAttr("alg", "bbe")
+	layer := tr.Root().StartChild("layer 2")
+	layer.SetAttr("cheapest", 41.5)
+	layer.End()
+	tr.Finish()
+
+	var b bytes.Buffer
+	if err := tr.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "embed alg=bbe") {
+		t.Fatalf("render missing root line:\n%s", out)
+	}
+	if !strings.Contains(out, "- layer 2 cheapest=41.500") {
+		t.Fatalf("render missing layer line:\n%s", out)
+	}
+	// The child line is indented under the root.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  ") {
+		t.Fatalf("render shape wrong:\n%s", out)
+	}
+}
