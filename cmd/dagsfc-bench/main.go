@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 2018, "master seed")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		parallel = flag.Int("parallel", 1, "concurrent trials per point (results identical; timings noisier). The runtime experiment always runs sequentially")
+		workers  = flag.Int("workers", 1, "worker-pool size inside each BBE/MBBE embedding (results identical). Default 1: -parallel across trials usually uses the cores better; -1 = GOMAXPROCS per embedding")
 	)
 	diagFlags := diag.RegisterFlags()
 	flag.Parse()
@@ -44,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dagsfc-bench:", err)
 		os.Exit(1)
 	}
-	runErr := run(*expName, *trials, *seed, *csvDir, *parallel)
+	runErr := run(*expName, *trials, *seed, *csvDir, *parallel, *workers)
 	if err := session.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -54,7 +55,7 @@ func main() {
 	}
 }
 
-func run(expName string, trials int, seed int64, csvDir string, parallel int) error {
+func run(expName string, trials int, seed int64, csvDir string, parallel, workers int) error {
 	if trials < 1 {
 		return fmt.Errorf("trials must be >= 1")
 	}
@@ -96,6 +97,7 @@ func run(expName string, trials int, seed int64, csvDir string, parallel int) er
 		if name != "runtime" {
 			e.Parallelism = parallel
 		}
+		e.Workers = workers
 		start := time.Now()
 		points, err := e.Run(seed)
 		if err != nil {

@@ -55,6 +55,56 @@ func TestConcurrentEmbedsShareNetworkSafely(t *testing.T) {
 	}
 }
 
+// TestConcurrentEmbedsSharedProblem runs concurrent embeddings over ONE
+// shared Problem value with no ledger set. Embed is documented to never
+// mutate the Problem — in particular it must not lazily install a ledger
+// on it, which would be a data race here (run with -race) and a surprise
+// side effect even sequentially.
+func TestConcurrentEmbedsSharedProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := dagsfc.DefaultNetConfig()
+	cfg.Nodes = 80
+	cfg.VNFKinds = 6
+	net, err := dagsfc.GenerateNetwork(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dagsfc.GenerateSFC(dagsfc.SFCConfig{Size: 5, LayerWidth: 3, VNFKinds: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := &dagsfc.Problem{Net: net, SFC: s, Src: 0, Dst: 40, Rate: 1, Size: 1}
+
+	const workers = 8
+	costs := make([]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := dagsfc.EmbedMBBE(shared)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			costs[w] = res.Cost.Total()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if costs[w] != costs[0] {
+			t.Fatalf("worker %d cost %v != worker 0 cost %v", w, costs[w], costs[0])
+		}
+	}
+	if shared.Ledger != nil {
+		t.Error("Embed installed a ledger on the shared Problem")
+	}
+}
+
 // TestConcurrentMixedAlgorithms exercises every embedding algorithm
 // concurrently on the same shared network.
 func TestConcurrentMixedAlgorithms(t *testing.T) {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dagsfc/internal/graph"
@@ -33,13 +35,40 @@ func BenchmarkLayerExtensions(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := &embedder{
-			p: p, opts: MBBEOptions(), ledger: p.ledger(),
+			p: p, opts: MBBEOptions(), workers: 1,
+			ledger:   p.ledgerOrFresh(),
 			extCache: make(map[extKey][]*extension),
-			trees:    make(map[graph.NodeID]*graph.ShortestTree),
+			trees:    make(map[graph.NodeID]*treeEntry),
 		}
 		if exts := e.buildExtensions(spec, p.Src); len(exts) == 0 {
 			b.Fatal("no extensions")
 		}
+	}
+}
+
+// BenchmarkEmbedMBBEWorkers compares sequential against pooled embedding
+// on a paper-scale MBBE instance. On multi-core hardware the GOMAXPROCS
+// variant should win wall-clock; on a single core both take the
+// sequential path's cost (the pool degrades to an inline loop when only
+// one worker is available per forEach call).
+func BenchmarkEmbedMBBEWorkers(b *testing.B) {
+	p := benchProblem(b)
+	pooled := runtime.GOMAXPROCS(0)
+	if pooled == 1 {
+		pooled = 4 // still exercise the pooled code path on one core
+	}
+	for _, workers := range []int{1, pooled} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := MBBEOptions()
+			opts.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Embed(p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dagsfc/internal/graph"
+	"dagsfc/internal/telemetry"
+)
+
+// TestWorkersDeterminism is the parallelism contract: any Workers value
+// yields bit-identical results — the same Solution, CostBreakdown and
+// Stats, and (checked separately below) the same Observer event sequence.
+// Failures must match too: an infeasible instance is infeasible for every
+// pool size, with the same error.
+func TestWorkersDeterminism(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"bbe", BBEOptions()},
+		{"mbbe", MBBEOptions()},
+		{"mbbe+steiner", MBBESteinerOptions()},
+		{"mbbe+delay", func() Options {
+			o := MBBEOptions()
+			o.MaxDelay = 4.0
+			return o
+		}()},
+	}
+	for _, cfg := range configs {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", cfg.name, seed), func(t *testing.T) {
+				p := randomProblem(rand.New(rand.NewSource(seed)), 60, 6, 4)
+
+				seq := cfg.opts
+				seq.Workers = 1
+				seqRes, seqErr := Embed(p, seq)
+
+				for _, workers := range []int{2, 4, 8} {
+					par := cfg.opts
+					par.Workers = workers
+					parRes, parErr := Embed(p, par)
+					if (seqErr == nil) != (parErr == nil) {
+						t.Fatalf("workers=%d: err %v, sequential err %v", workers, parErr, seqErr)
+					}
+					if seqErr != nil {
+						if parErr.Error() != seqErr.Error() {
+							t.Fatalf("workers=%d: err %q, sequential err %q", workers, parErr, seqErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(parRes.Solution, seqRes.Solution) {
+						t.Errorf("workers=%d: Solution differs from sequential", workers)
+					}
+					if !reflect.DeepEqual(parRes.Cost, seqRes.Cost) {
+						t.Errorf("workers=%d: CostBreakdown differs: %+v vs %+v", workers, parRes.Cost, seqRes.Cost)
+					}
+					if parRes.Stats != seqRes.Stats {
+						t.Errorf("workers=%d: Stats differ: %+v vs %+v", workers, parRes.Stats, seqRes.Stats)
+					}
+				}
+			})
+		}
+	}
+}
+
+// eventTrace records every Observer callback as a formatted line, so two
+// runs' event sequences can be compared verbatim.
+func eventTrace(events *[]string) Observer {
+	add := func(format string, args ...any) {
+		*events = append(*events, fmt.Sprintf(format, args...))
+	}
+	return FuncObserver{
+		OnLayerStart: func(spec LayerSpec, parents int) { add("layerStart %d parents=%d", spec.Index, parents) },
+		OnSearchStart: func(layer int, start graph.NodeID, forward bool) {
+			add("searchStart %d %d fwd=%t", layer, start, forward)
+		},
+		OnSearchDone: func(layer int, start graph.NodeID, forward bool, size int, covered bool) {
+			add("searchDone %d %d fwd=%t size=%d covered=%t", layer, start, forward, size, covered)
+		},
+		OnExtensionsBuilt: func(layer int, start graph.NodeID, generated, kept int) {
+			add("extensions %d %d gen=%d kept=%d", layer, start, generated, kept)
+		},
+		OnCandidatesFiltered: func(layer, considered, capRej, delayRej int) {
+			add("filtered %d considered=%d cap=%d delay=%d", layer, considered, capRej, delayRej)
+		},
+		OnLayerDone: func(spec LayerSpec, kept int, cheapest float64) {
+			add("layerDone %d kept=%d cheapest=%v", spec.Index, kept, cheapest)
+		},
+		OnLeaf: func(total float64) { add("leaf %v", total) },
+	}
+}
+
+// TestWorkersObserverDeterminism asserts the serialized fan-in delivers
+// the exact sequential event sequence whatever the pool size.
+func TestWorkersObserverDeterminism(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(3)), 60, 6, 4)
+
+	trace := func(workers int) []string {
+		var events []string
+		opts := MBBEOptions()
+		opts.Workers = workers
+		opts.Observer = eventTrace(&events)
+		if _, err := Embed(p, opts); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return events
+	}
+	seq := trace(1)
+	if len(seq) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, workers := range []int{2, 8} {
+		par := trace(workers)
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("workers=%d: event sequence differs (%d events vs %d)", workers, len(par), len(seq))
+		}
+	}
+}
+
+// TestEmbedDoesNotMutateProblem pins the ledger side-effect fix: Embed on
+// a Problem without a ledger must not install one — neither on success
+// nor on a validation failure.
+func TestEmbedDoesNotMutateProblem(t *testing.T) {
+	p := lineFixture()
+	if p.Ledger != nil {
+		t.Fatal("fixture unexpectedly has a ledger")
+	}
+	if _, err := EmbedMBBE(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ledger != nil {
+		t.Error("Embed installed a ledger on the caller's Problem")
+	}
+
+	bad := lineFixture()
+	bad.Rate = 0
+	if _, err := EmbedMBBE(bad); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+	if bad.Ledger != nil {
+		t.Error("failed Embed installed a ledger on the caller's Problem")
+	}
+}
+
+// TestValidateDoesNotInstallLedger pins the same contract for the
+// solution validator.
+func TestValidateDoesNotInstallLedger(t *testing.T) {
+	p := lineFixture()
+	if err := Validate(p, lineSolution()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ledger != nil {
+		t.Error("Validate installed a ledger on the caller's Problem")
+	}
+}
+
+// TestEmbedInvalidProblemCountsAsFailure pins the telemetry fix: an
+// instance rejected by Validate is still a failed embedding attempt in
+// the attempts/failures metric families.
+func TestEmbedInvalidProblemCountsAsFailure(t *testing.T) {
+	r := telemetry.Default()
+	label := telemetry.L("alg", "invalid-metric-test")
+	attempts := r.Counter(telemetry.MetricEmbedAttempts, "Embedding attempts by algorithm.", label)
+	failures := r.Counter(telemetry.MetricEmbedFailures, "Embedding attempts that found no feasible solution.", label)
+	attemptsBefore, failuresBefore := attempts.Value(), failures.Value()
+
+	p := lineFixture()
+	p.Rate = 0 // invalid
+	opts := MBBEOptions()
+	opts.Label = "invalid-metric-test"
+	if _, err := Embed(p, opts); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+	if got := attempts.Value() - attemptsBefore; got != 1 {
+		t.Errorf("attempts delta = %v, want 1", got)
+	}
+	if got := failures.Value() - failuresBefore; got != 1 {
+		t.Errorf("failures delta = %v, want 1", got)
+	}
+}
+
+// TestTrimExtensionsDoesNotMutateInput pins the pruning fix: trimming
+// with delay diversity must not write into the caller's backing array,
+// and the returned slice stays cost-sorted with the fastest survivor
+// present.
+func TestTrimExtensionsDoesNotMutateInput(t *testing.T) {
+	e := &embedder{opts: Options{MaxExtensionsPerStart: 3, MaxDelay: 100}}
+	exts := []*extension{
+		{localCost: 1, delay: 9},
+		{localCost: 2, delay: 8},
+		{localCost: 3, delay: 7},
+		{localCost: 4, delay: 6},
+		{localCost: 5, delay: 1}, // fastest, beyond the cut
+	}
+	orig := append([]*extension(nil), exts...)
+	kept := e.trimExtensions(exts)
+	for i := range orig {
+		if exts[i] != orig[i] {
+			t.Fatalf("input slice mutated at %d", i)
+		}
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d extensions, want 3", len(kept))
+	}
+	for i := 1; i < len(kept); i++ {
+		if kept[i].localCost < kept[i-1].localCost {
+			t.Fatalf("kept slice not cost-sorted: %v after %v", kept[i].localCost, kept[i-1].localCost)
+		}
+	}
+	found := false
+	for _, ext := range kept {
+		if ext == orig[4] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fastest extension did not survive the trim")
+	}
+}
+
+// TestTruncateDoesNotMutateInput is the sub-solution counterpart.
+func TestTruncateDoesNotMutateInput(t *testing.T) {
+	e := &embedder{opts: Options{MaxDelay: 100}}
+	children := []*subSolution{
+		{cum: 1, cumDelay: 9},
+		{cum: 2, cumDelay: 8},
+		{cum: 3, cumDelay: 7},
+		{cum: 4, cumDelay: 1}, // fastest, beyond the cut
+	}
+	orig := append([]*subSolution(nil), children...)
+	kept := e.truncateWithDelayDiversity(children, 2)
+	for i := range orig {
+		if children[i] != orig[i] {
+			t.Fatalf("input slice mutated at %d", i)
+		}
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept %d children, want 2", len(kept))
+	}
+	if kept[0] != orig[0] || kept[1] != orig[3] {
+		t.Fatalf("want cheapest + fastest kept in cost order, got cum=%v,%v", kept[0].cum, kept[1].cum)
+	}
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"dagsfc/internal/delaymodel"
@@ -76,6 +78,16 @@ type Options struct {
 	// Delay is the delay model used with MaxDelay; the zero value is
 	// replaced by delaymodel.Default().
 	Delay delaymodel.Params
+	// Workers bounds the worker pool that parallelizes each embedding
+	// run's per-layer work: the forward-search/extension builds for the
+	// distinct frontier start nodes, the FST–BST pair enumerations, and
+	// the per-parent candidate screening. 0 means GOMAXPROCS; 1 runs the
+	// whole search sequentially on the calling goroutine (no goroutines
+	// are spawned). Results are bit-identical for every Workers value:
+	// worker output is merged in a deterministic order and Observer
+	// callbacks are always delivered serially from the calling goroutine,
+	// in the same order the sequential search produces.
+	Workers int
 	// Observer, when non-nil, receives progress callbacks during the
 	// search (see Observer).
 	Observer Observer
@@ -144,6 +156,18 @@ type Stats struct {
 	DelayRejections    int
 }
 
+// add accumulates a worker's stats delta. Every field is an integer sum,
+// so the merged totals are independent of worker scheduling.
+func (s *Stats) add(d Stats) {
+	s.ForwardSearches += d.ForwardSearches
+	s.BackwardSearches += d.BackwardSearches
+	s.TreeNodes += d.TreeNodes
+	s.Extensions += d.Extensions
+	s.SubSolutions += d.SubSolutions
+	s.CapacityRejections += d.CapacityRejections
+	s.DelayRejections += d.DelayRejections
+}
+
 // Result is a successful embedding: the solution, its priced breakdown and
 // the search statistics.
 type Result struct {
@@ -162,8 +186,27 @@ func EmbedMBBE(p *Problem) (*Result, error) { return Embed(p, MBBEOptions()) }
 // Embed runs the BBE framework with explicit options. BBE and MBBE differ
 // only in options, exactly as §4.5 describes MBBE as BBE plus three
 // complementary strategies.
+//
+// Embed never mutates p: the problem's ledger is read, not written, and a
+// nil Ledger is replaced by a private empty one for the duration of the
+// run. Concurrent Embed calls may therefore share one Problem value.
 func Embed(p *Problem, opts Options) (*Result, error) {
+	start := time.Now()
+	label := opts.Label
+	if label == "" {
+		label = "custom"
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if err := p.Validate(); err != nil {
+		// Invalid instances are still failed embedding attempts: record
+		// them so the attempts/failures metric families (and the online
+		// acceptance dashboards built on them) do not undercount.
+		telemetry.RecordEmbed(telemetry.EmbedSample{
+			Alg: label, Elapsed: time.Since(start), Failed: true, Workers: workers,
+		})
 		return nil, err
 	}
 	if opts.MaxDelay > 0 && opts.Delay.DefaultProcDelay == 0 &&
@@ -171,19 +214,16 @@ func Embed(p *Problem, opts Options) (*Result, error) {
 		opts.Delay = delaymodel.Default()
 	}
 	e := &embedder{
-		p: p, opts: opts, ledger: p.ledger(),
-		trees: make(map[graph.NodeID]*graph.ShortestTree),
+		p: p, opts: opts, workers: workers,
+		ledger: p.ledgerOrFresh(),
+		trees:  make(map[graph.NodeID]*treeEntry),
 	}
-	start := time.Now()
 	res, err := e.run()
-	label := opts.Label
-	if label == "" {
-		label = "custom"
-	}
 	telemetry.RecordEmbed(telemetry.EmbedSample{
 		Alg:         label,
 		Elapsed:     time.Since(start),
 		Failed:      err != nil,
+		Workers:     workers,
 		SearchNodes: e.stats.TreeNodes,
 		Searches:    e.stats.ForwardSearches + e.stats.BackwardSearches,
 		Candidates:  e.stats.Extensions,
@@ -192,29 +232,53 @@ func Embed(p *Problem, opts Options) (*Result, error) {
 }
 
 type embedder struct {
-	p      *Problem
-	opts   Options
+	p    *Problem
+	opts Options
+	// ledger is the run's read-only capacity view. It is the problem's
+	// ledger when one is set, else a private empty one — never written
+	// back to the Problem (Commit owns that).
 	ledger *network.Ledger
-	stats  Stats
+	// workers is the resolved pool size (opts.Workers, 0 → GOMAXPROCS).
+	workers int
+	stats   Stats
 	// extCache memoizes layer extensions by (layer, start node): every
 	// parent sub-solution ending on the same node shares the same set of
-	// feasible layer embeddings.
+	// feasible layer embeddings. It is written only during the serial
+	// fan-in of buildLayerExtensions and read-only everywhere else, so
+	// parallel workers may read it without locking.
 	extCache map[extKey][]*extension
 	// trees memoizes capacity-filtered Dijkstra trees by source node.
 	// Links are bidirectional with symmetric prices, so a path a→b is the
 	// reverse of the tree-from-a path to b, and one tree serves every
-	// meta-path that shares an endpoint.
-	trees map[graph.NodeID]*graph.ShortestTree
+	// meta-path that shares an endpoint. Entries are built at most once
+	// per source (singleflight via treeEntry.once), making treeFor safe
+	// to call from concurrent workers.
+	treeMu sync.Mutex
+	trees  map[graph.NodeID]*treeEntry
 }
 
-// treeFor returns the memoized min-cost path tree rooted at src.
+// treeEntry is one singleflight slot of the Dijkstra-tree memo: the first
+// goroutine to request a source computes the tree inside once; every
+// later (or concurrent) request blocks until it is ready and shares it.
+type treeEntry struct {
+	once sync.Once
+	tree *graph.ShortestTree
+}
+
+// treeFor returns the memoized min-cost path tree rooted at src. Safe for
+// concurrent use; the tree for each source is computed exactly once.
 func (e *embedder) treeFor(src graph.NodeID) *graph.ShortestTree {
-	if t, ok := e.trees[src]; ok {
-		return t
+	e.treeMu.Lock()
+	ent, ok := e.trees[src]
+	if !ok {
+		ent = &treeEntry{}
+		e.trees[src] = ent
 	}
-	t := e.p.Net.G.Dijkstra(src, e.ledger.CostOptions(e.p.Rate))
-	e.trees[src] = t
-	return t
+	e.treeMu.Unlock()
+	ent.once.Do(func() {
+		ent.tree = e.p.Net.G.Dijkstra(src, e.ledger.CostOptions(e.p.Rate))
+	})
+	return ent.tree
 }
 
 // minCostPathCached returns a cheapest feasible path a→b via the memoized
@@ -231,6 +295,14 @@ type extKey struct {
 	start graph.NodeID
 }
 
+// parentScreen is one parent's share of a layer's candidate screening:
+// its surviving children plus the rejection tallies. Each slot is written
+// by exactly one worker and merged in parent order.
+type parentScreen struct {
+	children                               []*subSolution
+	considered, capRejected, delayRejected int
+}
+
 func (e *embedder) run() (*Result, error) {
 	p := e.p
 	specs := p.LayerSpecs()
@@ -241,34 +313,21 @@ func (e *embedder) run() (*Result, error) {
 
 	for _, spec := range specs {
 		e.observeLayerStart(spec, len(frontier))
+		// Build every distinct start node's extensions up front (fanned
+		// across the worker pool); the screening loop below then only
+		// reads the cache.
+		e.buildLayerExtensions(spec, frontier)
+		screens := make([]parentScreen, len(frontier))
+		e.forEach(len(frontier), func(i int) {
+			e.screenParent(spec, frontier[i], &screens[i])
+		})
 		var next []*subSolution
 		considered, capRejected, delayRejected := 0, 0, 0
-		for _, parent := range frontier {
-			exts := e.extensions(spec, parent.endNode(p.Src))
-			var children []*subSolution
-			for _, ext := range exts {
-				considered++
-				if e.opts.MaxDelay > 0 && parent.cumDelay+ext.delay > e.opts.MaxDelay {
-					delayRejected++
-					continue
-				}
-				if !feasibleAfter(p, parent, ext) {
-					capRejected++
-					continue
-				}
-				children = append(children, &subSolution{
-					parent:   parent,
-					ext:      ext,
-					layer:    spec.Index,
-					cum:      parent.cum + ext.localCost,
-					cumDelay: parent.cumDelay + ext.delay,
-				})
-			}
-			sort.Slice(children, func(i, j int) bool { return children[i].cum < children[j].cum })
-			if e.opts.Xd > 0 && len(children) > e.opts.Xd {
-				children = e.truncateWithDelayDiversity(children, e.opts.Xd)
-			}
-			next = append(next, children...)
+		for i := range screens {
+			considered += screens[i].considered
+			capRejected += screens[i].capRejected
+			delayRejected += screens[i].delayRejected
+			next = append(next, screens[i].children...)
 		}
 		e.stats.CapacityRejections += capRejected
 		e.stats.DelayRejections += delayRejected
@@ -373,47 +432,103 @@ func (e *embedder) run() (*Result, error) {
 	return nil, fmt.Errorf("%w: no leaf reaches the destination feasibly", ErrNoEmbedding)
 }
 
-// extensions returns (memoized) every candidate embedding of one layer
-// starting from start: forward search, backward searches per merger
-// candidate, assignment enumeration, and path instantiation.
-func (e *embedder) extensions(spec LayerSpec, start graph.NodeID) []*extension {
-	key := extKey{layer: spec.Index, start: start}
-	if exts, ok := e.extCache[key]; ok {
-		return exts
+// screenParent filters one parent's candidate extensions against the
+// delay bound and residual capacities, producing its cost-sorted (and
+// Xd-truncated) children. It only reads shared state — the extension
+// cache is complete for this layer and the ledger is read-only during a
+// run — so parents screen in parallel.
+func (e *embedder) screenParent(spec LayerSpec, parent *subSolution, out *parentScreen) {
+	p := e.p
+	exts := e.extCache[extKey{layer: spec.Index, start: parent.endNode(p.Src)}]
+	var children []*subSolution
+	for _, ext := range exts {
+		out.considered++
+		if e.opts.MaxDelay > 0 && parent.cumDelay+ext.delay > e.opts.MaxDelay {
+			out.delayRejected++
+			continue
+		}
+		if !feasibleAfter(p, e.ledger, parent, ext) {
+			out.capRejected++
+			continue
+		}
+		children = append(children, &subSolution{
+			parent:   parent,
+			ext:      ext,
+			layer:    spec.Index,
+			cum:      parent.cum + ext.localCost,
+			cumDelay: parent.cumDelay + ext.delay,
+		})
 	}
-	exts := e.buildExtensions(spec, start)
-	e.extCache[key] = exts
-	return exts
+	sort.Slice(children, func(i, j int) bool { return children[i].cum < children[j].cum })
+	if e.opts.Xd > 0 && len(children) > e.opts.Xd {
+		children = e.truncateWithDelayDiversity(children, e.opts.Xd)
+	}
+	out.children = children
 }
 
+// buildExtensions builds one (layer, start) candidate set sequentially on
+// the calling goroutine — the single-start path used by tests and
+// benchmarks. Embed itself goes through buildLayerExtensions, which fans
+// the same phases across the worker pool.
 func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extension {
-	p := e.p
-	required := spec.Required(p.Net.Catalog)
-	e.observeSearchStart(spec.Index, start, true)
-	fst := runSearch(p, start, searchConfig{required: required, maxNodes: e.opts.Xmax})
-	e.stats.ForwardSearches++
-	e.stats.TreeNodes += fst.Size()
-	e.observeSearch(spec.Index, start, true, fst.Size(), fst.Covered())
-	if !fst.Covered() {
-		e.observeExtensions(spec.Index, start, 0, 0)
-		return nil
+	b := &startBuild{start: start, sink: buildSink{record: e.opts.Observer != nil}}
+	e.runForward(b, spec, spec.Required(e.p.Net.Catalog))
+	for _, pb := range b.pairs {
+		pb.exts = e.pairExtensions(&pb.sink, spec, b.start, b.fst, pb.merger)
 	}
-	var exts []*extension
+	return e.finishStart(spec, b)
+}
+
+// runForward is phase A of one start's build: the forward search plus,
+// for single-VNF layers, the whole candidate generation (they have no
+// FST–BST pairs to fan out). For merger layers it selects the merger
+// candidates whose pairs phase B enumerates. All stats and observer
+// events go to the build's private sink.
+func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.VNFID) {
+	p := e.p
+	b.sink.searchStart(spec.Index, b.start, true)
+	fst := runSearch(p, b.start, searchConfig{required: required, maxNodes: e.opts.Xmax, ledger: e.ledger})
+	b.sink.stats.ForwardSearches++
+	b.sink.stats.TreeNodes += fst.Size()
+	b.sink.searchDone(spec.Index, b.start, true, fst.Size(), fst.Covered())
+	if !fst.Covered() {
+		b.uncovered = true
+		b.sink.extensionsBuilt(spec.Index, b.start, 0, 0)
+		return
+	}
+	b.fst = fst
 	if !spec.Merger {
-		exts = e.singleVNFExtensions(spec, start, fst)
-	} else {
-		mergerID := p.Net.Catalog.Merger()
-		mergers := fst.NodesWith(mergerID)
-		if e.opts.MaxMergerCandidates > 0 && len(mergers) > e.opts.MaxMergerCandidates {
-			mergers = mergers[:e.opts.MaxMergerCandidates]
-		}
-		for _, mergerTN := range mergers {
-			exts = append(exts, e.pairExtensions(spec, start, fst, mergerTN)...)
-		}
+		b.exts = e.singleVNFExtensions(&b.sink, spec, b.start, fst)
+		return
+	}
+	mergerID := p.Net.Catalog.Merger()
+	mergers := fst.NodesWith(mergerID)
+	if e.opts.MaxMergerCandidates > 0 && len(mergers) > e.opts.MaxMergerCandidates {
+		mergers = mergers[:e.opts.MaxMergerCandidates]
+	}
+	b.pairs = make([]*pairBuild, len(mergers))
+	for i, m := range mergers {
+		b.pairs[i] = &pairBuild{owner: b, merger: m, sink: buildSink{record: b.sink.record}}
+	}
+}
+
+// finishStart is the serial fan-in of one start's build: replay buffered
+// observer events and stats in deterministic order (forward search first,
+// then the pairs in merger discovery order — exactly the sequential
+// order), trim the concatenated candidates, and report the totals.
+func (e *embedder) finishStart(spec LayerSpec, b *startBuild) []*extension {
+	e.mergeSink(&b.sink)
+	exts := b.exts
+	for _, pb := range b.pairs {
+		e.mergeSink(&pb.sink)
+		exts = append(exts, pb.exts...)
+	}
+	if b.uncovered {
+		return nil
 	}
 	generated := len(exts)
 	exts = e.trimExtensions(exts)
-	e.observeExtensions(spec.Index, start, generated, len(exts))
+	e.observeExtensions(spec.Index, b.start, generated, len(exts))
 	return exts
 }
 
@@ -422,7 +537,9 @@ func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extens
 // candidate always survives: otherwise a loose budget lets cheap-but-slow
 // candidates crowd out the fast ones at truncation, making feasibility
 // non-monotone in the budget (a tighter budget could succeed where a
-// looser one failed).
+// looser one failed). The input is never mutated — its backing array may
+// be cached or shared — so a surviving out-of-prefix candidate is
+// inserted at its cost-ordered position on a copy.
 func (e *embedder) truncateWithDelayDiversity(children []*subSolution, limit int) []*subSolution {
 	if len(children) <= limit {
 		return children
@@ -436,14 +553,26 @@ func (e *embedder) truncateWithDelayDiversity(children []*subSolution, limit int
 			fastest = ss
 		}
 	}
-	kept := children[:limit]
-	for _, ss := range kept {
+	for _, ss := range children[:limit] {
 		if ss == fastest {
-			return kept
+			return children[:limit]
 		}
 	}
-	kept[limit-1] = fastest
-	return kept
+	return insertSorted(children[:limit-1], fastest,
+		func(a, b *subSolution) bool { return a.cum < b.cum })
+}
+
+// insertSorted returns a fresh slice holding the cost-sorted prefix plus
+// extra at its cost-ordered position (after equal-cost elements, keeping
+// the sort stable with respect to the original order).
+func insertSorted[T any](prefix []T, extra T, less func(a, b T) bool) []T {
+	out := make([]T, 0, len(prefix)+1)
+	out = append(out, prefix...)
+	pos := sort.Search(len(out), func(i int) bool { return less(extra, out[i]) })
+	out = append(out, extra)
+	copy(out[pos+1:], out[pos:])
+	out[pos] = extra
+	return out
 }
 
 // annotateDelay fills ext.delay in delay-bounded mode.
@@ -467,7 +596,9 @@ func (e *embedder) annotateDelay(spec LayerSpec, ext *extension) {
 
 // trimExtensions keeps the cheapest MaxExtensionsPerStart extensions by
 // local cost; in delay-bounded mode the lowest-delay extension always
-// survives the cut (see truncateWithDelayDiversity for the rationale).
+// survives the cut (see truncateWithDelayDiversity for the rationale —
+// and like there, the survivor is inserted on a copy at its cost-ordered
+// position, never spliced into the caller's backing array).
 func (e *embedder) trimExtensions(exts []*extension) []*extension {
 	sort.Slice(exts, func(i, j int) bool { return exts[i].localCost < exts[j].localCost })
 	max := e.opts.MaxExtensionsPerStart
@@ -483,19 +614,18 @@ func (e *embedder) trimExtensions(exts []*extension) []*extension {
 			fastest = ext
 		}
 	}
-	kept := exts[:max]
-	for _, ext := range kept {
+	for _, ext := range exts[:max] {
 		if ext == fastest {
-			return kept
+			return exts[:max]
 		}
 	}
-	kept[max-1] = fastest
-	return kept
+	return insertSorted(exts[:max-1], fastest,
+		func(a, b *extension) bool { return a.localCost < b.localCost })
 }
 
 // singleVNFExtensions handles layers with a single VNF: no merger, no
 // backward search; the layer's end node is the VNF's node.
-func (e *embedder) singleVNFExtensions(spec LayerSpec, start graph.NodeID, fst *SearchTree) []*extension {
+func (e *embedder) singleVNFExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree) []*extension {
 	p := e.p
 	f := spec.VNFs[0]
 	var exts []*extension
@@ -506,7 +636,7 @@ func (e *embedder) singleVNFExtensions(spec LayerSpec, start graph.NodeID, fst *
 			if ext != nil {
 				e.annotateDelay(spec, ext)
 				exts = append(exts, ext)
-				e.stats.Extensions++
+				sink.stats.Extensions++
 			}
 		}
 	}
@@ -516,17 +646,19 @@ func (e *embedder) singleVNFExtensions(spec LayerSpec, start graph.NodeID, fst *
 // pairExtensions generates the candidate sub-solutions of one FST–BST pair
 // (§4.4.1): enumerate parallel-VNF allocations over the BST's nodes, then
 // instantiate inner-layer paths from the BST and inter-layer paths from
-// the FST.
-func (e *embedder) pairExtensions(spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode) []*extension {
+// the FST. Stats and observer events go to the pair's private sink, so
+// pairs of one layer enumerate in parallel.
+func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode) []*extension {
 	p := e.p
-	e.observeSearchStart(spec.Index, mergerTN.Node, false)
+	sink.searchStart(spec.Index, mergerTN.Node, false)
 	bst := runSearch(p, mergerTN.Node, searchConfig{
 		required: spec.VNFs,
 		within:   fst.Contains,
+		ledger:   e.ledger,
 	})
-	e.stats.BackwardSearches++
-	e.stats.TreeNodes += bst.Size()
-	e.observeSearch(spec.Index, mergerTN.Node, false, bst.Size(), bst.Covered())
+	sink.stats.BackwardSearches++
+	sink.stats.TreeNodes += bst.Size()
+	sink.searchDone(spec.Index, mergerTN.Node, false, bst.Size(), bst.Covered())
 	if !bst.Covered() {
 		return nil
 	}
@@ -561,7 +693,7 @@ func (e *embedder) pairExtensions(spec LayerSpec, start graph.NodeID, fst *Searc
 		}
 		if i == len(spec.VNFs) {
 			count++
-			exts = append(exts, e.instantiate(spec, start, fst, bst, mergerTN, assignment)...)
+			exts = append(exts, e.instantiate(sink, spec, start, fst, bst, mergerTN, assignment)...)
 			return
 		}
 		for _, h := range hosts[i] {
@@ -581,7 +713,7 @@ func (e *embedder) pairExtensions(spec LayerSpec, start graph.NodeID, fst *Searc
 // the min-cost path under MiniPath); in BBE mode, alternative real-paths
 // are explored one meta-path at a time to bound the cross-product the
 // paper's step (ii)/(iii) would otherwise generate.
-func (e *embedder) instantiate(spec LayerSpec, start graph.NodeID, fst, bst *SearchTree,
+func (e *embedder) instantiate(sink *buildSink, spec LayerSpec, start graph.NodeID, fst, bst *SearchTree,
 	mergerTN *TreeNode, assignment []*TreeNode) []*extension {
 
 	p := e.p
@@ -629,7 +761,7 @@ func (e *embedder) instantiate(spec LayerSpec, start graph.NodeID, fst, bst *Sea
 	var exts []*extension
 	if ext := build(base, base); ext != nil {
 		exts = append(exts, ext)
-		e.stats.Extensions++
+		sink.stats.Extensions++
 	}
 	// One-at-a-time alternative path variants: BBE's tree-path choices,
 	// or the hop-minimal variants added in delay-bounded mode.
@@ -640,7 +772,7 @@ func (e *embedder) instantiate(spec LayerSpec, start graph.NodeID, fst, bst *Sea
 				idx[i] = v
 				if ext := build(idx, base); ext != nil {
 					exts = append(exts, ext)
-					e.stats.Extensions++
+					sink.stats.Extensions++
 				}
 			}
 			for v := 1; v < len(innerChoices[i]); v++ {
@@ -648,7 +780,7 @@ func (e *embedder) instantiate(spec LayerSpec, start graph.NodeID, fst, bst *Sea
 				idx[i] = v
 				if ext := build(base, idx); ext != nil {
 					exts = append(exts, ext)
-					e.stats.Extensions++
+					sink.stats.Extensions++
 				}
 			}
 		}

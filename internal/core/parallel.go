@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dagsfc/internal/graph"
+)
+
+// This file holds the worker-pool plumbing behind Options.Workers. The
+// design keeps parallel runs bit-identical to sequential ones:
+//
+//   - Each unit of fanned-out work (a start node's forward build, one
+//     FST–BST pair enumeration, one parent's candidate screening) writes
+//     only to a slot it exclusively owns, plus a private buildSink for
+//     its Stats delta and Observer events.
+//   - Fan-in happens on the calling goroutine, walking the slots in the
+//     order the sequential loop would have produced them; sinks are
+//     merged (integer stat sums, event replay) in that order.
+//   - Shared embedder state read during a job — the problem, the ledger,
+//     the completed extCache of earlier layers — is read-only for the
+//     duration of a run; the Dijkstra tree memo is singleflight-guarded.
+
+// obsEvent is one buffered Observer callback, replayed at fan-in on the
+// calling goroutine so the Observer contract ("all callbacks arrive from
+// the calling goroutine, in search order") holds under any Workers value.
+type obsEvent func(Observer)
+
+// buildSink is a job's private accumulator: its Stats delta plus the
+// Observer events it would have fired. Events are only buffered when an
+// observer is configured (record).
+type buildSink struct {
+	record bool
+	stats  Stats
+	events []obsEvent
+}
+
+func (s *buildSink) searchStart(layer int, start graph.NodeID, forward bool) {
+	if s.record {
+		s.events = append(s.events, func(o Observer) { o.SearchStart(layer, start, forward) })
+	}
+}
+
+func (s *buildSink) searchDone(layer int, start graph.NodeID, forward bool, size int, covered bool) {
+	if s.record {
+		s.events = append(s.events, func(o Observer) { o.SearchDone(layer, start, forward, size, covered) })
+	}
+}
+
+func (s *buildSink) extensionsBuilt(layer int, start graph.NodeID, generated, kept int) {
+	if s.record {
+		s.events = append(s.events, func(o Observer) { o.ExtensionsBuilt(layer, start, generated, kept) })
+	}
+}
+
+// mergeSink folds one job's sink into the run on the calling goroutine:
+// stats are summed (order-independent integer adds) and buffered observer
+// events replayed in the order the job recorded them.
+func (e *embedder) mergeSink(s *buildSink) {
+	e.stats.add(s.stats)
+	if e.opts.Observer != nil {
+		for _, ev := range s.events {
+			ev(e.opts.Observer)
+		}
+	}
+	s.events = nil
+}
+
+// startBuild is the owned slot for one (layer, start node) extension
+// build. Phase A (runForward) fills fst/uncovered/exts/pairs; phase B
+// fills each pair's slot; finishStart merges everything in order.
+type startBuild struct {
+	start     graph.NodeID
+	sink      buildSink
+	fst       *SearchTree
+	uncovered bool
+	// exts holds the single-VNF candidates (non-merger layers); merger
+	// layers collect theirs per pair instead.
+	exts  []*extension
+	pairs []*pairBuild
+}
+
+// pairBuild is the owned slot for one FST–BST pair enumeration.
+type pairBuild struct {
+	owner  *startBuild
+	merger *TreeNode
+	sink   buildSink
+	exts   []*extension
+}
+
+// forEach runs fn(0..n-1) across the worker pool. With one worker (or one
+// item) it degrades to an inline loop on the calling goroutine — the
+// Workers=1 sequential path spawns no goroutines at all. fn must write
+// only to state owned by index i.
+func (e *embedder) forEach(n int, fn func(i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildLayerExtensions fills extCache for every distinct start node of
+// the frontier, fanning the work across the pool in two phases: phase A
+// runs the forward searches (one job per distinct start), phase B the
+// FST–BST pair enumerations (one job per pair, flattened across starts so
+// a layer with few starts but many mergers still saturates the pool).
+// The serial fan-in then walks starts in first-appearance frontier order
+// — the exact order the sequential loop builds them — so cache contents,
+// stats and observer events are identical for every Workers value.
+func (e *embedder) buildLayerExtensions(spec LayerSpec, frontier []*subSolution) {
+	p := e.p
+	seen := make(map[graph.NodeID]bool, len(frontier))
+	builds := make([]*startBuild, 0, len(frontier))
+	for _, parent := range frontier {
+		start := parent.endNode(p.Src)
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		builds = append(builds, &startBuild{start: start, sink: buildSink{record: e.opts.Observer != nil}})
+	}
+	required := spec.Required(p.Net.Catalog)
+	e.forEach(len(builds), func(i int) {
+		e.runForward(builds[i], spec, required)
+	})
+	var pairs []*pairBuild
+	for _, b := range builds {
+		pairs = append(pairs, b.pairs...)
+	}
+	e.forEach(len(pairs), func(i int) {
+		pb := pairs[i]
+		pb.exts = e.pairExtensions(&pb.sink, spec, pb.owner.start, pb.owner.fst, pb.merger)
+	})
+	for _, b := range builds {
+		e.extCache[extKey{layer: spec.Index, start: b.start}] = e.finishStart(spec, b)
+	}
+}

@@ -33,7 +33,21 @@ type Problem struct {
 	Size float64
 }
 
-// ledger returns the problem's ledger, creating an empty one on demand.
+// ledgerOrFresh returns the problem's ledger, or a fresh empty one when
+// none is set — without installing it on the Problem. Read-only callers
+// (Embed, Validate, Release, searches) use this so they never mutate the
+// caller's struct and concurrent calls sharing one Problem cannot race on
+// p.Ledger.
+func (p *Problem) ledgerOrFresh() *network.Ledger {
+	if p.Ledger == nil {
+		return network.NewLedger(p.Net)
+	}
+	return p.Ledger
+}
+
+// ledger returns the problem's ledger, creating AND INSTALLING an empty
+// one on demand. Only Commit uses this: committing a solution must leave
+// its reservations behind on the Problem for subsequent calls to see.
 func (p *Problem) ledger() *network.Ledger {
 	if p.Ledger == nil {
 		p.Ledger = network.NewLedger(p.Net)

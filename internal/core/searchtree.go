@@ -162,6 +162,10 @@ type searchConfig struct {
 	// maxNodes aborts the search once the discovered set would exceed this
 	// size without achieving coverage (MBBE's Xmax). 0 = unlimited.
 	maxNodes int
+	// ledger supplies the residual-capacity view. Nil falls back to the
+	// problem's ledger (or a fresh empty one) without mutating p —
+	// convenient for tests that call runSearch directly.
+	ledger *network.Ledger
 }
 
 // runSearch performs the paper's iterative breadth-first search from start
@@ -171,7 +175,10 @@ type searchConfig struct {
 // the accumulated available sets cover the required categories (the tree's
 // covered flag), or when the graph (or the maxNodes budget) is exhausted.
 func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
-	ledger := p.ledger()
+	ledger := cfg.ledger
+	if ledger == nil {
+		ledger = p.ledgerOrFresh()
+	}
 	g := p.Net.G
 
 	needed := make(map[network.VNFID]bool, len(cfg.required))

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
 )
 
 // edgeUse is one layer's bandwidth demand on a link, in reuse counts.
@@ -82,9 +83,10 @@ func (ss *subSolution) chainInstanceUse(key InstanceUseKey) int {
 }
 
 // feasibleAfter reports whether appending ext to the chain ending at ss
-// stays within the ledger's residual capacities.
-func feasibleAfter(p *Problem, ss *subSolution, ext *extension) bool {
-	ledger := p.ledger()
+// stays within the ledger's residual capacities. The ledger is passed in
+// (rather than read off p) so the embedder's private view is used and p
+// is never mutated.
+func feasibleAfter(p *Problem, ledger *network.Ledger, ss *subSolution, ext *extension) bool {
 	// Instances: count duplicate uses within ext itself plus the chain.
 	counted := make(map[InstanceUseKey]int, len(ext.instUse))
 	for _, key := range ext.instUse {

@@ -100,7 +100,7 @@ func Validate(p *Problem, s *Solution) error {
 	if err != nil {
 		return err
 	}
-	ledger := p.ledger()
+	ledger := p.ledgerOrFresh()
 	for key, alpha := range cb.InstanceUse {
 		demand := float64(alpha) * p.Rate
 		if ledger.InstanceResidual(key.Node, key.VNF) < demand-1e-9 {
@@ -175,7 +175,10 @@ func Release(p *Problem, s *Solution) error {
 	if err != nil {
 		return err
 	}
-	ledger := p.ledger()
+	// Releasing against a Problem with no ledger is a no-op (there is
+	// nothing committed to return); use the read-only view so p is not
+	// mutated.
+	ledger := p.ledgerOrFresh()
 	for key, alpha := range cb.InstanceUse {
 		ledger.ReleaseInstance(key.Node, key.VNF, float64(alpha)*p.Rate)
 	}

@@ -13,6 +13,7 @@ const (
 	MetricEmbedAttempts  = "dagsfc_embed_attempts_total"
 	MetricEmbedFailures  = "dagsfc_embed_failures_total"
 	MetricEmbedLatency   = "dagsfc_embed_latency_seconds"
+	MetricEmbedWorkers   = "dagsfc_embed_workers"
 	MetricSearchNodes    = "dagsfc_embed_search_nodes_total"
 	MetricSearches       = "dagsfc_embed_searches_total"
 	MetricCandidates     = "dagsfc_embed_candidates_total"
@@ -32,6 +33,10 @@ type EmbedSample struct {
 	// SearchNodes, Searches and Candidates count the attempt's work in the
 	// algorithm's own units (see the metric-name comment above).
 	SearchNodes, Searches, Candidates int
+	// Workers is the resolved worker-pool size of the attempt. Zero means
+	// the producer has no worker pool (baselines, annealer) and suppresses
+	// the gauge.
+	Workers int
 }
 
 // RecordEmbed records one embedding attempt on the Default registry.
@@ -47,6 +52,9 @@ func RecordEmbed(s EmbedSample) {
 	r.Counter(MetricSearchNodes, "Search states explored (tree nodes, candidates examined, or proposals).", alg).Add(float64(s.SearchNodes))
 	r.Counter(MetricSearches, "Searches run (FST/BST builds, Dijkstra calls, or tree builds).", alg).Add(float64(s.Searches))
 	r.Counter(MetricCandidates, "Candidate sub-solutions generated.", alg).Add(float64(s.Candidates))
+	if s.Workers > 0 {
+		r.Gauge(MetricEmbedWorkers, "Worker-pool size of the most recent embedding attempt.", alg).Set(float64(s.Workers))
+	}
 }
 
 // RecordOnlineRequest records one online-harness request on the Default
