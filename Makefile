@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke serve-smoke repro examples vet fmt
 
 all: build vet test
 
@@ -39,6 +39,12 @@ bench:
 # benchmark code without the full -bench timing cost.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# serve-smoke boots the control plane in-process on an ephemeral port and
+# drives one full commit/release cycle over real HTTP: residuals must
+# shrink, return to the seed exactly, and /metrics must report the traffic.
+serve-smoke:
+	$(GO) run ./cmd/dagsfc-load -selfserve -smoke
 
 # Regenerate every table/figure of the paper at full trial count.
 repro:

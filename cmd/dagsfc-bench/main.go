@@ -38,21 +38,9 @@ func main() {
 		parallel = flag.Int("parallel", 1, "concurrent trials per point (results identical; timings noisier). The runtime experiment always runs sequentially")
 		workers  = flag.Int("workers", 1, "worker-pool size inside each BBE/MBBE embedding (results identical). Default 1: -parallel across trials usually uses the cores better; -1 = GOMAXPROCS per embedding")
 	)
-	diagFlags := diag.RegisterFlags()
-	flag.Parse()
-	session, err := diagFlags.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-bench:", err)
-		os.Exit(1)
-	}
-	runErr := run(*expName, *trials, *seed, *csvDir, *parallel, *workers)
-	if err := session.Close(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-bench:", runErr)
-		os.Exit(1)
-	}
+	diag.Main("dagsfc-bench", func() error {
+		return run(*expName, *trials, *seed, *csvDir, *parallel, *workers)
+	})
 }
 
 func run(expName string, trials int, seed int64, csvDir string, parallel, workers int) error {

@@ -49,25 +49,13 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the search as a JSON span tree (mbbe/bbe only)")
 		explain  = flag.Bool("explain", false, "print a human-readable rendering of the search trace (mbbe/bbe only)")
 	)
-	diagFlags := diag.RegisterFlags()
-	flag.Parse()
-	session, err := diagFlags.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-embed:", err)
-		os.Exit(1)
-	}
-	runErr := run(config{
-		netFile: *netFile, sfcStr: *sfcStr, src: *src, dst: *dst, alg: *alg,
-		rate: *rate, size: *size, seed: *seed, dotFile: *dotFile, outFile: *outFile,
-		verbose: *verbose, traceOut: *traceOut, explain: *explain, workers: *workers,
+	diag.Main("dagsfc-embed", func() error {
+		return run(config{
+			netFile: *netFile, sfcStr: *sfcStr, src: *src, dst: *dst, alg: *alg,
+			rate: *rate, size: *size, seed: *seed, dotFile: *dotFile, outFile: *outFile,
+			verbose: *verbose, traceOut: *traceOut, explain: *explain, workers: *workers,
+		})
 	})
-	if err := session.Close(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-embed:", runErr)
-		os.Exit(1)
-	}
 }
 
 type config struct {

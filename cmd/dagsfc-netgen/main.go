@@ -24,7 +24,6 @@ func main() {
 		seed = flag.Int64("seed", 1, "generator seed")
 		out  = flag.String("o", "", "output file (default stdout)")
 	)
-	diagFlags := diag.RegisterFlags()
 	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "network size (number of nodes)")
 	flag.Float64Var(&cfg.Connectivity, "conn", cfg.Connectivity, "target average node degree")
 	flag.IntVar(&cfg.VNFKinds, "kinds", cfg.VNFKinds, "number of VNF categories")
@@ -34,21 +33,9 @@ func main() {
 	flag.Float64Var(&cfg.VNFPriceFluct, "fluct", cfg.VNFPriceFluct, "VNF price fluctuation ratio")
 	flag.Float64Var(&cfg.LinkCapacity, "link-cap", cfg.LinkCapacity, "link bandwidth capacity")
 	flag.Float64Var(&cfg.InstanceCapacity, "inst-cap", cfg.InstanceCapacity, "instance processing capacity")
-	flag.Parse()
-
-	session, err := diagFlags.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-netgen:", err)
-		os.Exit(1)
-	}
-	runErr := run(cfg, *seed, *out)
-	if err := session.Close(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-netgen:", runErr)
-		os.Exit(1)
-	}
+	diag.Main("dagsfc-netgen", func() error {
+		return run(cfg, *seed, *out)
+	})
 }
 
 func run(cfg netgen.Config, seed int64, out string) error {

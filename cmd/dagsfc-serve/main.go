@@ -1,0 +1,129 @@
+// Command dagsfc-serve runs the embedding control plane: one live network
+// whose capacity ledger is mutated only through the HTTP API
+// (internal/server). Flows are embedded speculatively by a worker pool,
+// committed by a single serialized commit loop, and live until released
+// over DELETE or until their TTL expires.
+//
+// The network is loaded from JSON (see cmd/dagsfc-netgen) or, without
+// -net, generated in-process from the paper's §5.1 distribution.
+//
+// Usage:
+//
+//	dagsfc-serve [-addr localhost:8080] [-net net.json | -nodes 50 -kinds 10]
+//	             [-alg mbbe] [-embed-workers 0] [-queue 64] [-timeout 30s]
+//	             [-ttl 0] [-retries 1] [-drain-timeout 30s] [-seed 1]
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (healthz turns 503,
+// new flows get 503), in-flight requests finish, then the HTTP listener
+// closes and the diagnostics session flushes. The API:
+//
+//	POST   /v1/flows        embed + commit one flow
+//	GET    /v1/flows[/{id}] inspect committed flows
+//	DELETE /v1/flows/{id}   release a flow's capacity
+//	GET    /v1/network      residual-network snapshot
+//	GET    /healthz         liveness; GET /metrics — telemetry
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dagsfc/internal/diag"
+	"dagsfc/internal/netgen"
+	"dagsfc/internal/network"
+	"dagsfc/internal/server"
+)
+
+func main() {
+	gen := netgen.Default()
+	gen.Nodes = 50
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		netFile      = flag.String("net", "", "network JSON file (default: generate one)")
+		seed         = flag.Int64("seed", 1, "seed for network generation and randomized algorithms")
+		alg          = flag.String("alg", "mbbe", "default embedding algorithm: mbbe, bbe, minv, ranv, sa")
+		workers      = flag.Int("embed-workers", 0, "speculative embed workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth (full queue rejects with 429)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (past it: 504)")
+		ttl          = flag.Duration("ttl", 0, "default flow TTL (0 = flows live until released)")
+		retries      = flag.Int("retries", 1, "re-embeds after a commit conflict before 409")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
+	)
+	flag.IntVar(&gen.Nodes, "nodes", gen.Nodes, "generated network size (ignored with -net)")
+	flag.IntVar(&gen.VNFKinds, "kinds", gen.VNFKinds, "generated VNF categories (ignored with -net)")
+	diag.Main("dagsfc-serve", func() error {
+		return run(*addr, *netFile, gen, *seed, *alg, *workers, *queue, *timeout, *ttl, *retries, *drainTimeout)
+	})
+}
+
+func run(addr, netFile string, gen netgen.Config, seed int64, alg string,
+	workers, queue int, timeout, ttl time.Duration, retries int, drainTimeout time.Duration) error {
+	nw, err := loadNetwork(netFile, gen, seed)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Net: nw, Algorithm: alg, Seed: seed,
+		Workers: workers, QueueDepth: queue,
+		RequestTimeout: timeout, CommitRetries: retries, DefaultTTL: ttl,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dagsfc-serve: %d nodes, %d links, %d VNF instances; listening on http://%s\n",
+		nw.G.NumNodes(), nw.G.NumEdges(), nw.NumInstances(), ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: stop admitting and finish every in-flight request,
+	// then close the listener. The diagnostics session flushes metrics
+	// after this returns.
+	fmt.Fprintln(os.Stderr, "dagsfc-serve: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("shutdown: %w", drainErr)
+	}
+	fmt.Fprintf(os.Stderr, "dagsfc-serve: drained, %d flows still committed\n", srv.ActiveFlows())
+	return nil
+}
+
+func loadNetwork(netFile string, gen netgen.Config, seed int64) (*network.Network, error) {
+	if netFile == "" {
+		return netgen.Generate(gen, rand.New(rand.NewSource(seed)))
+	}
+	f, err := os.Open(netFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return network.ReadJSON(f)
+}

@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"dagsfc"
 	"dagsfc/internal/diag"
@@ -26,25 +25,16 @@ func main() {
 		n     = flag.Int("n", 1, "how many SFCs to generate")
 		seed  = flag.Int64("seed", 1, "generator seed")
 	)
-	diagFlags := diag.RegisterFlags()
-	flag.Parse()
-	session, err := diagFlags.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-sfcgen:", err)
-		os.Exit(1)
-	}
-	rng := rand.New(rand.NewSource(*seed))
-	cfg := sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds}
-	for i := 0; i < *n; i++ {
-		s, err := sfcgen.Generate(cfg, rng)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dagsfc-sfcgen:", err)
-			os.Exit(1)
+	diag.Main("dagsfc-sfcgen", func() error {
+		rng := rand.New(rand.NewSource(*seed))
+		cfg := sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds}
+		for i := 0; i < *n; i++ {
+			s, err := sfcgen.Generate(cfg, rng)
+			if err != nil {
+				return err
+			}
+			fmt.Println(dagsfc.FormatSFC(s))
 		}
-		fmt.Println(dagsfc.FormatSFC(s))
-	}
-	if err := session.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "dagsfc-sfcgen:", err)
-		os.Exit(1)
-	}
+		return nil
+	})
 }

@@ -45,9 +45,9 @@ func main() {
 		if report.Accepted > 0 {
 			avg = report.TotalCost / float64(report.Accepted)
 		}
-		fmt.Printf("%-6s accepted %3d/%d (%.0f%%)   total cost %8.0f   avg/flow %7.1f\n",
+		fmt.Printf("%-6s accepted %3d/%d (%.0f%%)   total cost %8.0f   avg/flow %7.1f   commit failures %d\n",
 			name, report.Accepted, len(reqs), 100*report.AcceptanceRatio(),
-			report.TotalCost, avg)
+			report.TotalCost, avg, report.CommitFailures)
 		return report
 	}
 

@@ -1,14 +1,15 @@
 // Package diag gives every CLI the same diagnostics surface: pprof CPU
 // and heap profiles, a telemetry metrics snapshot written on exit, and a
 // live debug listener serving /metrics plus /debug/pprof/ while a long
-// run executes. Register the flags before flag.Parse, then bracket main
-// with Start/Close:
+// run executes. A CLI registers its own flags, then hands its body to
+// Main, which parses flags, brackets the run with a diagnostics session
+// and owns the exit code:
 //
-//	flags := diag.RegisterFlags()
-//	flag.Parse()
-//	session, err := flags.Start()
-//	...
-//	defer session.Close()
+//	out := flag.String("o", "", "output file")
+//	diag.Main("mytool", func() error { return run(*out) })
+//
+// Lower-level use (custom flag handling) remains available through
+// RegisterFlags / Flags.Start / Session.Close.
 package diag
 
 import (
@@ -19,9 +20,33 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 
 	"dagsfc/internal/telemetry"
 )
+
+// Main is the shared CLI skeleton: it registers the diagnostics flags,
+// parses the default flag set (so every tool-specific flag must be
+// registered before the call), starts the diagnostics session, runs the
+// body, closes the session (its error surfaces only if the body
+// succeeded) and exits nonzero on failure.
+func Main(name string, run func() error) {
+	flags := RegisterFlags()
+	flag.Parse()
+	session, err := flags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	runErr := run()
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, runErr)
+		os.Exit(1)
+	}
+}
 
 // Flags holds the diagnostics configuration; zero values disable each
 // facility.
@@ -55,6 +80,8 @@ type Session struct {
 	cpuFile    *os.File
 	listener   net.Listener
 	httpServer *http.Server
+	closeOnce  sync.Once
+	closeErr   error
 }
 
 // Start applies the configuration: begins the CPU profile and launches
@@ -97,8 +124,15 @@ func (s *Session) Addr() string {
 }
 
 // Close stops the CPU profile, writes the heap profile and metrics
-// snapshot, and shuts the debug listener down. Safe to call once.
+// snapshot, and shuts the debug listener down. Close is idempotent —
+// a second call (e.g. a deferred Close racing a signal-driven drain
+// path) is a no-op returning the first call's error.
 func (s *Session) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.close() })
+	return s.closeErr
+}
+
+func (s *Session) close() error {
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {

@@ -80,3 +80,32 @@ func TestWriteMetricsFileJSON(t *testing.T) {
 		t.Fatalf("not JSON: %s", data)
 	}
 }
+
+func TestSessionCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	flags := Flags{CPUProfile: filepath.Join(dir, "cpu.pprof")}
+	s, err := flags.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Close (diag.Main closes once, a deferred Close in the run
+	// function may close again) must be a no-op returning the same result,
+	// not a double pprof.StopCPUProfile or a rewritten file.
+	st1, err := os.Stat(flags.CPUProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	st2, err := os.Stat(flags.CPUProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st1.ModTime().Equal(st2.ModTime()) || st1.Size() != st2.Size() {
+		t.Fatal("second Close rewrote the profile")
+	}
+}

@@ -3,11 +3,12 @@ package online
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"time"
 
 	"dagsfc/internal/core"
 	"dagsfc/internal/network"
 	"dagsfc/internal/sfcgen"
+	"dagsfc/internal/telemetry"
 )
 
 // TimedRequest is a flow with an arrival time and a holding duration;
@@ -32,45 +33,26 @@ type ChurnReport struct {
 // capacity freed by departures can admit later flows a static run would
 // reject.
 func RunChurn(net *network.Network, reqs []TimedRequest, embed Embedder) (ChurnReport, error) {
-	type event struct {
-		time    float64
-		arrival bool
-		idx     int
-	}
-	var events []event
+	var events []Event
 	for i, r := range reqs {
 		if r.Duration < 0 {
 			return ChurnReport{}, fmt.Errorf("online: request %d has negative duration", i)
 		}
-		events = append(events, event{time: r.Arrival, arrival: true, idx: i})
-		events = append(events, event{time: r.Arrival + r.Duration, arrival: false, idx: i})
+		events = append(events, Event{Time: r.Arrival, Arrival: true, Idx: i})
+		events = append(events, Event{Time: r.Arrival + r.Duration, Arrival: false, Idx: i})
 	}
-	// Departures before arrivals at equal timestamps, so a zero-gap
-	// reuse of capacity is possible; ties otherwise by request index.
-	sort.SliceStable(events, func(a, b int) bool {
-		ea, eb := events[a], events[b]
-		if ea.time != eb.time {
-			return ea.time < eb.time
-		}
-		if ea.arrival != eb.arrival {
-			return !ea.arrival
-		}
-		return ea.idx < eb.idx
-	})
+	SortEvents(events)
 
 	ledger := network.NewLedger(net)
 	report := ChurnReport{Report: Report{Outcomes: make([]Outcome, len(reqs))}}
-	active := map[int]*core.Solution{}
-	problems := map[int]*core.Problem{}
+	active := NewFlowTable[int]()
 	for _, ev := range events {
-		req := reqs[ev.idx]
-		if !ev.arrival {
-			if sol, ok := active[ev.idx]; ok {
-				if err := core.Release(problems[ev.idx], sol); err != nil {
+		req := reqs[ev.Idx]
+		if !ev.Arrival {
+			if f, ok := active.Release(ev.Idx); ok {
+				if err := core.Release(f.Problem, f.Solution); err != nil {
 					return report, err
 				}
-				delete(active, ev.idx)
-				delete(problems, ev.idx)
 			}
 			continue
 		}
@@ -78,24 +60,32 @@ func RunChurn(net *network.Network, reqs []TimedRequest, embed Embedder) (ChurnR
 			Net: net, Ledger: ledger, SFC: req.SFC,
 			Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
 		}
+		begin := time.Now()
 		res, err := embed(p)
 		if err != nil {
-			report.Outcomes[ev.idx] = Outcome{Err: err}
+			latency := time.Since(begin)
+			report.Outcomes[ev.Idx] = Outcome{Err: err, Latency: latency}
 			report.Rejected++
+			telemetry.RecordOnlineRequest(false, latency)
 			continue
 		}
 		if _, err := core.Commit(p, res.Solution); err != nil {
-			report.Outcomes[ev.idx] = Outcome{Err: err}
+			latency := time.Since(begin)
+			report.Outcomes[ev.Idx] = Outcome{Err: err, Latency: latency}
 			report.Rejected++
+			report.CommitFailures++
+			telemetry.RecordOnlineRequest(false, latency)
+			telemetry.RecordOnlineCommitFailure()
 			continue
 		}
-		active[ev.idx] = res.Solution
-		problems[ev.idx] = p
-		report.Outcomes[ev.idx] = Outcome{Accepted: true, Cost: res.Cost.Total()}
+		latency := time.Since(begin)
+		active.Add(ev.Idx, Flow{Problem: p, Solution: res.Solution})
+		report.Outcomes[ev.Idx] = Outcome{Accepted: true, Cost: res.Cost.Total(), Latency: latency}
 		report.Accepted++
 		report.TotalCost += res.Cost.Total()
-		if len(active) > report.PeakActive {
-			report.PeakActive = len(active)
+		telemetry.RecordOnlineRequest(true, latency)
+		if active.Peak() > report.PeakActive {
+			report.PeakActive = active.Peak()
 		}
 	}
 	return report, nil

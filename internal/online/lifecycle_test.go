@@ -1,0 +1,173 @@
+package online
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlowTableAddReleasePeak(t *testing.T) {
+	tab := NewFlowTable[int]()
+	if tab.Len() != 0 || tab.Peak() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	tab.Add(1, Flow{})
+	tab.Add(2, Flow{})
+	if tab.Len() != 2 || tab.Peak() != 2 {
+		t.Fatalf("len/peak = %d/%d, want 2/2", tab.Len(), tab.Peak())
+	}
+	if _, ok := tab.Get(1); !ok {
+		t.Fatal("Get(1) missed")
+	}
+	if _, ok := tab.Release(1); !ok {
+		t.Fatal("Release(1) missed")
+	}
+	if _, ok := tab.Release(1); ok {
+		t.Fatal("double release succeeded")
+	}
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("released flow still present")
+	}
+	// Peak is sticky across releases.
+	if tab.Len() != 1 || tab.Peak() != 2 {
+		t.Fatalf("len/peak = %d/%d, want 1/2", tab.Len(), tab.Peak())
+	}
+	keys := tab.Keys()
+	if len(keys) != 1 || keys[0] != 2 {
+		t.Fatalf("keys = %v, want [2]", keys)
+	}
+}
+
+func TestSortEventsDeparturesFirst(t *testing.T) {
+	events := []Event{
+		{Time: 5, Arrival: true, Idx: 2},
+		{Time: 5, Arrival: false, Idx: 1},
+		{Time: 1, Arrival: true, Idx: 0},
+		{Time: 5, Arrival: true, Idx: 1},
+	}
+	SortEvents(events)
+	want := []Event{
+		{Time: 1, Arrival: true, Idx: 0},
+		{Time: 5, Arrival: false, Idx: 1},
+		{Time: 5, Arrival: true, Idx: 1},
+		{Time: 5, Arrival: true, Idx: 2},
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+// collector gathers wheel firings for assertions.
+type collector struct {
+	mu   sync.Mutex
+	keys []int
+	cond chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{cond: make(chan struct{}, 64)}
+}
+
+func (c *collector) expire(k int) {
+	c.mu.Lock()
+	c.keys = append(c.keys, k)
+	c.mu.Unlock()
+	c.cond <- struct{}{}
+}
+
+func (c *collector) snapshot() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.keys...)
+}
+
+func (c *collector) waitN(t *testing.T, n int) []int {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if got := c.snapshot(); len(got) >= n {
+			return got
+		}
+		select {
+		case <-c.cond:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d expiries, have %v", n, c.snapshot())
+		}
+	}
+}
+
+func TestExpiryWheelFiresDueKeysInOrder(t *testing.T) {
+	c := newCollector()
+	w := NewExpiryWheel[int](c.expire)
+	defer w.Stop()
+	now := time.Now()
+	// Scheduled out of deadline order; must fire in deadline order.
+	w.Schedule(3, now.Add(30*time.Millisecond))
+	w.Schedule(1, now.Add(10*time.Millisecond))
+	w.Schedule(2, now.Add(20*time.Millisecond))
+	if w.Len() != 3 {
+		t.Fatalf("wheel len = %d, want 3", w.Len())
+	}
+	got := c.waitN(t, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fired %v, want [1 2 3]", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel len = %d after firing, want 0", w.Len())
+	}
+}
+
+func TestExpiryWheelCancel(t *testing.T) {
+	c := newCollector()
+	w := NewExpiryWheel[int](c.expire)
+	defer w.Stop()
+	now := time.Now()
+	w.Schedule(1, now.Add(10*time.Millisecond))
+	w.Schedule(2, now.Add(15*time.Millisecond))
+	w.Cancel(1)
+	got := c.waitN(t, 1)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("fired %v, want [2]", got)
+	}
+	// Give a canceled late firing a chance to (wrongly) appear.
+	time.Sleep(30 * time.Millisecond)
+	if got := c.snapshot(); len(got) != 1 {
+		t.Fatalf("canceled key fired anyway: %v", got)
+	}
+}
+
+func TestExpiryWheelRescheduleSupersedes(t *testing.T) {
+	c := newCollector()
+	w := NewExpiryWheel[int](c.expire)
+	defer w.Stop()
+	now := time.Now()
+	w.Schedule(1, now.Add(5*time.Millisecond))
+	w.Schedule(1, now.Add(40*time.Millisecond)) // replaces the earlier deadline
+	w.Schedule(2, now.Add(15*time.Millisecond))
+	got := c.waitN(t, 2)
+	if got[0] != 2 || got[1] != 1 {
+		t.Fatalf("fired %v, want [2 1] (reschedule pushed key 1 later)", got)
+	}
+	if len(got) != 2 {
+		t.Fatalf("key 1 fired twice: %v", got)
+	}
+}
+
+func TestExpiryWheelStopIdempotentAndDropsPending(t *testing.T) {
+	c := newCollector()
+	w := NewExpiryWheel[int](c.expire)
+	w.Schedule(1, time.Now().Add(time.Hour))
+	w.Stop()
+	w.Stop() // must not hang or panic
+	if got := c.snapshot(); len(got) != 0 {
+		t.Fatalf("pending expiry fired on Stop: %v", got)
+	}
+	// Scheduling after Stop is a no-op, not a panic.
+	w.Schedule(2, time.Now())
+	time.Sleep(10 * time.Millisecond)
+	if got := c.snapshot(); len(got) != 0 {
+		t.Fatalf("post-Stop schedule fired: %v", got)
+	}
+}

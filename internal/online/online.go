@@ -48,6 +48,10 @@ type Report struct {
 	Accepted  int
 	Rejected  int
 	TotalCost float64
+	// CommitFailures counts rejections where the embed succeeded but the
+	// commit against the shared ledger failed — a defensive branch in the
+	// offline harnesses, a real stale-snapshot conflict in the server.
+	CommitFailures int
 }
 
 // AcceptanceRatio is accepted / total (0 for an empty run).
@@ -98,6 +102,8 @@ func Run(net *network.Network, reqs []Request, embed Embedder) (Report, error) {
 			// The embedding was validated against the ledger it was
 			// produced with, so commit cannot fail; treat defensively as
 			// a rejection.
+			report.CommitFailures++
+			telemetry.RecordOnlineCommitFailure()
 			reject(begin, err)
 			continue
 		}

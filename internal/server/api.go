@@ -1,0 +1,110 @@
+package server
+
+import (
+	"errors"
+	"time"
+)
+
+// This file defines the JSON wire types of the control-plane API and the
+// sentinel errors the admission pipeline classifies outcomes with. The
+// typed client (internal/server/client) shares these types, so a Go
+// caller round-trips through the same structs the handlers encode.
+
+// FlowRequest is the body of POST /v1/flows: one flow to embed and
+// commit. Exactly one of SFC (the layered "1;2,3" CLI syntax) or Chain
+// (a sequential category list, standardized server-side into its hybrid
+// DAG form via the parallelizability rules) must be set.
+type FlowRequest struct {
+	SFC   string `json:"sfc,omitempty"`
+	Chain []int  `json:"chain,omitempty"`
+	// MaxWidth bounds the parallel set size when standardizing Chain
+	// (0 means the paper's default of 3).
+	MaxWidth int     `json:"max_width,omitempty"`
+	Src      int     `json:"src"`
+	Dst      int     `json:"dst"`
+	Rate     float64 `json:"rate"`
+	Size     float64 `json:"size"`
+	// TTLSeconds auto-releases the flow after this holding time; 0 uses
+	// the server default (which may be "never").
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// Alg overrides the server's default embedding algorithm for this
+	// flow ("mbbe", "bbe", "minv", "ranv", "sa", or a registered name).
+	Alg string `json:"alg,omitempty"`
+}
+
+// Cost is the priced breakdown of a committed flow.
+type Cost struct {
+	Total float64 `json:"total"`
+	VNF   float64 `json:"vnf"`
+	Link  float64 `json:"link"`
+}
+
+// FlowInfo describes one committed flow: the response of POST /v1/flows
+// and the element of GET /v1/flows.
+type FlowInfo struct {
+	ID      int64     `json:"id"`
+	SFC     string    `json:"sfc"`
+	Src     int       `json:"src"`
+	Dst     int       `json:"dst"`
+	Rate    float64   `json:"rate"`
+	Size    float64   `json:"size"`
+	Alg     string    `json:"alg"`
+	Cost    Cost      `json:"cost"`
+	Created time.Time `json:"created"`
+	// ExpiresAt is set when the flow has a TTL; the server releases it
+	// automatically at that time.
+	ExpiresAt *time.Time `json:"expires_at,omitempty"`
+}
+
+// LinkState is one link's residual bandwidth in GET /v1/network.
+type LinkState struct {
+	ID       int     `json:"id"`
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+	Residual float64 `json:"residual"`
+}
+
+// InstanceState is one VNF instance's residual capacity in GET /v1/network.
+type InstanceState struct {
+	Node     int     `json:"node"`
+	VNF      int     `json:"vnf"`
+	Capacity float64 `json:"capacity"`
+	Residual float64 `json:"residual"`
+}
+
+// NetworkState is the GET /v1/network response: a consistent snapshot of
+// the live residual network (the paper's real-time network graph G_1).
+type NetworkState struct {
+	Nodes       int             `json:"nodes"`
+	ActiveFlows int             `json:"active_flows"`
+	Links       []LinkState     `json:"links"`
+	Instances   []InstanceState `json:"instances"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response carries.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// Admission-pipeline outcomes. The HTTP layer maps these onto status
+// codes; in-process callers (tests, the load generator's self-serve
+// mode) match them with errors.Is.
+var (
+	// ErrQueueFull rejects a request the bounded admission queue cannot
+	// hold (HTTP 429).
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining rejects a request that arrived after shutdown began
+	// (HTTP 503).
+	ErrDraining = errors.New("server: draining, not admitting new flows")
+	// ErrTimeout rejects a request whose per-request deadline expired
+	// before an embed decision was reached (HTTP 504).
+	ErrTimeout = errors.New("server: request timed out")
+	// ErrCommitConflict rejects a request whose speculative embedding
+	// kept losing capacity to concurrent commits (HTTP 409).
+	ErrCommitConflict = errors.New("server: commit conflict, capacity taken by a concurrent flow")
+	// ErrNotFound marks an unknown flow ID (HTTP 404).
+	ErrNotFound = errors.New("server: no such flow")
+	// ErrBadRequest marks an unparsable or invalid flow request (HTTP 400).
+	ErrBadRequest = errors.New("server: bad request")
+)

@@ -1,0 +1,143 @@
+// Package client is the typed Go client of the dagsfc-serve control
+// plane. It speaks the JSON API of internal/server with that package's
+// own wire types, so an in-process test, the load generator and a remote
+// operator tool all round-trip the same structs.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dagsfc/internal/server"
+)
+
+// Client talks to one dagsfc-serve instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for the default.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// BaseURL returns the server address the client was created with.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response, carrying the server's error envelope.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// CreateFlow embeds and commits one flow (POST /v1/flows).
+func (c *Client) CreateFlow(ctx context.Context, req server.FlowRequest) (server.FlowInfo, error) {
+	var info server.FlowInfo
+	err := c.do(ctx, http.MethodPost, "/v1/flows", req, &info)
+	return info, err
+}
+
+// ReleaseFlow returns a flow's capacity (DELETE /v1/flows/{id}).
+func (c *Client) ReleaseFlow(ctx context.Context, id int64) (server.FlowInfo, error) {
+	var info server.FlowInfo
+	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/flows/%d", id), nil, &info)
+	return info, err
+}
+
+// Flow fetches one committed flow (GET /v1/flows/{id}).
+func (c *Client) Flow(ctx context.Context, id int64) (server.FlowInfo, error) {
+	var info server.FlowInfo
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/flows/%d", id), nil, &info)
+	return info, err
+}
+
+// Flows lists the committed flows (GET /v1/flows).
+func (c *Client) Flows(ctx context.Context) ([]server.FlowInfo, error) {
+	var out []server.FlowInfo
+	err := c.do(ctx, http.MethodGet, "/v1/flows", nil, &out)
+	return out, err
+}
+
+// Network snapshots the residual network (GET /v1/network).
+func (c *Client) Network(ctx context.Context) (server.NetworkState, error) {
+	var st server.NetworkState
+	err := c.do(ctx, http.MethodGet, "/v1/network", nil, &st)
+	return st, err
+}
+
+// Healthz reports nil while the server is admitting flows.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics scrapes /metrics as Prometheus text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb server.ErrorBody
+		msg := resp.Status
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

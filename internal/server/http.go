@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/telemetry"
+)
+
+// Handler returns the control-plane HTTP API:
+//
+//	POST   /v1/flows        embed + commit one flow (FlowRequest → FlowInfo)
+//	GET    /v1/flows        list committed flows
+//	GET    /v1/flows/{id}   one committed flow
+//	DELETE /v1/flows/{id}   release a flow's capacity
+//	GET    /v1/network      residual-network snapshot
+//	GET    /healthz         "ok", or 503 once draining
+//	GET    /metrics         telemetry registry (Prometheus text)
+//	/debug/pprof/...        runtime profiles
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/flows", s.handleCreate)
+	mux.HandleFunc("GET /v1/flows", s.handleList)
+	mux.HandleFunc("GET /v1/flows/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/flows/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/network", s.handleNetwork)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	debug := telemetry.DebugMux(telemetry.Default())
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/pprof/", debug)
+	return mux
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req FlowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	info, err := s.Submit(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, ok := flowID(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.Release(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := flowID(w, r)
+	if !ok {
+		return
+	}
+	info, found := s.Flow(id)
+	if !found {
+		writeJSON(w, http.StatusNotFound, ErrorBody{Error: "no such flow"})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Flows())
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	st := s.NetworkState()
+	telemetry.RecordServerRequest("network", "ok", time.Since(begin))
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: "draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func flowID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "flow id must be an integer"})
+		return 0, false
+	}
+	return id, true
+}
+
+// writeError maps pipeline outcomes onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrTimeout):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrCommitConflict):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrNoEmbedding):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

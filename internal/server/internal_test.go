@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+)
+
+// White-box admission tests: they watch the unexported queue to hold the
+// pipeline at a known point, so they live inside the package (the typed
+// client cannot be imported here — it would close an import cycle).
+
+func overflowNet() *network.Network {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1, 100)
+	g.MustAddEdge(1, 2, 1, 100)
+	net := network.New(g, network.Catalog{N: 1})
+	net.MustAddInstance(1, 1, 10, 2)
+	return net
+}
+
+func TestServerQueueOverflow(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	block := func(p *core.Problem) (*core.Result, error) {
+		entered <- struct{}{}
+		<-gate
+		return core.EmbedMBBE(p)
+	}
+	srv, err := New(Config{
+		Net: overflowNet(), Workers: 1, QueueDepth: 1,
+		Embedders: map[string]Embedder{"block": block},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	req := FlowRequest{SFC: "1", Src: 0, Dst: 2, Rate: 1, Size: 1, Alg: "block"}
+
+	// First submit occupies the single worker; wait until it is inside
+	// the embedder so the admission queue is empty again.
+	results := make(chan error, 2)
+	go func() { _, err := srv.Submit(ctx, req); results <- err }()
+	<-entered
+	// Second submit fills the depth-1 queue (the worker is busy).
+	go func() { _, err := srv.Submit(ctx, req); results <- err }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.admit) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second submit never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third submit must bounce with ErrQueueFull without blocking.
+	if _, err := srv.Submit(ctx, req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: got %v, want ErrQueueFull", err)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("blocked submit %d: %v", i, err)
+		}
+	}
+	if srv.ActiveFlows() != 2 {
+		t.Fatalf("active flows = %d, want 2", srv.ActiveFlows())
+	}
+}

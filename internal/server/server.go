@@ -1,0 +1,603 @@
+// Package server is the long-running embedding control plane: it owns one
+// live network.Network plus capacity ledger and turns the repo's batch
+// embedding stack into an online service. Flows arrive over HTTP (or
+// in-process via Submit), pass a bounded admission queue, are embedded
+// speculatively by a pool of workers — each against a private snapshot of
+// the ledger, so searches run concurrently without locking the live state
+// — and are then validated and committed by a single commit loop that
+// serializes all ledger mutations. A commit that fails because a
+// concurrent flow took the capacity (a stale snapshot) re-queues the
+// request for a bounded number of fresh embed attempts. Committed flows
+// live until released over DELETE or until their TTL fires on the expiry
+// wheel (internal/online). Drain stops admission, finishes every
+// in-flight request, then stops the pipeline — the SIGTERM path of
+// cmd/dagsfc-serve.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dagsfc/internal/anneal"
+	"dagsfc/internal/baseline"
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/online"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/telemetry"
+)
+
+// Embedder is the serving-side embedding algorithm signature, shared with
+// the offline harness.
+type Embedder = online.Embedder
+
+// Config parameterizes a Server. Zero values take the documented
+// defaults.
+type Config struct {
+	// Net is the network the server owns (required). The server holds the
+	// only ledger over it; callers must not commit against it elsewhere.
+	Net *network.Network
+	// Algorithm is the default embedding algorithm name (default "mbbe").
+	Algorithm string
+	// Seed seeds the randomized algorithms, ranv and sa (default 1).
+	Seed int64
+	// Workers is the number of concurrent speculative embed workers
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; a request arriving when the
+	// queue is full is rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// RequestTimeout bounds each request's end-to-end time in the
+	// pipeline; past it the caller gets ErrTimeout and the request's
+	// result, if any, is discarded uncommitted (default 30s).
+	RequestTimeout time.Duration
+	// CommitRetries is how many times a flow whose commit conflicted is
+	// re-queued for a fresh embed before ErrCommitConflict (default 1).
+	CommitRetries int
+	// DefaultTTL auto-releases flows that do not request their own TTL;
+	// 0 means such flows live until an explicit release.
+	DefaultTTL time.Duration
+	// Rules standardizes Chain requests into hybrid DAG-SFCs (default
+	// sfc.StockRules; unknown categories stay sequential).
+	Rules *sfc.RuleTable
+	// Embedders adds or overrides named algorithms on top of the built-in
+	// registry (mbbe, bbe, minv, ranv, sa).
+	Embedders map[string]Embedder
+}
+
+// Server is the live control plane. Create one with New, serve its
+// Handler, and Drain it on shutdown.
+type Server struct {
+	cfg      Config
+	net      *network.Network
+	embedder map[string]Embedder
+
+	// mu guards the live state below. The commit loop takes it to
+	// validate+commit, release paths take it to return capacity, and
+	// read endpoints take it to snapshot — embed workers only hold it
+	// long enough to Clone the ledger.
+	mu     sync.Mutex
+	ledger *network.Ledger
+	flows  *online.FlowTable[int64]
+	meta   map[int64]FlowInfo
+	wheel  *online.ExpiryWheel[int64]
+
+	nextID atomic.Int64
+
+	// drainMu serializes admission against the start of a drain: Submit
+	// holds it shared while enqueueing, Drain holds it exclusively while
+	// flipping draining, so no enqueue can race past the flag onto a
+	// closing queue.
+	drainMu  sync.RWMutex
+	draining bool
+
+	admit    chan *job
+	commit   chan *job
+	inflight sync.WaitGroup // admitted jobs not yet terminally handled
+	workerWG sync.WaitGroup
+	commitWG sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// job is one flow request traveling the admission pipeline. finished is
+// the decision point: whoever flips it false→true owns the outcome — the
+// submitter on timeout (the pipeline then discards the job without
+// committing), or the pipeline on reply (sent on done, buffered 1).
+type job struct {
+	ctx      context.Context
+	req      FlowRequest
+	dag      sfc.DAGSFC
+	alg      string
+	embed    Embedder
+	ttl      time.Duration
+	begin    time.Time
+	retries  int
+	res      *core.Result
+	finished atomic.Bool
+	done     chan jobResult
+}
+
+type jobResult struct {
+	info FlowInfo
+	err  error
+}
+
+// New validates the configuration and starts the pipeline: the embed
+// workers, the commit loop and the expiry wheel.
+func New(cfg Config) (*Server, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("server: Config.Net is required")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "mbbe"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.CommitRetries < 0 {
+		cfg.CommitRetries = 0
+	} else if cfg.CommitRetries == 0 {
+		cfg.CommitRetries = 1
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = sfc.StockRules()
+	}
+	s := &Server{
+		cfg:      cfg,
+		net:      cfg.Net,
+		embedder: builtinEmbedders(cfg.Seed),
+		ledger:   network.NewLedger(cfg.Net),
+		flows:    online.NewFlowTable[int64](),
+		meta:     make(map[int64]FlowInfo),
+		admit:    make(chan *job, cfg.QueueDepth),
+		commit:   make(chan *job, cfg.QueueDepth+cfg.Workers),
+	}
+	for name, e := range cfg.Embedders {
+		s.embedder[name] = e
+	}
+	if _, ok := s.embedder[cfg.Algorithm]; !ok {
+		return nil, fmt.Errorf("server: unknown default algorithm %q", cfg.Algorithm)
+	}
+	s.wheel = online.NewExpiryWheel[int64](func(id int64) { _, _ = s.release(id, "expired") })
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.commitWG.Add(1)
+	go s.commitLoop()
+	telemetry.SetServerQueueDepth(0)
+	telemetry.SetServerActiveFlows(0)
+	return s, nil
+}
+
+// builtinEmbedders is the default algorithm registry. The randomized
+// algorithms share one seeded rng behind a lock, so their embeds
+// serialize — acceptable for baselines.
+func builtinEmbedders(seed int64) map[string]Embedder {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]Embedder{
+		"mbbe": core.EmbedMBBE,
+		"bbe":  core.EmbedBBE,
+		"minv": baseline.EmbedMINV,
+		"ranv": func(p *core.Problem) (*core.Result, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return baseline.EmbedRANV(p, rng)
+		},
+		"sa": func(p *core.Problem) (*core.Result, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return anneal.Embed(p, rng, anneal.Options{})
+		},
+	}
+}
+
+// Algorithms lists the registered algorithm names, sorted.
+func (s *Server) Algorithms() []string {
+	names := make([]string, 0, len(s.embedder))
+	for name := range s.embedder {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// prepare turns a wire request into a validated job-ready instance.
+func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, time.Duration, error) {
+	var dag sfc.DAGSFC
+	switch {
+	case req.SFC != "" && len(req.Chain) > 0:
+		return dag, "", nil, 0, fmt.Errorf("%w: set sfc or chain, not both", ErrBadRequest)
+	case req.SFC != "":
+		parsed, err := sfc.Parse(req.SFC)
+		if err != nil {
+			return dag, "", nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		dag = parsed
+	case len(req.Chain) > 0:
+		chain := make([]network.VNFID, len(req.Chain))
+		for i, id := range req.Chain {
+			chain[i] = network.VNFID(id)
+		}
+		width := req.MaxWidth
+		if width == 0 {
+			width = 3
+		}
+		dag = sfc.ChainToDAG(chain, s.cfg.Rules, width)
+	default:
+		return dag, "", nil, 0, fmt.Errorf("%w: one of sfc or chain is required", ErrBadRequest)
+	}
+	if req.TTLSeconds < 0 {
+		return dag, "", nil, 0, fmt.Errorf("%w: negative ttl_seconds", ErrBadRequest)
+	}
+	alg := req.Alg
+	if alg == "" {
+		alg = s.cfg.Algorithm
+	}
+	embed, ok := s.embedder[alg]
+	if !ok {
+		return dag, "", nil, 0, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, alg)
+	}
+	p := &core.Problem{
+		Net: s.net, SFC: dag,
+		Src: graph.NodeID(req.Src), Dst: graph.NodeID(req.Dst),
+		Rate: req.Rate, Size: req.Size,
+	}
+	if err := p.Validate(); err != nil {
+		return dag, "", nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	ttl := s.cfg.DefaultTTL
+	if req.TTLSeconds > 0 {
+		ttl = time.Duration(req.TTLSeconds * float64(time.Second))
+	}
+	return dag, alg, embed, ttl, nil
+}
+
+// Submit runs one flow request through the pipeline: admission, a
+// speculative embed on a ledger snapshot, and a serialized commit. It
+// blocks until the flow is committed, rejected, or the per-request
+// timeout (the tighter of ctx and Config.RequestTimeout) expires.
+func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) {
+	begin := time.Now()
+	dag, alg, embed, ttl, err := s.prepare(req)
+	if err != nil {
+		telemetry.RecordServerRequest("flows.create", "invalid", time.Since(begin))
+		return FlowInfo{}, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	j := &job{
+		ctx: ctx, req: req, dag: dag, alg: alg, embed: embed, ttl: ttl,
+		begin: begin, done: make(chan jobResult, 1),
+	}
+
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		telemetry.RecordServerRequest("flows.create", "draining", time.Since(begin))
+		return FlowInfo{}, ErrDraining
+	}
+	// Add before the send: Drain sets draining under the write lock
+	// before waiting on inflight, so an Add under the read lock with
+	// draining still false happens-before that Wait.
+	s.inflight.Add(1)
+	select {
+	case s.admit <- j:
+		s.drainMu.RUnlock()
+		telemetry.SetServerQueueDepth(len(s.admit))
+	default:
+		s.inflight.Done()
+		s.drainMu.RUnlock()
+		telemetry.RecordServerRequest("flows.create", "overflow", time.Since(begin))
+		return FlowInfo{}, ErrQueueFull
+	}
+
+	select {
+	case r := <-j.done:
+		s.recordDecision(r.err, begin)
+		return r.info, r.err
+	case <-ctx.Done():
+		if j.finished.CompareAndSwap(false, true) {
+			// We own the outcome: the pipeline will discard the job
+			// without committing when it next looks at it.
+			telemetry.RecordServerRequest("flows.create", "timeout", time.Since(begin))
+			return FlowInfo{}, fmt.Errorf("%w after %v", ErrTimeout, time.Since(begin).Round(time.Millisecond))
+		}
+		// The pipeline claimed the job a moment before the deadline; its
+		// reply is imminent and authoritative (the flow may be committed).
+		r := <-j.done
+		s.recordDecision(r.err, begin)
+		return r.info, r.err
+	}
+}
+
+// recordDecision emits the server and shared-online metric families for a
+// completed embed decision.
+func (s *Server) recordDecision(err error, begin time.Time) {
+	elapsed := time.Since(begin)
+	switch {
+	case err == nil:
+		telemetry.RecordServerRequest("flows.create", "accepted", elapsed)
+		telemetry.RecordOnlineRequest(true, elapsed)
+	case errors.Is(err, ErrCommitConflict):
+		telemetry.RecordServerRequest("flows.create", "conflict", elapsed)
+		telemetry.RecordOnlineRequest(false, elapsed)
+	case errors.Is(err, core.ErrNoEmbedding):
+		telemetry.RecordServerRequest("flows.create", "no_embedding", elapsed)
+		telemetry.RecordOnlineRequest(false, elapsed)
+	default:
+		telemetry.RecordServerRequest("flows.create", "error", elapsed)
+		telemetry.RecordOnlineRequest(false, elapsed)
+	}
+}
+
+// worker is one speculative embedder: it snapshots the ledger, runs the
+// search against the snapshot without holding any lock, and hands the
+// candidate solution to the commit loop.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.admit {
+		telemetry.SetServerQueueDepth(len(s.admit))
+		if j.finished.Load() {
+			// Timed out while queued; nobody is waiting for a reply.
+			s.inflight.Done()
+			continue
+		}
+		s.mu.Lock()
+		snap := s.ledger.Clone()
+		s.mu.Unlock()
+		p := &core.Problem{
+			Net: s.net, Ledger: snap, SFC: j.dag,
+			Src: graph.NodeID(j.req.Src), Dst: graph.NodeID(j.req.Dst),
+			Rate: j.req.Rate, Size: j.req.Size,
+		}
+		res, err := j.embed(p)
+		if err != nil {
+			s.finish(j, jobResult{err: err})
+			continue
+		}
+		j.res = res
+		s.commit <- j
+	}
+}
+
+// commitLoop is the single writer that turns speculative results into
+// ledger reservations. Validation against the live ledger decides
+// between commit, bounded re-queue (stale snapshot) and rejection; the
+// job is claimed only at the final decision, so a request that times out
+// mid-retry is discarded cleanly.
+func (s *Server) commitLoop() {
+	defer s.commitWG.Done()
+	for j := range s.commit {
+		if j.finished.Load() {
+			s.inflight.Done()
+			continue
+		}
+		p := &core.Problem{
+			Net: s.net, Ledger: s.ledger, SFC: j.dag,
+			Src: graph.NodeID(j.req.Src), Dst: graph.NodeID(j.req.Dst),
+			Rate: j.req.Rate, Size: j.req.Size,
+		}
+		s.mu.Lock()
+		if err := core.Validate(p, j.res.Solution); err != nil {
+			s.mu.Unlock()
+			telemetry.RecordOnlineCommitFailure()
+			if j.retries < s.cfg.CommitRetries {
+				j.retries++
+				j.res = nil
+				// Non-blocking: a full queue means the server is loaded
+				// enough that retrying would only add to the herd.
+				select {
+				case s.admit <- j:
+					telemetry.SetServerQueueDepth(len(s.admit))
+				default:
+					s.finish(j, jobResult{err: fmt.Errorf("%w (queue full on retry): %v", ErrCommitConflict, err)})
+				}
+				continue
+			}
+			s.finish(j, jobResult{err: fmt.Errorf("%w: %v", ErrCommitConflict, err)})
+			continue
+		}
+		// Feasible against the live ledger. Claim the job before
+		// reserving so a commit never outlives a timed-out request.
+		if !j.finished.CompareAndSwap(false, true) {
+			s.mu.Unlock()
+			s.inflight.Done()
+			continue
+		}
+		cb, err := core.Commit(p, j.res.Solution)
+		if err != nil {
+			// Validate just passed under the same lock; this is a bug
+			// guard, not a reachable conflict path.
+			s.mu.Unlock()
+			telemetry.RecordOnlineCommitFailure()
+			j.done <- jobResult{err: fmt.Errorf("%w: %v", ErrCommitConflict, err)}
+			s.inflight.Done()
+			continue
+		}
+		id := s.nextID.Add(1)
+		info := FlowInfo{
+			ID: id, SFC: sfc.Format(j.dag),
+			Src: j.req.Src, Dst: j.req.Dst, Rate: j.req.Rate, Size: j.req.Size,
+			Alg:     j.alg,
+			Cost:    Cost{Total: cb.Total(), VNF: cb.VNFCost, Link: cb.LinkCost},
+			Created: time.Now(),
+		}
+		if j.ttl > 0 {
+			at := info.Created.Add(j.ttl)
+			info.ExpiresAt = &at
+		}
+		s.flows.Add(id, online.Flow{Problem: p, Solution: j.res.Solution})
+		s.meta[id] = info
+		telemetry.SetServerActiveFlows(s.flows.Len())
+		s.mu.Unlock()
+		if info.ExpiresAt != nil {
+			s.wheel.Schedule(id, *info.ExpiresAt)
+		}
+		j.done <- jobResult{info: info}
+		s.inflight.Done()
+	}
+}
+
+// finish delivers a terminal pipeline outcome if the job is still
+// unclaimed, and retires it from the in-flight set either way.
+func (s *Server) finish(j *job, r jobResult) {
+	if j.finished.CompareAndSwap(false, true) {
+		j.done <- r
+	}
+	s.inflight.Done()
+}
+
+// Release returns a committed flow's capacity to the ledger (DELETE
+// /v1/flows/{id}); ErrNotFound if the flow is unknown or already gone.
+func (s *Server) Release(id int64) (FlowInfo, error) {
+	begin := time.Now()
+	info, ok := s.release(id, "released")
+	if !ok {
+		telemetry.RecordServerRequest("flows.release", "not_found", time.Since(begin))
+		return FlowInfo{}, fmt.Errorf("%w: flow %d", ErrNotFound, id)
+	}
+	telemetry.RecordServerRequest("flows.release", "ok", time.Since(begin))
+	return info, nil
+}
+
+func (s *Server) release(id int64, how string) (FlowInfo, bool) {
+	s.mu.Lock()
+	f, ok := s.flows.Release(id)
+	if !ok {
+		s.mu.Unlock()
+		return FlowInfo{}, false
+	}
+	info := s.meta[id]
+	delete(s.meta, id)
+	// Release cannot fail here: the flow's cost evaluated at commit time
+	// and the network is immutable.
+	_ = core.Release(f.Problem, f.Solution)
+	telemetry.SetServerActiveFlows(s.flows.Len())
+	s.mu.Unlock()
+	s.wheel.Cancel(id)
+	if how == "expired" {
+		telemetry.RecordServerRequest("flows.expire", "ok", 0)
+	}
+	return info, true
+}
+
+// Flow returns one committed flow's description.
+func (s *Server) Flow(id int64) (FlowInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.meta[id]
+	return info, ok
+}
+
+// Flows lists the committed flows, sorted by ID.
+func (s *Server) Flows() []FlowInfo {
+	s.mu.Lock()
+	out := make([]FlowInfo, 0, len(s.meta))
+	for _, info := range s.meta {
+		out = append(out, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// ActiveFlows reports the number of committed, unreleased flows.
+func (s *Server) ActiveFlows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flows.Len()
+}
+
+// NetworkState snapshots the live residual network consistently (no
+// commit or release interleaves with the read).
+func (s *Server) NetworkState() NetworkState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := NetworkState{
+		Nodes:       s.net.G.NumNodes(),
+		ActiveFlows: s.flows.Len(),
+		Links:       make([]LinkState, 0, s.net.G.NumEdges()),
+	}
+	for _, e := range s.net.G.Edges() {
+		st.Links = append(st.Links, LinkState{
+			ID: int(e.ID), From: int(e.A), To: int(e.B),
+			Capacity: e.Capacity, Residual: s.ledger.EdgeResidual(e.ID),
+		})
+	}
+	s.net.Instances(func(inst network.Instance) {
+		st.Instances = append(st.Instances, InstanceState{
+			Node: int(inst.Node), VNF: int(inst.VNF),
+			Capacity: inst.Capacity,
+			Residual: s.ledger.InstanceResidual(inst.Node, inst.VNF),
+		})
+	})
+	sort.Slice(st.Instances, func(i, k int) bool {
+		a, b := st.Instances[i], st.Instances[k]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.VNF < b.VNF
+	})
+	return st
+}
+
+// Draining reports whether the server has stopped admitting flows.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// Drain shuts the pipeline down gracefully: stop admitting (new Submits
+// get ErrDraining), wait for every in-flight request to resolve, then
+// stop the workers, the commit loop and the expiry wheel. Committed
+// flows stay committed — drain is about requests, not flows. If ctx
+// expires while in-flight work remains, Drain returns the context error
+// without tearing the pipeline down (the caller is typically about to
+// exit the process).
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+	s.stopOnce.Do(func() {
+		close(s.admit)
+		s.workerWG.Wait()
+		close(s.commit)
+		s.commitWG.Wait()
+		s.wheel.Stop()
+	})
+	return nil
+}
+
+// Close is Drain without a deadline, for tests and defer.
+func (s *Server) Close() error { return s.Drain(context.Background()) }

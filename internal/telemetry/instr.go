@@ -21,6 +21,18 @@ const (
 	MetricOnlineLatency  = "dagsfc_online_request_latency_seconds"
 )
 
+// Serving-layer metric names. The dagsfc-serve control plane records the
+// online families above for embed outcomes (so offline sims and the
+// server share dashboards) plus these server-specific families for the
+// admission pipeline.
+const (
+	MetricOnlineCommitFailures = "dagsfc_online_commit_failures_total"
+	MetricServerRequests       = "dagsfc_server_requests_total"
+	MetricServerLatency        = "dagsfc_server_request_latency_seconds"
+	MetricServerQueueDepth     = "dagsfc_server_queue_depth"
+	MetricServerActiveFlows    = "dagsfc_server_active_flows"
+)
+
 // EmbedSample is one completed embedding attempt, however it was
 // produced.
 type EmbedSample struct {
@@ -69,4 +81,32 @@ func RecordOnlineRequest(accepted bool, elapsed time.Duration) {
 	r.Counter(MetricOnlineRequests, "Online flow requests by outcome.", L("outcome", outcome)).Inc()
 	r.Histogram(MetricOnlineLatency, "Wall-clock seconds per online request (embed + commit).",
 		DefLatencyBuckets()).Observe(elapsed.Seconds())
+}
+
+// RecordOnlineCommitFailure records one commit that failed against the
+// shared ledger after a successful speculative embed — a stale-snapshot
+// conflict in the server, a defensive rejection in the offline harness.
+func RecordOnlineCommitFailure() {
+	Default().Counter(MetricOnlineCommitFailures,
+		"Online commits rejected by the ledger after a successful embed.").Inc()
+}
+
+// RecordServerRequest records one serving-layer request on the Default
+// registry: a per-route/outcome counter and a per-route latency histogram.
+func RecordServerRequest(route, outcome string, elapsed time.Duration) {
+	r := Default()
+	r.Counter(MetricServerRequests, "Serving-layer requests by route and outcome.",
+		L("route", route), L("outcome", outcome)).Inc()
+	r.Histogram(MetricServerLatency, "Wall-clock seconds per serving-layer request.",
+		DefLatencyBuckets(), L("route", route)).Observe(elapsed.Seconds())
+}
+
+// SetServerQueueDepth publishes the admission queue's current depth.
+func SetServerQueueDepth(depth int) {
+	Default().Gauge(MetricServerQueueDepth, "Flow requests waiting in the admission queue.").Set(float64(depth))
+}
+
+// SetServerActiveFlows publishes the number of committed, unreleased flows.
+func SetServerActiveFlows(n int) {
+	Default().Gauge(MetricServerActiveFlows, "Committed flows not yet released.").Set(float64(n))
 }

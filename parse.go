@@ -1,55 +1,12 @@
 package dagsfc
 
-import (
-	"fmt"
-	"strconv"
-	"strings"
-)
+import "dagsfc/internal/sfc"
 
-// ParseSFC parses the textual DAG-SFC syntax used by the CLI tools:
-// layers separated by ';', parallel VNFs within a layer separated by ','.
-// For example "1;2,3,4;5" is the three-layer SFC
+// ParseSFC parses the textual DAG-SFC syntax used by the CLI tools and the
+// serving API: layers separated by ';', parallel VNFs within a layer
+// separated by ','. For example "1;2,3,4;5" is the three-layer SFC
 // [f1] -> [f2|f3|f4 +m] -> [f5]. Whitespace around numbers is ignored.
-func ParseSFC(s string) (DAGSFC, error) {
-	var out DAGSFC
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return out, nil
-	}
-	for li, layerStr := range strings.Split(s, ";") {
-		var layer Layer
-		for _, tok := range strings.Split(layerStr, ",") {
-			tok = strings.TrimSpace(tok)
-			if tok == "" {
-				return DAGSFC{}, fmt.Errorf("dagsfc: layer %d: empty VNF entry", li+1)
-			}
-			id, err := strconv.Atoi(tok)
-			if err != nil {
-				return DAGSFC{}, fmt.Errorf("dagsfc: layer %d: %q is not a VNF id", li+1, tok)
-			}
-			if id < 1 {
-				return DAGSFC{}, fmt.Errorf("dagsfc: layer %d: VNF id %d must be >= 1", li+1, id)
-			}
-			layer.VNFs = append(layer.VNFs, VNFID(id))
-		}
-		out.Layers = append(out.Layers, layer)
-	}
-	return out, nil
-}
+func ParseSFC(s string) (DAGSFC, error) { return sfc.Parse(s) }
 
 // FormatSFC renders a DAG-SFC in the syntax ParseSFC accepts.
-func FormatSFC(s DAGSFC) string {
-	var b strings.Builder
-	for li, l := range s.Layers {
-		if li > 0 {
-			b.WriteByte(';')
-		}
-		for i, f := range l.VNFs {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%d", f)
-		}
-	}
-	return b.String()
-}
+func FormatSFC(s DAGSFC) string { return sfc.Format(s) }
