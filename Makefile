@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke serve-smoke repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke bench-json serve-smoke repro examples vet fmt
 
 all: build vet test
 
@@ -39,6 +39,21 @@ bench:
 # benchmark code without the full -bench timing cost.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-json runs the hot-path micro-benchmarks with -benchmem and records
+# ns/op, B/op and allocs/op as a labelled run in $(BENCH_JSON) — the
+# tracked baseline that lets PRs show before/after numbers. Two steps on
+# purpose: a benchmark failure fails the target before anything is parsed.
+# CI runs it with BENCHTIME=1x BENCH_LABEL=ci as a smoke check (errors
+# fail, thresholds don't).
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_LABEL ?= after
+BENCHTIME ?= 0.5s
+BENCH_RAW ?= /tmp/dagsfc-bench-raw.txt
+bench-json:
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/graph/ ./internal/core/ ./internal/network/ > $(BENCH_RAW)
+	@cat $(BENCH_RAW)
+	$(GO) run ./cmd/dagsfc-bench -parse-bench $(BENCH_RAW) -bench-label $(BENCH_LABEL) -bench-out $(BENCH_JSON)
 
 # serve-smoke boots the control plane in-process on an ephemeral port and
 # drives one full commit/release cycle over real HTTP: residuals must

@@ -13,6 +13,12 @@
 // registry (per-algorithm embed latency histograms and search-effort
 // counters) on exit; -debug-addr additionally serves live /metrics and
 // /debug/pprof/ while the sweep executes. See README.md, Observability.
+//
+// A second mode maintains the repo's micro-benchmark baseline file
+// (`make bench-json`): -parse-bench reads raw `go test -bench -benchmem`
+// output and merges it into a labelled JSON ledger:
+//
+//	dagsfc-bench -parse-bench bench.out -bench-label after -bench-out BENCH_PR4.json
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"dagsfc/internal/benchfmt"
 	"dagsfc/internal/diag"
 	"dagsfc/internal/latency"
 	"dagsfc/internal/sim"
@@ -37,10 +44,60 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		parallel = flag.Int("parallel", 1, "concurrent trials per point (results identical; timings noisier). The runtime experiment always runs sequentially")
 		workers  = flag.Int("workers", 1, "worker-pool size inside each BBE/MBBE embedding (results identical). Default 1: -parallel across trials usually uses the cores better; -1 = GOMAXPROCS per embedding")
+
+		parseBench = flag.String("parse-bench", "", "parse raw `go test -bench` output from this file into the benchmark JSON ledger and exit (skips the experiment sweep)")
+		benchLabel = flag.String("bench-label", "after", "run label to record the parsed benchmarks under")
+		benchOut   = flag.String("bench-out", "BENCH_PR4.json", "benchmark JSON ledger to create or update")
 	)
 	diag.Main("dagsfc-bench", func() error {
+		if *parseBench != "" {
+			return mergeBench(*parseBench, *benchLabel, *benchOut)
+		}
 		return run(*expName, *trials, *seed, *csvDir, *parallel, *workers)
 	})
+}
+
+// mergeBench parses raw benchmark output and upserts it as a labelled run
+// in the JSON ledger, preserving every other label already recorded there.
+func mergeBench(rawPath, label, outPath string) error {
+	raw, err := os.Open(rawPath)
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+	results, err := benchfmt.Parse(raw)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in %s", rawPath)
+	}
+
+	ledger := &benchfmt.File{}
+	if prev, err := os.Open(outPath); err == nil {
+		ledger, err = benchfmt.Decode(prev)
+		prev.Close()
+		if err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	ledger.SetRun(label, results)
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := ledger.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks under label %q in %s\n", len(results), label, outPath)
+	return nil
 }
 
 func run(expName string, trials int, seed int64, csvDir string, parallel, workers int) error {

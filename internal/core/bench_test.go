@@ -40,9 +40,12 @@ func BenchmarkLayerExtensions(b *testing.B) {
 			extCache: make(map[extKey][]*extension),
 			trees:    make(map[graph.NodeID]*treeEntry),
 		}
+		e.costOpts = e.ledger.CostOptions(p.Rate)
+		e.scratch = acquireScratchSlots(e.workers)
 		if exts := e.buildExtensions(spec, p.Src); len(exts) == 0 {
 			b.Fatal("no extensions")
 		}
+		releaseScratchSlots(e.scratch)
 	}
 }
 

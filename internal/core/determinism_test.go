@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"dagsfc/internal/graph"
@@ -38,7 +39,7 @@ func TestWorkersDeterminism(t *testing.T) {
 				seq.Workers = 1
 				seqRes, seqErr := Embed(p, seq)
 
-				for _, workers := range []int{2, 4, 8} {
+				for _, workers := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
 					par := cfg.opts
 					par.Workers = workers
 					parRes, parErr := Embed(p, par)

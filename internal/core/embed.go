@@ -218,6 +218,12 @@ func Embed(p *Problem, opts Options) (*Result, error) {
 		ledger: p.ledgerOrFresh(),
 		trees:  make(map[graph.NodeID]*treeEntry),
 	}
+	// The ledger is read-only for the whole run, so one CostOptions value
+	// (and its Residual closure) serves every search instead of allocating
+	// a fresh pair per query.
+	e.costOpts = e.ledger.CostOptions(p.Rate)
+	e.scratch = acquireScratchSlots(workers)
+	defer releaseScratchSlots(e.scratch)
 	res, err := e.run()
 	telemetry.RecordEmbed(telemetry.EmbedSample{
 		Alg:         label,
@@ -238,8 +244,15 @@ type embedder struct {
 	// ledger when one is set, else a private empty one — never written
 	// back to the Problem (Commit owns that).
 	ledger *network.Ledger
+	// costOpts is the run's single search-options value: the ledger is
+	// read-only during a run, so its residual view never changes.
+	costOpts *graph.CostOptions
 	// workers is the resolved pool size (opts.Workers, 0 → GOMAXPROCS).
 	workers int
+	// scratch holds one pooled search scratch per worker slot; forEach
+	// hands each job its slot index, so no scratch is ever shared between
+	// concurrently running jobs.
+	scratch []*pooledScratch
 	stats   Stats
 	// extCache memoizes layer extensions by (layer, start node): every
 	// parent sub-solution ending on the same node shares the same set of
@@ -276,7 +289,10 @@ func (e *embedder) treeFor(src graph.NodeID) *graph.ShortestTree {
 	}
 	e.treeMu.Unlock()
 	ent.once.Do(func() {
-		ent.tree = e.p.Net.G.Dijkstra(src, e.ledger.CostOptions(e.p.Rate))
+		// The allocating Dijkstra, deliberately: memoized trees are
+		// retained for the whole run and queried concurrently, so they
+		// cannot live on a per-slot scratch.
+		ent.tree = e.p.Net.G.Dijkstra(src, e.costOpts)
 	})
 	return ent.tree
 }
@@ -318,7 +334,7 @@ func (e *embedder) run() (*Result, error) {
 		// reads the cache.
 		e.buildLayerExtensions(spec, frontier)
 		screens := make([]parentScreen, len(frontier))
-		e.forEach(len(frontier), func(i int) {
+		e.forEach(len(frontier), func(_, i int) {
 			e.screenParent(spec, frontier[i], &screens[i])
 		})
 		var next []*subSolution
@@ -408,7 +424,7 @@ func (e *embedder) run() (*Result, error) {
 			leaf.cumDelay+float64(tail.Len())*e.opts.Delay.HopDelay > e.opts.MaxDelay {
 			// The cheapest tail is too slow; fall back to the fewest-hop
 			// tail if that one fits the remaining budget.
-			hop, hopOK := p.Net.G.MinHopPath(leaf.endNode(p.Src), p.Dst, e.ledger.CostOptions(p.Rate))
+			hop, hopOK := p.Net.G.MinHopPathWith(e.scratch[0].Scratch, leaf.endNode(p.Src), p.Dst, e.costOpts)
 			if !hopOK || leaf.cumDelay+float64(hop.Len())*e.opts.Delay.HopDelay > e.opts.MaxDelay {
 				continue
 			}
@@ -471,10 +487,11 @@ func (e *embedder) screenParent(spec LayerSpec, parent *subSolution, out *parent
 // benchmarks. Embed itself goes through buildLayerExtensions, which fans
 // the same phases across the worker pool.
 func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extension {
+	sc := e.scratch[0].Scratch
 	b := &startBuild{start: start, sink: buildSink{record: e.opts.Observer != nil}}
-	e.runForward(b, spec, spec.Required(e.p.Net.Catalog))
+	e.runForward(b, spec, spec.Required(e.p.Net.Catalog), sc)
 	for _, pb := range b.pairs {
-		pb.exts = e.pairExtensions(&pb.sink, spec, b.start, b.fst, pb.merger)
+		pb.exts = e.pairExtensions(&pb.sink, spec, b.start, b.fst, pb.merger, sc)
 	}
 	return e.finishStart(spec, b)
 }
@@ -484,7 +501,7 @@ func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extens
 // FST–BST pairs to fan out). For merger layers it selects the merger
 // candidates whose pairs phase B enumerates. All stats and observer
 // events go to the build's private sink.
-func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.VNFID) {
+func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.VNFID, sc *graph.Scratch) {
 	p := e.p
 	b.sink.searchStart(spec.Index, b.start, true)
 	fst := runSearch(p, b.start, searchConfig{required: required, maxNodes: e.opts.Xmax, ledger: e.ledger})
@@ -498,7 +515,7 @@ func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.
 	}
 	b.fst = fst
 	if !spec.Merger {
-		b.exts = e.singleVNFExtensions(&b.sink, spec, b.start, fst)
+		b.exts = e.singleVNFExtensions(&b.sink, spec, b.start, fst, sc)
 		return
 	}
 	mergerID := p.Net.Catalog.Merger()
@@ -625,12 +642,12 @@ func (e *embedder) trimExtensions(exts []*extension) []*extension {
 
 // singleVNFExtensions handles layers with a single VNF: no merger, no
 // backward search; the layer's end node is the VNF's node.
-func (e *embedder) singleVNFExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree) []*extension {
+func (e *embedder) singleVNFExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree, sc *graph.Scratch) []*extension {
 	p := e.p
 	f := spec.VNFs[0]
 	var exts []*extension
 	for _, tn := range fst.NodesWith(f) {
-		for _, inter := range e.interPaths(fst, tn, start) {
+		for _, inter := range e.interPaths(fst, tn, start, sc) {
 			ext := buildExtension(p, spec, []graph.NodeID{tn.Node}, tn.Node,
 				[]graph.Path{inter}, nil)
 			if ext != nil {
@@ -648,7 +665,7 @@ func (e *embedder) singleVNFExtensions(sink *buildSink, spec LayerSpec, start gr
 // instantiate inner-layer paths from the BST and inter-layer paths from
 // the FST. Stats and observer events go to the pair's private sink, so
 // pairs of one layer enumerate in parallel.
-func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode) []*extension {
+func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode, sc *graph.Scratch) []*extension {
 	p := e.p
 	sink.searchStart(spec.Index, mergerTN.Node, false)
 	bst := runSearch(p, mergerTN.Node, searchConfig{
@@ -693,7 +710,7 @@ func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.N
 		}
 		if i == len(spec.VNFs) {
 			count++
-			exts = append(exts, e.instantiate(sink, spec, start, fst, bst, mergerTN, assignment)...)
+			exts = append(exts, e.instantiate(sink, spec, start, fst, bst, mergerTN, assignment, sc)...)
 			return
 		}
 		for _, h := range hosts[i] {
@@ -714,7 +731,7 @@ func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.N
 // are explored one meta-path at a time to bound the cross-product the
 // paper's step (ii)/(iii) would otherwise generate.
 func (e *embedder) instantiate(sink *buildSink, spec LayerSpec, start graph.NodeID, fst, bst *SearchTree,
-	mergerTN *TreeNode, assignment []*TreeNode) []*extension {
+	mergerTN *TreeNode, assignment []*TreeNode, sc *graph.Scratch) []*extension {
 
 	p := e.p
 	nodes := make([]graph.NodeID, len(assignment))
@@ -737,9 +754,9 @@ func (e *embedder) instantiate(sink *buildSink, spec LayerSpec, start graph.Node
 		if steinerPaths != nil {
 			interChoices[i] = []graph.Path{steinerPaths[i]}
 		} else {
-			interChoices[i] = e.interPaths(fst, fstTN, start)
+			interChoices[i] = e.interPaths(fst, fstTN, start, sc)
 		}
-		innerChoices[i] = e.innerPaths(bst, tn, mergerTN.Node)
+		innerChoices[i] = e.innerPaths(bst, tn, mergerTN.Node, sc)
 		if len(interChoices[i]) == 0 || len(innerChoices[i]) == 0 {
 			return nil
 		}
@@ -793,7 +810,7 @@ func (e *embedder) instantiate(sink *buildSink, spec LayerSpec, start graph.Node
 // instantiation.
 func (e *embedder) steinerInterPaths(start graph.NodeID, targets []graph.NodeID) []graph.Path {
 	g := e.p.Net.G
-	edges, ok := steiner.MulticastTreeWith(g, start, targets, e.ledger.CostOptions(e.p.Rate), e.treeFor)
+	edges, ok := steiner.MulticastTreeWith(g, start, targets, e.costOpts, e.treeFor)
 	if !ok {
 		return nil
 	}
@@ -808,11 +825,11 @@ func (e *embedder) steinerInterPaths(start graph.NodeID, targets []graph.NodeID)
 // delay-bounded mode, when it is strictly shorter than everything already
 // there: the min-cost path minimizes price, the hop variant minimizes
 // propagation delay, and the candidate generation explores both.
-func (e *embedder) withHopVariant(a, b graph.NodeID, choices []graph.Path) []graph.Path {
+func (e *embedder) withHopVariant(a, b graph.NodeID, choices []graph.Path, sc *graph.Scratch) []graph.Path {
 	if e.opts.MaxDelay <= 0 {
 		return choices
 	}
-	hop, ok := e.p.Net.G.MinHopPath(a, b, e.ledger.CostOptions(e.p.Rate))
+	hop, ok := e.p.Net.G.MinHopPathWith(sc, a, b, e.costOpts)
 	if !ok {
 		return choices
 	}
@@ -826,13 +843,13 @@ func (e *embedder) withHopVariant(a, b graph.NodeID, choices []graph.Path) []gra
 
 // interPaths returns the inter-layer real-path choices from start to the
 // FST node tn, in start→node direction.
-func (e *embedder) interPaths(fst *SearchTree, tn *TreeNode, start graph.NodeID) []graph.Path {
+func (e *embedder) interPaths(fst *SearchTree, tn *TreeNode, start graph.NodeID, sc *graph.Scratch) []graph.Path {
 	if e.opts.MiniPath {
 		path, ok := e.minCostPathCached(start, tn.Node)
 		if !ok {
 			return nil
 		}
-		return e.withHopVariant(start, tn.Node, []graph.Path{path})
+		return e.withHopVariant(start, tn.Node, []graph.Path{path}, sc)
 	}
 	raw := fst.PathsToRoot(tn, e.opts.MaxPathsPerMeta)
 	out := make([]graph.Path, len(raw))
@@ -844,7 +861,7 @@ func (e *embedder) interPaths(fst *SearchTree, tn *TreeNode, start graph.NodeID)
 
 // innerPaths returns the inner-layer real-path choices from the BST node
 // tn to the merger node, in node→merger direction.
-func (e *embedder) innerPaths(bst *SearchTree, tn *TreeNode, mergerNode graph.NodeID) []graph.Path {
+func (e *embedder) innerPaths(bst *SearchTree, tn *TreeNode, mergerNode graph.NodeID, sc *graph.Scratch) []graph.Path {
 	if e.opts.MiniPath {
 		// One tree rooted at the merger serves every inner path of the
 		// pair; reverse to get the node→merger direction.
@@ -852,7 +869,7 @@ func (e *embedder) innerPaths(bst *SearchTree, tn *TreeNode, mergerNode graph.No
 		if !ok {
 			return nil
 		}
-		return e.withHopVariant(tn.Node, mergerNode, []graph.Path{path.Reverse(e.p.Net.G)})
+		return e.withHopVariant(tn.Node, mergerNode, []graph.Path{path.Reverse(e.p.Net.G)}, sc)
 	}
 	return bst.PathsToRoot(tn, e.opts.MaxPathsPerMeta)
 }

@@ -88,18 +88,21 @@ type pairBuild struct {
 	exts   []*extension
 }
 
-// forEach runs fn(0..n-1) across the worker pool. With one worker (or one
-// item) it degrades to an inline loop on the calling goroutine — the
-// Workers=1 sequential path spawns no goroutines at all. fn must write
-// only to state owned by index i.
-func (e *embedder) forEach(n int, fn func(i int)) {
+// forEach runs fn(slot, 0..n-1) across the worker pool. With one worker
+// (or one item) it degrades to an inline loop on the calling goroutine —
+// the Workers=1 sequential path spawns no goroutines at all. slot is the
+// index of the worker goroutine running the job (0..workers-1): each slot
+// is owned by exactly one goroutine for the duration of the call, so
+// per-slot resources (the pooled search scratch) need no locking. fn must
+// write only to state owned by index i.
+func (e *embedder) forEach(n int, fn func(slot, i int)) {
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -107,16 +110,16 @@ func (e *embedder) forEach(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(slot, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -142,16 +145,16 @@ func (e *embedder) buildLayerExtensions(spec LayerSpec, frontier []*subSolution)
 		builds = append(builds, &startBuild{start: start, sink: buildSink{record: e.opts.Observer != nil}})
 	}
 	required := spec.Required(p.Net.Catalog)
-	e.forEach(len(builds), func(i int) {
-		e.runForward(builds[i], spec, required)
+	e.forEach(len(builds), func(slot, i int) {
+		e.runForward(builds[i], spec, required, e.scratch[slot].Scratch)
 	})
 	var pairs []*pairBuild
 	for _, b := range builds {
 		pairs = append(pairs, b.pairs...)
 	}
-	e.forEach(len(pairs), func(i int) {
+	e.forEach(len(pairs), func(slot, i int) {
 		pb := pairs[i]
-		pb.exts = e.pairExtensions(&pb.sink, spec, pb.owner.start, pb.owner.fst, pb.merger)
+		pb.exts = e.pairExtensions(&pb.sink, spec, pb.owner.start, pb.owner.fst, pb.merger, e.scratch[slot].Scratch)
 	})
 	for _, b := range builds {
 		e.extCache[extKey{layer: spec.Index, start: b.start}] = e.finishStart(spec, b)

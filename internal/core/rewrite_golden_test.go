@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// solutionFingerprint renders a Result into a short stable string: the
+// total cost at full precision plus an FNV hash of the complete solution
+// structure (assignments, merger nodes, every real-path). Two results
+// fingerprint equal iff they are the same embedding at the same price.
+func solutionFingerprint(res *Result) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v|%v", res.Solution, res.Stats)
+	return fmt.Sprintf("cost=%.12g sol=%016x", res.Cost.Total(), h.Sum64())
+}
+
+// rewriteGolden pins the exact embeddings produced before the CSR +
+// pooled-scratch hot-path rewrite (PR 4). The rewrite is a pure
+// performance change: every algorithm configuration must keep producing
+// bit-identical solutions, costs and search statistics on these fixed
+// instances, for every worker-pool size. Regenerate with
+// DAGSFC_UPDATE_GOLDEN=1 go test -run TestRewriteGolden ./internal/core
+// only when an intentional algorithmic change lands.
+var rewriteGolden = map[string]string{
+	"bbe/seed=1":              "cost=560.109240549 sol=59a708e255fdb041",
+	"bbe/seed=2":              "cost=478.517555796 sol=ccb9a65e8e32c86a",
+	"bbe/seed=3":              "cost=463.067155197 sol=9f72b1b803003d53",
+	"mbbe/seed=1":             "cost=560.109240549 sol=e42798bf2853a8f0",
+	"mbbe/seed=2":             "cost=478.517555796 sol=b228bcad4034d5cc",
+	"mbbe/seed=3":             "cost=463.067155197 sol=9f72b1b803003d53",
+	"mbbe+st/seed=1":          "cost=560.109240549 sol=e42798bf2853a8f0",
+	"mbbe+st/seed=2":          "cost=478.517555796 sol=b228bcad4034d5cc",
+	"mbbe+st/seed=3":          "cost=463.067155197 sol=9f72b1b803003d53",
+	"mbbe+delay/seed=1":       "cost=560.109240549 sol=e42798bf2853a8f0",
+	"mbbe+delay/seed=2":       "cost=478.517555796 sol=b228bcad4034d5cc",
+	"mbbe+delay/seed=3":       "cost=463.067155197 sol=9f72b1b803003d53",
+	"mbbe+delay-tight/seed=1": "err=core: no feasible embedding found: layer 2 has no feasible sub-solution",
+	"mbbe+delay-tight/seed=2": "err=core: no feasible embedding found: no leaf reaches the destination feasibly",
+	"mbbe+delay-tight/seed=3": "cost=463.067155197 sol=9f72b1b803003d53",
+}
+
+func TestRewriteGolden(t *testing.T) {
+	update := os.Getenv("DAGSFC_UPDATE_GOLDEN") != ""
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"bbe", BBEOptions()},
+		{"mbbe", MBBEOptions()},
+		{"mbbe+st", MBBESteinerOptions()},
+		{"mbbe+delay", func() Options {
+			o := MBBEOptions()
+			o.MaxDelay = 5.0
+			return o
+		}()},
+		{"mbbe+delay-tight", func() Options {
+			o := MBBEOptions()
+			o.MaxDelay = 2.2
+			return o
+		}()},
+	}
+	for _, cfg := range configs {
+		for seed := int64(1); seed <= 3; seed++ {
+			key := fmt.Sprintf("%s/seed=%d", cfg.name, seed)
+			t.Run(key, func(t *testing.T) {
+				p := randomProblem(rand.New(rand.NewSource(seed)), 60, 6, 4)
+				res, err := Embed(p, cfg.opts)
+				var got string
+				if err != nil {
+					got = "err=" + err.Error()
+				} else {
+					got = solutionFingerprint(res)
+				}
+				if update {
+					fmt.Printf("\t%q: %q,\n", key, got)
+					return
+				}
+				want, ok := rewriteGolden[key]
+				if !ok {
+					t.Fatalf("no golden recorded for %s (got %s)", key, got)
+				}
+				if got != want {
+					t.Errorf("embedding changed: got %s, want %s", got, want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sync"
+
+	"dagsfc/internal/graph"
+	"dagsfc/internal/telemetry"
+)
+
+// pooledScratch wraps a graph.Scratch with a reuse marker so the
+// dagsfc_embed_scratch_reuse_total counter can distinguish warm checkouts
+// from fresh allocations (sync.Pool itself does not expose that).
+type pooledScratch struct {
+	*graph.Scratch
+	used bool
+}
+
+var embedScratchPool = sync.Pool{
+	New: func() any { return &pooledScratch{Scratch: graph.NewScratch()} },
+}
+
+// acquireScratch checks one scratch out of the pool, recording warm reuse.
+func acquireScratch() *pooledScratch {
+	ps := embedScratchPool.Get().(*pooledScratch)
+	if ps.used {
+		telemetry.RecordScratchReuse()
+	}
+	ps.used = true
+	return ps
+}
+
+// acquireScratchSlots checks out one scratch per worker-pool slot. Each
+// slot is owned by exactly one worker goroutine for the run, which is what
+// keeps the pooled state race-free under any Workers value.
+func acquireScratchSlots(n int) []*pooledScratch {
+	slots := make([]*pooledScratch, n)
+	for i := range slots {
+		slots[i] = acquireScratch()
+	}
+	return slots
+}
+
+// releaseScratchSlots returns every slot to the pool. The caller must not
+// touch the slots, or any scratch-aliasing search result, afterwards.
+func releaseScratchSlots(slots []*pooledScratch) {
+	for _, ps := range slots {
+		embedScratchPool.Put(ps)
+	}
+}

@@ -46,40 +46,53 @@ type TreeLink struct {
 
 // SearchTree is an FST or BST: the breadth-first exploration of one layer's
 // forward or backward search, stored as a left-child/right-sibling binary
-// tree plus a by-node index.
+// tree plus a dense by-node index.
 type SearchTree struct {
 	Root *TreeNode
-	// byNode indexes tree nodes by network node; BFS discovers each node
-	// at most once.
-	byNode map[graph.NodeID]*TreeNode
-	// levels[i] lists the nodes of iteration i+1 in discovery order.
-	levels [][]*TreeNode
+	// nodes lists every tree node in discovery order; idx[v] is the
+	// position of network node v in nodes plus one (0 = not discovered).
+	// A dense index replaces the old map: search trees are queried heavily
+	// (Contains gates every backward-search step) and network nodes are
+	// dense integers.
+	nodes []*TreeNode
+	idx   []int32
+	// levelOff[i] is the offset in nodes where iteration i+1 begins; the
+	// nodes of iteration i+1 are nodes[levelOff[i]:levelOff[i+1]] (with
+	// len(nodes) closing the last level).
+	levelOff []int32
 	// covered reports whether the search found every required category.
 	covered bool
 }
 
 // Contains reports whether the tree discovered network node v.
-func (t *SearchTree) Contains(v graph.NodeID) bool {
-	_, ok := t.byNode[v]
-	return ok
-}
+func (t *SearchTree) Contains(v graph.NodeID) bool { return t.idx[v] != 0 }
 
 // NodeOf returns the tree node for network node v, or nil.
-func (t *SearchTree) NodeOf(v graph.NodeID) *TreeNode { return t.byNode[v] }
+func (t *SearchTree) NodeOf(v graph.NodeID) *TreeNode {
+	if i := t.idx[v]; i != 0 {
+		return t.nodes[i-1]
+	}
+	return nil
+}
 
 // Size reports the number of tree nodes (|V^{F,l}| or |V^{B,l}|).
-func (t *SearchTree) Size() int { return len(t.byNode) }
+func (t *SearchTree) Size() int { return len(t.nodes) }
 
 // Iterations reports how many search iterations ran.
-func (t *SearchTree) Iterations() int { return len(t.levels) }
+func (t *SearchTree) Iterations() int { return len(t.levelOff) }
 
 // Level returns the tree nodes discovered in iteration i (1-based), in
 // discovery order.
 func (t *SearchTree) Level(i int) []*TreeNode {
-	if i < 1 || i > len(t.levels) {
+	if i < 1 || i > len(t.levelOff) {
 		return nil
 	}
-	return t.levels[i-1]
+	lo := t.levelOff[i-1]
+	hi := int32(len(t.nodes))
+	if i < len(t.levelOff) {
+		hi = t.levelOff[i]
+	}
+	return t.nodes[lo:hi]
 }
 
 // Covered reports whether the search satisfied its coverage goal
@@ -88,10 +101,8 @@ func (t *SearchTree) Covered() bool { return t.covered }
 
 // Nodes calls fn for every tree node in discovery order.
 func (t *SearchTree) Nodes(fn func(*TreeNode)) {
-	for _, level := range t.levels {
-		for _, tn := range level {
-			fn(tn)
-		}
+	for _, tn := range t.nodes {
+		fn(tn)
 	}
 }
 
@@ -99,14 +110,14 @@ func (t *SearchTree) Nodes(fn func(*TreeNode)) {
 // in discovery order (nearest first).
 func (t *SearchTree) NodesWith(f network.VNFID) []*TreeNode {
 	var out []*TreeNode
-	t.Nodes(func(tn *TreeNode) {
+	for _, tn := range t.nodes {
 		for _, a := range tn.Available {
 			if a == f {
 				out = append(out, tn)
-				return
+				break
 			}
 		}
-	})
+	}
 	return out
 }
 
@@ -117,6 +128,9 @@ func (t *SearchTree) NodesWith(f network.VNFID) []*TreeNode {
 // node→end, which is already the inner-layer direction.
 func (t *SearchTree) PathToRoot(tn *TreeNode) graph.Path {
 	p := graph.Path{From: tn.Node}
+	if tn.Iteration > 1 {
+		p.Edges = make([]graph.EdgeID, 0, tn.Iteration-1)
+	}
 	for cur := tn; len(cur.Prev) > 0; cur = cur.Prev[0].To {
 		p.Edges = append(p.Edges, cur.Prev[0].Edge)
 	}
@@ -168,6 +182,25 @@ type searchConfig struct {
 	ledger *network.Ledger
 }
 
+// treeNodeArena hands out TreeNodes from fixed-size blocks: pointers stay
+// stable for the life of the tree while the allocation count drops from one
+// per node to one per block. Trees (and their nodes) are retained by the
+// sub-solution chain, so the arena is per-tree, not pooled.
+type treeNodeArena struct {
+	block []TreeNode
+}
+
+const treeNodeBlock = 64
+
+func (a *treeNodeArena) alloc() *TreeNode {
+	if len(a.block) == 0 {
+		a.block = make([]TreeNode, treeNodeBlock)
+	}
+	tn := &a.block[0]
+	a.block = a.block[1:]
+	return tn
+}
+
 // runSearch performs the paper's iterative breadth-first search from start
 // and materializes the search tree. Edges are admitted only with residual
 // bandwidth ≥ rate; a category counts as available on a node only if its
@@ -180,98 +213,147 @@ func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
 		ledger = p.ledgerOrFresh()
 	}
 	g := p.Net.G
+	arcs, off := g.CSR()
 
-	needed := make(map[network.VNFID]bool, len(cfg.required))
-	for _, f := range cfg.required {
-		needed[f] = true
-	}
-	missing := make(map[network.VNFID]bool, len(needed))
-	for f := range needed {
-		missing[f] = true
-	}
+	// The deduplicated, sorted coverage goal plus a parallel found mask;
+	// the sort makes every Available set come out sorted for free.
+	needed := append([]network.VNFID(nil), cfg.required...)
+	sortVNFs(needed)
+	needed = dedupSortedVNFs(needed)
+	found := make([]bool, len(needed))
+	missing := len(needed)
 
+	// available computes a node's serviceable categories into a hoisted
+	// buffer, then copies the exact-size result out of a chunked arena — no
+	// per-node over-capacity slice.
+	var a treeNodeArena
+	buf := make([]network.VNFID, 0, len(needed))
+	var vnfArena []network.VNFID
+	var linkArena []TreeLink
 	available := func(v graph.NodeID) []network.VNFID {
-		var out []network.VNFID
-		for f := range needed {
+		buf = buf[:0]
+		for _, f := range needed {
 			if ledger.InstanceResidual(v, f) >= p.Rate {
-				out = append(out, f)
+				buf = append(buf, f)
 			}
 		}
-		sortVNFs(out)
-		return out
+		if len(buf) == 0 {
+			return nil
+		}
+		if len(vnfArena)+len(buf) > cap(vnfArena) {
+			vnfArena = make([]network.VNFID, 0, 16*cap(buf))
+		}
+		lo := len(vnfArena)
+		vnfArena = append(vnfArena, buf...)
+		return vnfArena[lo:len(vnfArena):len(vnfArena)]
+	}
+	// prevLink carves one-element Prev slices out of a chunk; the capacity
+	// cap makes a later append (extra adjacency) reallocate instead of
+	// clobbering a neighbor's entry.
+	prevLink := func(link TreeLink) []TreeLink {
+		if len(linkArena) == cap(linkArena) {
+			linkArena = make([]TreeLink, 0, 64)
+		}
+		lo := len(linkArena)
+		linkArena = append(linkArena, link)
+		return linkArena[lo : lo+1 : lo+1]
+	}
+	markFound := func(avail []network.VNFID) {
+		for _, f := range avail {
+			for i, need := range needed {
+				if need == f && !found[i] {
+					found[i] = true
+					missing--
+				}
+			}
+		}
 	}
 
-	t := &SearchTree{byNode: make(map[graph.NodeID]*TreeNode)}
-	root := &TreeNode{Node: start, Available: available(start), Iteration: 1}
-	t.Root = root
-	t.byNode[start] = root
-	t.levels = [][]*TreeNode{{root}}
-	for _, f := range root.Available {
-		delete(missing, f)
+	capHint := g.NumNodes()
+	if cfg.maxNodes > 0 && cfg.maxNodes < capHint {
+		capHint = cfg.maxNodes
 	}
-	if len(missing) == 0 {
+	t := &SearchTree{
+		nodes: make([]*TreeNode, 0, capHint),
+		idx:   make([]int32, g.NumNodes()),
+	}
+	root := a.alloc()
+	root.Node = start
+	root.Available = available(start)
+	root.Iteration = 1
+	t.Root = root
+	t.nodes = append(t.nodes, root)
+	t.idx[start] = 1
+	t.levelOff = []int32{0}
+	markFound(root.Available)
+	if missing == 0 {
 		t.covered = true
 		return t
 	}
 
 	for {
-		frontier := t.levels[len(t.levels)-1]
-		var next []*TreeNode
+		cur := len(t.levelOff)
+		frontier := t.Level(cur)
+		// Open the next level: freezes the frontier's upper bound so the
+		// appends below cannot leak children into it. The frontier slice
+		// itself stays valid across reallocation of t.nodes — it aliases
+		// the old backing, and entries are never rewritten.
+		levelStart := len(t.nodes)
+		t.levelOff = append(t.levelOff, int32(levelStart))
 		for _, tn := range frontier {
-			for _, arc := range g.Neighbors(tn.Node) {
+			for _, arc := range arcs[off[tn.Node]:off[tn.Node+1]] {
 				if cfg.within != nil && !cfg.within(arc.To) {
 					continue
 				}
 				if ledger.EdgeResidual(arc.Edge) < p.Rate {
 					continue
 				}
-				if existing, seen := t.byNode[arc.To]; seen {
+				if i := t.idx[arc.To]; i != 0 {
 					// Record extra adjacency from the previous iteration
 					// (enables alternative path enumeration), but do not
 					// re-discover.
+					existing := t.nodes[i-1]
 					if existing.Iteration == tn.Iteration+1 {
 						existing.Prev = append(existing.Prev, TreeLink{To: tn, Edge: arc.Edge})
 						tn.Next = append(tn.Next, TreeLink{To: existing, Edge: arc.Edge})
 					}
 					continue
 				}
-				if cfg.maxNodes > 0 && len(t.byNode) >= cfg.maxNodes {
+				if cfg.maxNodes > 0 && len(t.nodes) >= cfg.maxNodes {
 					// Budget exhausted (MBBE's Xmax): keep what this
 					// iteration discovered so far and report coverage as
 					// it stands.
-					if len(next) > 0 {
-						t.levels = append(t.levels, next)
+					if len(t.nodes) == levelStart {
+						t.levelOff = t.levelOff[:cur]
 					}
-					t.covered = len(missing) == 0
+					t.covered = missing == 0
 					return t
 				}
-				child := &TreeNode{
-					Father:    tn,
-					Node:      arc.To,
-					Available: available(arc.To),
-					Iteration: tn.Iteration + 1,
-					Prev:      []TreeLink{{To: tn, Edge: arc.Edge}},
-				}
+				child := a.alloc()
+				child.Father = tn
+				child.Node = arc.To
+				child.Available = available(arc.To)
+				child.Iteration = tn.Iteration + 1
+				child.Prev = prevLink(TreeLink{To: tn, Edge: arc.Edge})
 				tn.Next = append(tn.Next, TreeLink{To: child, Edge: arc.Edge})
 				// Binary-tree shape: first child hangs left, later nodes of
 				// the same iteration chain off the previous node's right.
-				if len(next) == 0 {
+				if len(t.nodes) == levelStart {
 					tn.Left = child
 				} else {
-					next[len(next)-1].Right = child
+					t.nodes[len(t.nodes)-1].Right = child
 				}
-				t.byNode[arc.To] = child
-				next = append(next, child)
-				for _, f := range child.Available {
-					delete(missing, f)
-				}
+				t.idx[arc.To] = int32(len(t.nodes)) + 1
+				t.nodes = append(t.nodes, child)
+				markFound(child.Available)
 			}
 		}
-		if len(next) == 0 {
+		if len(t.nodes) == levelStart {
+			// Close the empty level we provisionally opened.
+			t.levelOff = t.levelOff[:cur]
 			return t // graph exhausted
 		}
-		t.levels = append(t.levels, next)
-		if len(missing) == 0 {
+		if missing == 0 {
 			t.covered = true
 			return t
 		}
@@ -284,4 +366,15 @@ func sortVNFs(v []network.VNFID) {
 			v[j], v[j-1] = v[j-1], v[j]
 		}
 	}
+}
+
+// dedupSortedVNFs removes adjacent duplicates from a sorted slice in place.
+func dedupSortedVNFs(v []network.VNFID) []network.VNFID {
+	out := v[:0]
+	for i, f := range v {
+		if i == 0 || f != out[len(out)-1] {
+			out = append(out, f)
+		}
+	}
+	return out
 }

@@ -20,12 +20,13 @@ func (g *Graph) BFSLevelsWithin(src NodeID, allow func(NodeID) bool) []int {
 	if g.checkNode(src) != nil {
 		return level
 	}
+	arcs, off := g.CSR()
 	level[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, arc := range g.adj[v] {
+	queue := make([]NodeID, 1, g.n)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, arc := range arcs[off[v]:off[v+1]] {
 			w := arc.To
 			if level[w] >= 0 {
 				continue
@@ -46,6 +47,14 @@ func (g *Graph) BFSLevelsWithin(src NodeID, allow func(NodeID) bool) []int {
 // mode uses this as the propagation-optimal alternative to min-cost
 // paths. ok is false if dst is unreachable.
 func (g *Graph) MinHopPath(src, dst NodeID, opts *CostOptions) (Path, bool) {
+	s := GetScratch()
+	defer PutScratch(s)
+	return g.MinHopPathWith(s, src, dst, opts)
+}
+
+// MinHopPathWith is MinHopPath running on caller-provided scratch memory;
+// the returned Path is freshly allocated and independent of s.
+func (g *Graph) MinHopPathWith(s *Scratch, src, dst NodeID, opts *CostOptions) (Path, bool) {
 	if g.checkNode(src) != nil || g.checkNode(dst) != nil {
 		return Path{}, false
 	}
@@ -55,33 +64,31 @@ func (g *Graph) MinHopPath(src, dst NodeID, opts *CostOptions) (Path, bool) {
 	if opts != nil && opts.BannedNodes[src] {
 		return Path{}, false
 	}
-	parentEdge := make([]EdgeID, g.n)
-	parentNode := make([]NodeID, g.n)
-	seen := make([]bool, g.n)
-	for i := range parentEdge {
-		parentEdge[i] = None
-		parentNode[i] = None
-	}
-	seen[src] = true
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, arc := range g.adj[v] {
-			if seen[arc.To] || !opts.admits(g, arc) {
+	arcs, off := g.CSR()
+	s.visitedReset(g.n)
+	s.growParents(g.n)
+	s.visit(src)
+	queue := s.queue[:0]
+	queue = append(queue, src)
+	defer func() { s.queue = queue[:0] }()
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, arc := range arcs[off[v]:off[v+1]] {
+			if s.visited(arc.To) || !opts.admits(g, arc) {
 				continue
 			}
-			seen[arc.To] = true
-			parentEdge[arc.To] = arc.Edge
-			parentNode[arc.To] = v
+			s.visit(arc.To)
+			s.parentEdge[arc.To] = arc.Edge
+			s.parentNode[arc.To] = v
 			if arc.To == dst {
-				var rev []EdgeID
-				for u := dst; u != src; u = parentNode[u] {
-					rev = append(rev, parentEdge[u])
+				hops := 0
+				for u := dst; u != src; u = s.parentNode[u] {
+					hops++
 				}
-				edges := make([]EdgeID, len(rev))
-				for i, id := range rev {
-					edges[len(rev)-1-i] = id
+				edges := make([]EdgeID, hops)
+				for u := dst; u != src; u = s.parentNode[u] {
+					hops--
+					edges[hops] = s.parentEdge[u]
 				}
 				return Path{From: src, Edges: edges}, true
 			}
@@ -95,19 +102,26 @@ func (g *Graph) MinHopPath(src, dst NodeID, opts *CostOptions) (Path, bool) {
 // slices: frontiers[0] == {src}, frontiers[q] holds the nodes first reached
 // after q hops. Only levels up to maxLevel are expanded (maxLevel < 0 means
 // no limit). Nodes within a frontier appear in discovery order, which is
-// deterministic given the adjacency order.
+// deterministic given the adjacency order. All frontiers share one backing
+// array (each capped with a full slice expression); callers must treat them
+// as read-only.
 func (g *Graph) BFSFrontiers(src NodeID, maxLevel int, allow func(NodeID) bool) [][]NodeID {
 	if g.checkNode(src) != nil {
 		return nil
 	}
+	arcs, off := g.CSR()
 	seen := make([]bool, g.n)
 	seen[src] = true
-	frontiers := [][]NodeID{{src}}
+	// At most g.n nodes are ever discovered, so one allocation backs every
+	// frontier; appends below never reallocate.
+	order := make([]NodeID, 1, g.n)
+	order[0] = src
+	frontiers := [][]NodeID{order[0:1:1]}
+	lo, hi := 0, 1
 	for maxLevel < 0 || len(frontiers) <= maxLevel {
-		last := frontiers[len(frontiers)-1]
-		var next []NodeID
-		for _, v := range last {
-			for _, arc := range g.adj[v] {
+		for i := lo; i < hi; i++ {
+			v := order[i]
+			for _, arc := range arcs[off[v]:off[v+1]] {
 				w := arc.To
 				if seen[w] {
 					continue
@@ -116,13 +130,14 @@ func (g *Graph) BFSFrontiers(src NodeID, maxLevel int, allow func(NodeID) bool) 
 					continue
 				}
 				seen[w] = true
-				next = append(next, w)
+				order = append(order, w)
 			}
 		}
-		if len(next) == 0 {
+		if len(order) == hi {
 			break
 		}
-		frontiers = append(frontiers, next)
+		frontiers = append(frontiers, order[hi:len(order):len(order)])
+		lo, hi = hi, len(order)
 	}
 	return frontiers
 }

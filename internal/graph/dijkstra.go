@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // Inf is the distance assigned to unreachable nodes.
 var Inf = math.Inf(1)
@@ -52,6 +49,24 @@ type ShortestTree struct {
 	Dist   []float64
 	parent []EdgeID // edge used to reach node, None for src/unreachable
 	prev   []NodeID // predecessor node, None for src/unreachable
+	// touched records every node whose entries left their resting state
+	// (Inf/None) during the last run, so a scratch-owned tree can be reset
+	// in O(touched) instead of O(N).
+	touched []NodeID
+}
+
+func newShortestTree(n int) *ShortestTree {
+	t := &ShortestTree{
+		Dist:   make([]float64, n),
+		parent: make([]EdgeID, n),
+		prev:   make([]NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Inf
+		t.parent[i] = None
+		t.prev[i] = None
+	}
+	return t
 }
 
 // Reachable reports whether v is reachable from the source.
@@ -62,59 +77,66 @@ func (t *ShortestTree) PathTo(v NodeID) (Path, bool) {
 	if !t.Reachable(v) {
 		return Path{}, false
 	}
-	var rev []EdgeID
+	hops := 0
 	for u := v; u != t.Src; u = t.prev[u] {
-		rev = append(rev, t.parent[u])
+		hops++
 	}
-	edges := make([]EdgeID, len(rev))
-	for i, id := range rev {
-		edges[len(rev)-1-i] = id
+	edges := make([]EdgeID, hops)
+	for u := v; u != t.Src; u = t.prev[u] {
+		hops--
+		edges[hops] = t.parent[u]
 	}
 	return Path{From: t.Src, Edges: edges}, true
 }
 
 // Dijkstra computes cheapest paths (by link price) from src to every node,
-// honoring opts. It runs in O((N+M) log N).
+// honoring opts. It runs in O((N+M) log N). The returned tree is freshly
+// allocated and may be retained indefinitely; use DijkstraWith for the
+// allocation-free variant when the result is consumed before the next query.
 func (g *Graph) Dijkstra(src NodeID, opts *CostOptions) *ShortestTree {
-	t := &ShortestTree{
-		Src:    src,
-		Dist:   make([]float64, g.n),
-		parent: make([]EdgeID, g.n),
-		prev:   make([]NodeID, g.n),
-	}
-	for i := range t.Dist {
-		t.Dist[i] = Inf
-		t.parent[i] = None
-		t.prev[i] = None
-	}
+	t := newShortestTree(g.n)
+	var h distHeap
+	g.dijkstra(t, &h, src, opts)
+	return t
+}
+
+// dijkstra is the shared search kernel: it assumes t's arrays are length
+// g.n and in their resting state (Dist=Inf, parent/prev=None) and h is
+// empty, and records every node it writes in t.touched.
+func (g *Graph) dijkstra(t *ShortestTree, h *distHeap, src NodeID, opts *CostOptions) {
+	t.Src = src
 	if g.checkNode(src) != nil {
-		return t
+		return
 	}
 	if opts != nil && opts.BannedNodes[src] {
-		return t
+		return
 	}
+	arcs, off := g.CSR()
 	t.Dist[src] = 0
-	pq := &distHeap{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(distItem)
+	t.touched = append(t.touched, src)
+	h.push(distItem{node: src, dist: 0})
+	for len(*h) > 0 {
+		item := h.pop()
 		v := item.node
 		if item.dist > t.Dist[v] {
 			continue // stale entry
 		}
-		for _, arc := range g.adj[v] {
+		for _, arc := range arcs[off[v]:off[v+1]] {
 			if !opts.admits(g, arc) {
 				continue
 			}
-			nd := item.dist + g.Edge(arc.Edge).Price
+			nd := item.dist + g.edges[arc.Edge].Price
 			if nd < t.Dist[arc.To] {
+				if math.IsInf(t.Dist[arc.To], 1) {
+					t.touched = append(t.touched, arc.To)
+				}
 				t.Dist[arc.To] = nd
 				t.parent[arc.To] = arc.Edge
 				t.prev[arc.To] = v
-				heap.Push(pq, distItem{node: arc.To, dist: nd})
+				h.push(distItem{node: arc.To, dist: nd})
 			}
 		}
 	}
-	return t
 }
 
 // MinCostPath returns one cheapest path from src to dst under opts, or
@@ -127,7 +149,10 @@ func (g *Graph) MinCostPath(src, dst NodeID, opts *CostOptions) (Path, bool) {
 		}
 		return EmptyPath(src), true
 	}
-	return g.Dijkstra(src, opts).PathTo(dst)
+	s := GetScratch()
+	defer PutScratch(s)
+	p, ok := g.DijkstraWith(s, src, opts).PathTo(dst)
+	return p, ok
 }
 
 type distItem struct {
@@ -135,16 +160,49 @@ type distItem struct {
 	dist float64
 }
 
+// distHeap is a concrete binary min-heap over distItem. It deliberately
+// does not implement container/heap: the interface-based Push boxes every
+// item onto the Go heap, which used to be the dominant allocation source of
+// a Dijkstra run. Sift order matches container/heap exactly, so pop order
+// (and therefore tie-breaking) is bit-identical to the old implementation.
 type distHeap []distItem
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+func (h *distHeap) push(x distItem) {
+	*h = append(*h, x)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if hh[p].dist <= hh[i].dist {
+			break
+		}
+		hh[p], hh[i] = hh[i], hh[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	hh := *h
+	top := hh[0]
+	last := len(hh) - 1
+	hh[0] = hh[last]
+	*h = hh[:last]
+	hh = hh[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && hh[r].dist < hh[l].dist {
+			m = r
+		}
+		if hh[i].dist <= hh[m].dist {
+			break
+		}
+		hh[i], hh[m] = hh[m], hh[i]
+		i = m
+	}
+	return top
 }

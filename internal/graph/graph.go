@@ -11,6 +11,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // NodeID identifies a network node. Nodes are dense integers in [0, N).
@@ -51,10 +52,23 @@ type Arc struct {
 
 // Graph is a bidirectional multigraph over nodes [0, N). The zero value is
 // an empty graph with no nodes; use New to create one with nodes.
+//
+// Graph must not be copied by value after first use (it caches a CSR view
+// behind an atomic pointer); use Clone for copies.
 type Graph struct {
 	n     int
 	edges []Edge
 	adj   [][]Arc
+	csr   atomic.Pointer[csrAdj]
+}
+
+// csrAdj is the compressed-sparse-row view of the adjacency structure: one
+// flat arc slice plus per-node offsets. Hot searches iterate
+// arcs[off[v]:off[v+1]] instead of chasing the per-node slice headers of
+// adj, which keeps neighbor scans on a single contiguous allocation.
+type csrAdj struct {
+	arcs []Arc
+	off  []int32
 }
 
 // New returns a graph with n nodes and no edges.
@@ -91,6 +105,7 @@ func (g *Graph) AddEdge(a, b NodeID, price, capacity float64) (EdgeID, error) {
 	g.edges = append(g.edges, Edge{ID: id, A: a, B: b, Price: price, Capacity: capacity})
 	g.adj[a] = append(g.adj[a], Arc{Edge: id, To: b})
 	g.adj[b] = append(g.adj[b], Arc{Edge: id, To: a})
+	g.csr.Store(nil) // adjacency changed; any cached CSR view is stale
 	return id, nil
 }
 
@@ -125,6 +140,37 @@ func (g *Graph) Edges() []Edge { return g.edges }
 
 // Neighbors returns the adjacency list of v. The caller must not modify it.
 func (g *Graph) Neighbors(v NodeID) []Arc { return g.adj[v] }
+
+// CSR returns the compressed-sparse-row adjacency view: the arcs of node v
+// are arcs[off[v]:off[v+1]]. The view is built on first use and cached until
+// the next AddEdge; callers must not modify either slice. Concurrent readers
+// are safe as long as no edge is being added, matching the read-only
+// contract of every other accessor.
+func (g *Graph) CSR() (arcs []Arc, off []int32) {
+	c := g.csr.Load()
+	if c == nil {
+		c = g.buildCSR()
+		// Concurrent first readers may each build; the contents are
+		// identical, so last-store-wins is fine.
+		g.csr.Store(c)
+	}
+	return c.arcs, c.off
+}
+
+func (g *Graph) buildCSR() *csrAdj {
+	off := make([]int32, g.n+1)
+	total := 0
+	for v, l := range g.adj {
+		off[v] = int32(total)
+		total += len(l)
+	}
+	off[g.n] = int32(total)
+	arcs := make([]Arc, total)
+	for v, l := range g.adj {
+		copy(arcs[off[v]:], l)
+	}
+	return &csrAdj{arcs: arcs, off: off}
+}
 
 // Degree reports the number of incident edge endpoints at v.
 func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }

@@ -1,0 +1,114 @@
+package graph
+
+import "sync"
+
+// Scratch is reusable working memory for the search algorithms: the
+// Dijkstra tree arrays and heap, the BFS queue, and an epoch-stamped
+// visited set. A single Scratch serves any sequence of searches over any
+// graphs (arrays grow to the largest graph seen and are reset sparsely),
+// but it is not safe for concurrent use — give each goroutine its own,
+// e.g. one per worker-pool slot.
+//
+// Results returned by the *With methods that alias scratch memory (the
+// *ShortestTree from DijkstraWith) are valid only until the next call with
+// the same Scratch; Path values are freshly allocated and safe to retain.
+type Scratch struct {
+	tree ShortestTree
+	heap distHeap
+
+	queue []NodeID
+
+	// Epoch-stamped visited set: node v is visited iff stamp[v] == epoch.
+	// Bumping epoch clears the whole set in O(1); on uint32 wraparound the
+	// array is zeroed once.
+	stamp []uint32
+	epoch uint32
+
+	// BFS parent links. These never need resetting: they are only read for
+	// nodes stamped visited in the current run, and every such node had its
+	// entries written first.
+	parentEdge []EdgeID
+	parentNode []NodeID
+}
+
+// NewScratch returns an empty Scratch. Buffers are sized lazily on first
+// use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch borrows a Scratch from the package pool. Pair with PutScratch.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the package pool. The caller must not use
+// s, or any scratch-aliasing result produced with it, afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// resetTree brings the scratch tree back to its resting state (Dist=Inf,
+// parent/prev=None) for a graph of n nodes, undoing only the entries the
+// previous run touched.
+func (s *Scratch) resetTree(n int) {
+	t := &s.tree
+	if cap(t.Dist) < n {
+		t.Dist = make([]float64, n)
+		t.parent = make([]EdgeID, n)
+		t.prev = make([]NodeID, n)
+		for i := range t.Dist {
+			t.Dist[i] = Inf
+			t.parent[i] = None
+			t.prev[i] = None
+		}
+		t.touched = t.touched[:0]
+		return
+	}
+	// The previous run may have been on a larger graph, so undo its writes
+	// against the full backing arrays before re-slicing to n.
+	dist := t.Dist[:cap(t.Dist)]
+	parent := t.parent[:cap(t.parent)]
+	prev := t.prev[:cap(t.prev)]
+	for _, v := range t.touched {
+		dist[v] = Inf
+		parent[v] = None
+		prev[v] = None
+	}
+	t.touched = t.touched[:0]
+	t.Dist = dist[:n]
+	t.parent = parent[:n]
+	t.prev = prev[:n]
+}
+
+// visitedReset prepares the visited set for a graph of n nodes and clears
+// it in O(1) by advancing the epoch.
+func (s *Scratch) visitedReset(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: the stale stamps could collide, zero once
+		clear(s.stamp)
+		s.epoch = 1
+	}
+}
+
+func (s *Scratch) visit(v NodeID)        { s.stamp[v] = s.epoch }
+func (s *Scratch) visited(v NodeID) bool { return s.stamp[v] == s.epoch }
+
+// growParents ensures the BFS parent arrays cover n nodes.
+func (s *Scratch) growParents(n int) {
+	if len(s.parentEdge) < n {
+		s.parentEdge = make([]EdgeID, n)
+		s.parentNode = make([]NodeID, n)
+	}
+}
+
+// DijkstraWith is Dijkstra running entirely on scratch memory: zero
+// steady-state allocations once s has warmed up to the graph size. The
+// returned tree is owned by s and is invalidated by the next DijkstraWith
+// call on the same Scratch; results are bit-identical to Dijkstra.
+func (g *Graph) DijkstraWith(s *Scratch, src NodeID, opts *CostOptions) *ShortestTree {
+	s.resetTree(g.n)
+	s.heap = s.heap[:0]
+	g.dijkstra(&s.tree, &s.heap, src, opts)
+	return &s.tree
+}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"maps"
 
 	"dagsfc/internal/graph"
 )
@@ -12,14 +13,29 @@ import (
 // algorithms reserve capacity as they commit sub-solutions, and online
 // multi-flow scenarios carry one ledger across many requests.
 //
+// A Ledger is either a root (dense usage arrays, created by NewLedger) or
+// an overlay (created by Overlay): a sparse copy-on-write delta over a base
+// ledger. Overlays make speculative embeds O(changes) instead of O(network)
+// — the serving layer hands each worker an overlay snapshot rather than a
+// full Clone — and can be folded back with Commit or dropped with Discard.
+// While an overlay is live its base must not be mutated; the overlay reads
+// through to it on every query.
+//
 // The zero Ledger is not usable; create one with NewLedger.
 type Ledger struct {
-	net      *Network
+	net *Network
+	// base is nil for root ledgers; overlays read through to it.
+	base *Ledger
+	// edgeUsed holds absolute committed bandwidth per edge (root only).
 	edgeUsed []float64
+	// edgeDelta holds the overlay's sparse bandwidth deltas (overlay only).
+	edgeDelta map[graph.EdgeID]float64
+	// instUsed holds absolute committed capacity on roots and deltas on
+	// overlays.
 	instUsed map[instKey]float64
 }
 
-// NewLedger returns an empty ledger over net.
+// NewLedger returns an empty root ledger over net.
 func NewLedger(net *Network) *Ledger {
 	return &Ledger{
 		net:      net,
@@ -31,13 +47,37 @@ func NewLedger(net *Network) *Ledger {
 // Network returns the network the ledger accounts for.
 func (l *Ledger) Network() *Network { return l.net }
 
+// IsOverlay reports whether l is a copy-on-write overlay.
+func (l *Ledger) IsOverlay() bool { return l.base != nil }
+
+// OverlayLen reports how many distinct edges and instances the overlay has
+// touched (0 for a root ledger) — the cost driver of Snapshot and Commit,
+// which the server uses to decide when to rebase.
+func (l *Ledger) OverlayLen() int { return len(l.edgeDelta) + len(l.instUsed) }
+
+// Overlay returns a new empty copy-on-write overlay whose reads fall
+// through to l. The base must not be mutated while the overlay is in use.
+func (l *Ledger) Overlay() *Ledger {
+	return &Ledger{
+		net:       l.net,
+		base:      l,
+		edgeDelta: make(map[graph.EdgeID]float64),
+		instUsed:  make(map[instKey]float64),
+	}
+}
+
 // EdgeResidual reports the remaining bandwidth of edge e.
 func (l *Ledger) EdgeResidual(e graph.EdgeID) float64 {
-	return l.net.G.Edge(e).Capacity - l.edgeUsed[e]
+	return l.net.G.Edge(e).Capacity - l.EdgeUsed(e)
 }
 
 // EdgeUsed reports the committed bandwidth of edge e.
-func (l *Ledger) EdgeUsed(e graph.EdgeID) float64 { return l.edgeUsed[e] }
+func (l *Ledger) EdgeUsed(e graph.EdgeID) float64 {
+	if l.base != nil {
+		return l.base.EdgeUsed(e) + l.edgeDelta[e]
+	}
+	return l.edgeUsed[e]
+}
 
 // InstanceResidual reports the remaining processing capacity of the
 // instance of vnf on node. Missing instances have zero residual; the dummy
@@ -47,12 +87,15 @@ func (l *Ledger) InstanceResidual(node graph.NodeID, vnf VNFID) float64 {
 	if !ok {
 		return 0
 	}
-	return inst.Capacity - l.instUsed[instKey{node, vnf}]
+	return inst.Capacity - l.InstanceUsed(node, vnf)
 }
 
 // InstanceUsed reports the committed capacity of the instance of vnf on
 // node.
 func (l *Ledger) InstanceUsed(node graph.NodeID, vnf VNFID) float64 {
+	if l.base != nil {
+		return l.base.InstanceUsed(node, vnf) + l.instUsed[instKey{node, vnf}]
+	}
 	return l.instUsed[instKey{node, vnf}]
 }
 
@@ -66,16 +109,37 @@ func (l *Ledger) ReserveEdge(e graph.EdgeID, amount float64) error {
 		return fmt.Errorf("network: edge %d over capacity: residual %v < demand %v",
 			e, l.EdgeResidual(e), amount)
 	}
+	if l.base != nil {
+		l.setEdgeDelta(e, l.edgeDelta[e]+amount)
+		return nil
+	}
 	l.edgeUsed[e] += amount
 	return nil
 }
 
-// ReleaseEdge returns amount bandwidth to edge e.
+// ReleaseEdge returns amount bandwidth to edge e. Total usage never drops
+// below zero, on either a root or the combined view of an overlay.
 func (l *Ledger) ReleaseEdge(e graph.EdgeID, amount float64) {
+	if l.base != nil {
+		d := l.edgeDelta[e] - amount
+		if l.base.EdgeUsed(e)+d < 0 {
+			d = -l.base.EdgeUsed(e)
+		}
+		l.setEdgeDelta(e, d)
+		return
+	}
 	l.edgeUsed[e] -= amount
 	if l.edgeUsed[e] < 0 {
 		l.edgeUsed[e] = 0
 	}
+}
+
+func (l *Ledger) setEdgeDelta(e graph.EdgeID, d float64) {
+	if d == 0 {
+		delete(l.edgeDelta, e)
+		return
+	}
+	l.edgeDelta[e] = d
 }
 
 // ReserveInstance commits amount processing capacity on the instance of
@@ -92,34 +156,174 @@ func (l *Ledger) ReserveInstance(node graph.NodeID, vnf VNFID, amount float64) e
 		return fmt.Errorf("network: instance f(%d) on node %d over capacity: residual %v < demand %v",
 			vnf, node, l.InstanceResidual(node, vnf), amount)
 	}
-	l.instUsed[instKey{node, vnf}] += amount
+	key := instKey{node, vnf}
+	if l.base != nil {
+		l.setInstDelta(key, l.instUsed[key]+amount)
+		return nil
+	}
+	l.instUsed[key] += amount
 	return nil
 }
 
 // ReleaseInstance returns amount capacity to the instance of vnf at node.
+// Total usage never drops below zero, matching ReleaseEdge.
 func (l *Ledger) ReleaseInstance(node graph.NodeID, vnf VNFID, amount float64) {
 	if vnf == Dummy {
 		return
 	}
 	key := instKey{node, vnf}
+	if l.base != nil {
+		d := l.instUsed[key] - amount
+		if l.base.InstanceUsed(node, vnf)+d <= 0 {
+			d = -l.base.InstanceUsed(node, vnf)
+		}
+		l.setInstDelta(key, d)
+		return
+	}
 	l.instUsed[key] -= amount
 	if l.instUsed[key] <= 0 {
 		delete(l.instUsed, key)
 	}
 }
 
-// Clone returns an independent copy of the ledger (sharing the immutable
-// network). Search algorithms use clones for what-if exploration.
-func (l *Ledger) Clone() *Ledger {
+func (l *Ledger) setInstDelta(key instKey, d float64) {
+	if d == 0 {
+		delete(l.instUsed, key)
+		return
+	}
+	l.instUsed[key] = d
+}
+
+// Commit folds an overlay's deltas into its base ledger. Every positive
+// delta is re-validated against the base first — the base may have moved
+// since the overlay was taken (a stale-snapshot commit in the server) —
+// and on any violation the commit fails without touching the base. After a
+// successful commit the overlay is empty and remains usable.
+func (l *Ledger) Commit() error {
+	if l.base == nil {
+		return fmt.Errorf("network: Commit on a root ledger (not an overlay)")
+	}
+	for e, d := range l.edgeDelta {
+		if d > 0 && l.base.EdgeResidual(e) < d-capacityEps {
+			return fmt.Errorf("network: commit conflict: edge %d residual %v < delta %v",
+				e, l.base.EdgeResidual(e), d)
+		}
+	}
+	for k, d := range l.instUsed {
+		if d > 0 && l.base.InstanceResidual(k.node, k.vnf) < d-capacityEps {
+			return fmt.Errorf("network: commit conflict: instance f(%d) on node %d residual %v < delta %v",
+				k.vnf, k.node, l.base.InstanceResidual(k.node, k.vnf), d)
+		}
+	}
+	for e, d := range l.edgeDelta {
+		if d >= 0 {
+			// Validated reservation: cannot overflow the base.
+			l.base.edgeOrDeltaAdd(e, d)
+		} else {
+			l.base.ReleaseEdge(e, -d)
+		}
+	}
+	for k, d := range l.instUsed {
+		if d >= 0 {
+			l.base.instOrDeltaAdd(k, d)
+		} else {
+			l.base.ReleaseInstance(k.node, k.vnf, -d)
+		}
+	}
+	clear(l.edgeDelta)
+	clear(l.instUsed)
+	return nil
+}
+
+// edgeOrDeltaAdd adds a validated positive amount to the base's usage,
+// whether the base is itself a root or an overlay (stacked overlays fold
+// one level at a time).
+func (l *Ledger) edgeOrDeltaAdd(e graph.EdgeID, d float64) {
+	if l.base != nil {
+		l.setEdgeDelta(e, l.edgeDelta[e]+d)
+		return
+	}
+	l.edgeUsed[e] += d
+}
+
+func (l *Ledger) instOrDeltaAdd(k instKey, d float64) {
+	if l.base != nil {
+		l.setInstDelta(k, l.instUsed[k]+d)
+		return
+	}
+	l.instUsed[k] += d
+	if l.instUsed[k] <= 0 {
+		delete(l.instUsed, k)
+	}
+}
+
+// Discard drops every uncommitted delta; the overlay is empty afterwards
+// and remains usable. On a root ledger it is a no-op.
+func (l *Ledger) Discard() {
+	if l.base == nil {
+		return
+	}
+	clear(l.edgeDelta)
+	clear(l.instUsed)
+}
+
+// Snapshot returns an independent what-if copy of the ledger's current
+// view. For an overlay this is O(overlay deltas): the copy shares the
+// (frozen) base and clones only the sparse delta maps — the cheap
+// replacement for the per-speculative-embed Clone the server used to pay.
+// For a root ledger it is a full Clone.
+func (l *Ledger) Snapshot() *Ledger {
+	if l.base == nil {
+		return l.Clone()
+	}
+	return &Ledger{
+		net:       l.net,
+		base:      l.base,
+		edgeDelta: maps.Clone(l.edgeDelta),
+		instUsed:  maps.Clone(l.instUsed),
+	}
+}
+
+// Flatten folds the ledger's entire view (base chain plus deltas) into a
+// fresh independent root ledger. The server rebases onto a Flatten when an
+// overlay's delta map has grown past the point where snapshots stay cheap.
+func (l *Ledger) Flatten() *Ledger {
 	c := &Ledger{
 		net:      l.net,
-		edgeUsed: append([]float64(nil), l.edgeUsed...),
-		instUsed: make(map[instKey]float64, len(l.instUsed)),
+		edgeUsed: make([]float64, l.net.G.NumEdges()),
+		instUsed: make(map[instKey]float64),
 	}
-	for k, v := range l.instUsed {
-		c.instUsed[k] = v
+	for e := range c.edgeUsed {
+		c.edgeUsed[e] = l.EdgeUsed(graph.EdgeID(e))
+	}
+	// Every instance with nonzero combined usage appears in at least one
+	// map of the chain (deltas and absolutes alike), so the union of keys
+	// covers the view.
+	for cur := l; cur != nil; cur = cur.base {
+		for k := range cur.instUsed {
+			if _, seen := c.instUsed[k]; seen {
+				continue
+			}
+			if u := l.InstanceUsed(k.node, k.vnf); u > 0 {
+				c.instUsed[k] = u
+			}
+		}
 	}
 	return c
+}
+
+// Clone returns an independent copy of the ledger (sharing the immutable
+// network). Search algorithms use clones for what-if exploration. Cloning
+// an overlay flattens it into a root.
+func (l *Ledger) Clone() *Ledger {
+	if l.base != nil {
+		return l.Flatten()
+	}
+	return &Ledger{
+		net:      l.net,
+		edgeUsed: append([]float64(nil), l.edgeUsed...),
+		instUsed: maps.Clone(l.instUsed),
+	}
 }
 
 // CostOptions returns graph search options that admit only links with at

@@ -1,0 +1,205 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsfc/internal/graph"
+)
+
+// ledgersAgree fails unless a and b report identical usage and residuals
+// for every edge and every deployed instance.
+func ledgersAgree(t *testing.T, a, b *Ledger, context string) {
+	t.Helper()
+	g := a.net.G
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		if math.Abs(a.EdgeUsed(id)-b.EdgeUsed(id)) > 1e-9 {
+			t.Fatalf("%s: edge %d used %v vs %v", context, e, a.EdgeUsed(id), b.EdgeUsed(id))
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for f := VNFID(0); f <= a.net.Catalog.Merger(); f++ {
+			au := a.InstanceUsed(graph.NodeID(v), f)
+			bu := b.InstanceUsed(graph.NodeID(v), f)
+			if math.Abs(au-bu) > 1e-9 {
+				t.Fatalf("%s: instance f(%d)@%d used %v vs %v", context, f, v, au, bu)
+			}
+		}
+	}
+}
+
+// TestOverlayMatchesCloneProperty drives an overlay and a Clone of the same
+// base through a long random interleaving of reserve/release operations and
+// checks their views never diverge — the overlay must be observably a
+// Clone, just cheaper.
+func TestOverlayMatchesCloneProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := testNet(t)
+		base := NewLedger(net)
+		// Pre-commit some base usage so overlays start from a non-trivial view.
+		if err := base.ReserveEdge(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := base.ReserveInstance(1, 2, 2); err != nil {
+			t.Fatal(err)
+		}
+
+		overlay := base.Overlay()
+		clone := base.Clone()
+		for step := 0; step < 400; step++ {
+			e := graph.EdgeID(rng.Intn(net.G.NumEdges()))
+			node := graph.NodeID(rng.Intn(net.G.NumNodes()))
+			f := VNFID(rng.Intn(int(net.Catalog.Merger()) + 1))
+			amt := float64(rng.Intn(40)) / 4
+			switch rng.Intn(4) {
+			case 0:
+				oe, ce := overlay.ReserveEdge(e, amt), clone.ReserveEdge(e, amt)
+				if (oe == nil) != (ce == nil) {
+					t.Fatalf("seed=%d step=%d: ReserveEdge(%d,%v) overlay err=%v clone err=%v", seed, step, e, amt, oe, ce)
+				}
+			case 1:
+				overlay.ReleaseEdge(e, amt)
+				clone.ReleaseEdge(e, amt)
+			case 2:
+				oe, ce := overlay.ReserveInstance(node, f, amt), clone.ReserveInstance(node, f, amt)
+				if (oe == nil) != (ce == nil) {
+					t.Fatalf("seed=%d step=%d: ReserveInstance(%d,%d,%v) overlay err=%v clone err=%v", seed, step, node, f, amt, oe, ce)
+				}
+			case 3:
+				overlay.ReleaseInstance(node, f, amt)
+				clone.ReleaseInstance(node, f, amt)
+			}
+			ledgersAgree(t, overlay, clone, "during interleaving")
+		}
+
+		// Snapshot must be an independent copy of the current view.
+		snap := overlay.Snapshot()
+		ledgersAgree(t, snap, clone, "snapshot")
+		snap.ReleaseEdge(0, 100)
+		ledgersAgree(t, overlay, clone, "after mutating snapshot")
+
+		// Flatten must preserve the view as a root ledger.
+		flat := overlay.Flatten()
+		if flat.IsOverlay() {
+			t.Fatal("Flatten returned an overlay")
+		}
+		ledgersAgree(t, flat, clone, "flatten")
+
+		// Commit folds the deltas into the base: the base must now agree
+		// with the clone, and the overlay (reading through) too.
+		if err := overlay.Commit(); err != nil {
+			t.Fatalf("seed=%d: commit: %v", seed, err)
+		}
+		ledgersAgree(t, base, clone, "base after commit")
+		ledgersAgree(t, overlay, clone, "overlay after commit")
+		if overlay.OverlayLen() != 0 {
+			t.Fatalf("overlay not empty after commit: %d entries", overlay.OverlayLen())
+		}
+	}
+}
+
+func TestOverlayDiscard(t *testing.T) {
+	net := testNet(t)
+	base := NewLedger(net)
+	if err := base.ReserveEdge(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	ov := base.Overlay()
+	if err := ov.ReserveEdge(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.ReserveInstance(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	ov.Discard()
+	if ov.OverlayLen() != 0 {
+		t.Fatalf("OverlayLen after discard = %d", ov.OverlayLen())
+	}
+	ledgersAgree(t, ov, base, "after discard")
+	// The overlay remains usable after a discard.
+	if err := ov.ReserveEdge(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := ov.EdgeUsed(1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("EdgeUsed after re-reserve = %v, want 10", got)
+	}
+	if got := base.EdgeUsed(1); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("base EdgeUsed = %v, want 4 (must not see overlay)", got)
+	}
+}
+
+// TestOverlayCommitConflict takes two overlays of one base, commits the
+// first, and checks the second's now-infeasible reservation is rejected at
+// commit time without corrupting the base — the server's stale-snapshot
+// scenario.
+func TestOverlayCommitConflict(t *testing.T) {
+	net := testNet(t)
+	base := NewLedger(net)
+	a := base.Overlay()
+	b := base.Overlay()
+	if err := a.ReserveEdge(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReserveEdge(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	if err := b.Commit(); err == nil {
+		t.Fatal("second commit of conflicting reservation succeeded")
+	}
+	if got := base.EdgeUsed(0); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("base EdgeUsed = %v after rejected commit, want 7", got)
+	}
+	if b.OverlayLen() == 0 {
+		t.Fatal("rejected overlay lost its deltas")
+	}
+}
+
+func TestCommitOnRootFails(t *testing.T) {
+	base := NewLedger(testNet(t))
+	if err := base.Commit(); err == nil {
+		t.Fatal("Commit on root ledger succeeded")
+	}
+	base.Discard() // must be a harmless no-op
+	if base.IsOverlay() {
+		t.Fatal("root ledger claims to be an overlay")
+	}
+}
+
+// TestStackedOverlayCommit folds a second-level overlay into a first-level
+// one and that into the root.
+func TestStackedOverlayCommit(t *testing.T) {
+	net := testNet(t)
+	base := NewLedger(net)
+	mid := base.Overlay()
+	top := mid.Overlay()
+	if err := top.ReserveEdge(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.ReserveInstance(2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mid.EdgeUsed(2); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("mid EdgeUsed = %v, want 4", got)
+	}
+	if got := base.EdgeUsed(2); got != 0 {
+		t.Fatalf("base EdgeUsed = %v before mid commit, want 0", got)
+	}
+	if err := mid.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.EdgeUsed(2); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("base EdgeUsed = %v, want 4", got)
+	}
+	if got := base.InstanceUsed(2, 3); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("base InstanceUsed = %v, want 2", got)
+	}
+}

@@ -56,8 +56,12 @@ func RunChurn(net *network.Network, reqs []TimedRequest, embed Embedder) (ChurnR
 			}
 			continue
 		}
+		// As in Run, the arrival is transactional: it embeds and commits
+		// into a throwaway overlay, folded into the shared ledger only on
+		// success.
+		ov := ledger.Overlay()
 		p := &core.Problem{
-			Net: net, Ledger: ledger, SFC: req.SFC,
+			Net: net, Ledger: ov, SFC: req.SFC,
 			Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
 		}
 		begin := time.Now()
@@ -69,7 +73,12 @@ func RunChurn(net *network.Network, reqs []TimedRequest, embed Embedder) (ChurnR
 			telemetry.RecordOnlineRequest(false, latency)
 			continue
 		}
-		if _, err := core.Commit(p, res.Solution); err != nil {
+		_, err = core.Commit(p, res.Solution)
+		if err == nil {
+			err = ov.Commit()
+		}
+		if err != nil {
+			ov.Discard()
 			latency := time.Since(begin)
 			report.Outcomes[ev.Idx] = Outcome{Err: err, Latency: latency}
 			report.Rejected++
@@ -78,7 +87,11 @@ func RunChurn(net *network.Network, reqs []TimedRequest, embed Embedder) (ChurnR
 			telemetry.RecordOnlineCommitFailure()
 			continue
 		}
+		telemetry.RecordOverlayCommit()
 		latency := time.Since(begin)
+		// The departure releases against the shared ledger, so rebind the
+		// stored problem away from the drained overlay.
+		p.Ledger = ledger
 		active.Add(ev.Idx, Flow{Problem: p, Solution: res.Solution})
 		report.Outcomes[ev.Idx] = Outcome{Accepted: true, Cost: res.Cost.Total(), Latency: latency}
 		report.Accepted++

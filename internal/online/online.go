@@ -75,6 +75,11 @@ func (r Report) LatencySummary() stats.Summary {
 // Run embeds the requests in order on one shared ledger over net. A
 // request whose embedding fails (core.ErrNoEmbedding) is rejected and
 // consumes nothing; any other error aborts the run.
+//
+// Each request runs against a copy-on-write overlay of the shared ledger:
+// a rejected request's partial reservations are dropped by discarding the
+// overlay, and an accepted one folds its deltas back in with one Commit —
+// the request is transactional against the shared state.
 func Run(net *network.Network, reqs []Request, embed Embedder) (Report, error) {
 	ledger := network.NewLedger(net)
 	report := Report{}
@@ -85,8 +90,9 @@ func Run(net *network.Network, reqs []Request, embed Embedder) (Report, error) {
 		telemetry.RecordOnlineRequest(false, latency)
 	}
 	for _, req := range reqs {
+		ov := ledger.Overlay()
 		p := &core.Problem{
-			Net: net, Ledger: ledger, SFC: req.SFC,
+			Net: net, Ledger: ov, SFC: req.SFC,
 			Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
 		}
 		begin := time.Now()
@@ -98,15 +104,21 @@ func Run(net *network.Network, reqs []Request, embed Embedder) (Report, error) {
 			}
 			return report, err
 		}
-		if _, err := core.Commit(p, res.Solution); err != nil {
+		_, err = core.Commit(p, res.Solution)
+		if err == nil {
+			err = ov.Commit()
+		}
+		if err != nil {
 			// The embedding was validated against the ledger it was
 			// produced with, so commit cannot fail; treat defensively as
 			// a rejection.
+			ov.Discard()
 			report.CommitFailures++
 			telemetry.RecordOnlineCommitFailure()
 			reject(begin, err)
 			continue
 		}
+		telemetry.RecordOverlayCommit()
 		latency := time.Since(begin)
 		report.Outcomes = append(report.Outcomes, Outcome{Accepted: true, Cost: res.Cost.Total(), Latency: latency})
 		report.Accepted++

@@ -83,12 +83,20 @@ type Server struct {
 	// mu guards the live state below. The commit loop takes it to
 	// validate+commit, release paths take it to return capacity, and
 	// read endpoints take it to snapshot — embed workers only hold it
-	// long enough to Clone the ledger.
-	mu     sync.Mutex
-	ledger *network.Ledger
-	flows  *online.FlowTable[int64]
-	meta   map[int64]FlowInfo
-	wheel  *online.ExpiryWheel[int64]
+	// long enough to Snapshot the ledger.
+	//
+	// ledger is the live capacity state, kept as a copy-on-write overlay
+	// over a frozen root: worker snapshots are then O(overlay deltas)
+	// instead of a full O(network) Clone per speculative embed. Whenever
+	// the overlay outgrows rebaseLen, the commit loop folds it into a
+	// fresh frozen root (Flatten) and starts a new overlay; snapshots
+	// taken before a rebase stay valid — their base is never mutated.
+	mu        sync.Mutex
+	ledger    *network.Ledger
+	rebaseLen int
+	flows     *online.FlowTable[int64]
+	meta      map[int64]FlowInfo
+	wheel     *online.ExpiryWheel[int64]
 
 	nextID atomic.Int64
 
@@ -159,15 +167,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Rules == nil {
 		cfg.Rules = sfc.StockRules()
 	}
+	rebaseLen := cfg.Net.G.NumEdges()
+	if rebaseLen < 64 {
+		rebaseLen = 64
+	}
 	s := &Server{
-		cfg:      cfg,
-		net:      cfg.Net,
-		embedder: builtinEmbedders(cfg.Seed),
-		ledger:   network.NewLedger(cfg.Net),
-		flows:    online.NewFlowTable[int64](),
-		meta:     make(map[int64]FlowInfo),
-		admit:    make(chan *job, cfg.QueueDepth),
-		commit:   make(chan *job, cfg.QueueDepth+cfg.Workers),
+		cfg:       cfg,
+		net:       cfg.Net,
+		embedder:  builtinEmbedders(cfg.Seed),
+		ledger:    network.NewLedger(cfg.Net).Overlay(),
+		rebaseLen: rebaseLen,
+		flows:     online.NewFlowTable[int64](),
+		meta:      make(map[int64]FlowInfo),
+		admit:     make(chan *job, cfg.QueueDepth),
+		commit:    make(chan *job, cfg.QueueDepth+cfg.Workers),
 	}
 	for name, e := range cfg.Embedders {
 		s.embedder[name] = e
@@ -362,7 +375,7 @@ func (s *Server) worker() {
 			continue
 		}
 		s.mu.Lock()
-		snap := s.ledger.Clone()
+		snap := s.ledger.Snapshot()
 		s.mu.Unlock()
 		p := &core.Problem{
 			Net: s.net, Ledger: snap, SFC: j.dag,
@@ -391,12 +404,14 @@ func (s *Server) commitLoop() {
 			s.inflight.Done()
 			continue
 		}
+		// The live ledger pointer is read under mu: a rebase may swap it
+		// for a freshly flattened overlay at any commit.
+		s.mu.Lock()
 		p := &core.Problem{
 			Net: s.net, Ledger: s.ledger, SFC: j.dag,
 			Src: graph.NodeID(j.req.Src), Dst: graph.NodeID(j.req.Dst),
 			Rate: j.req.Rate, Size: j.req.Size,
 		}
-		s.mu.Lock()
 		if err := core.Validate(p, j.res.Solution); err != nil {
 			s.mu.Unlock()
 			telemetry.RecordOnlineCommitFailure()
@@ -447,7 +462,14 @@ func (s *Server) commitLoop() {
 		}
 		s.flows.Add(id, online.Flow{Problem: p, Solution: j.res.Solution})
 		s.meta[id] = info
+		telemetry.RecordOverlayCommit()
 		telemetry.SetServerActiveFlows(s.flows.Len())
+		// Rebase once the overlay's delta maps outgrow the point where
+		// snapshots stay cheaper than a dense Clone. In-flight snapshots
+		// keep the old (frozen) base; new ones start from the flat root.
+		if s.ledger.OverlayLen() > s.rebaseLen {
+			s.ledger = s.ledger.Flatten().Overlay()
+		}
 		s.mu.Unlock()
 		if info.ExpiresAt != nil {
 			s.wheel.Schedule(id, *info.ExpiresAt)
@@ -488,6 +510,10 @@ func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 	}
 	info := s.meta[id]
 	delete(s.meta, id)
+	// The flow committed into whichever overlay was live at the time; a
+	// rebase since then would leave that pointer stale, so release against
+	// the current live ledger.
+	f.Problem.Ledger = s.ledger
 	// Release cannot fail here: the flow's cost evaluated at commit time
 	// and the network is immutable.
 	_ = core.Release(f.Problem, f.Solution)
