@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke bench-json serve-smoke repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke bench-json serve-smoke chaos-smoke race-survival repro examples vet fmt
 
 all: build vet test
 
@@ -60,6 +60,20 @@ bench-json:
 # shrink, return to the seed exactly, and /metrics must report the traffic.
 serve-smoke:
 	$(GO) run ./cmd/dagsfc-load -selfserve -smoke
+
+# chaos-smoke boots the control plane in-process, commits a flow
+# population, replays a seeded self-restoring fault schedule against it,
+# and verifies the survivability invariants: all faults restored, every
+# flow settles (repaired or evicted), the ledger drains back to the exact
+# seed residuals, and zero embed workers panicked.
+chaos-smoke:
+	$(GO) run ./cmd/dagsfc-chaos -selfserve -smoke
+
+# The survivability packages run concurrent repair controllers, fault
+# injection, and breaker state under load — run them under the race
+# detector on their own so a failure names the culprit directly.
+race-survival:
+	$(GO) test -race ./internal/server/... ./internal/faults/... ./internal/online/...
 
 # Regenerate every table/figure of the paper at full trial count.
 repro:

@@ -1,0 +1,357 @@
+// Command dagsfc-chaos replays a seeded fault schedule against a running
+// dagsfc-serve control plane while driving flow load, then verifies the
+// survivability invariants end to end:
+//
+//   - every injected fault is restored (no capacity stays quarantined),
+//   - repairing flows settle to a terminal state (active or evicted),
+//   - releasing everything drains the ledger back to the exact seed
+//     residuals,
+//   - no embed worker panicked.
+//
+// It targets a running server with -url, or with -selfserve starts its
+// own in-process server on an ephemeral port and drives it over real
+// TCP. -smoke shrinks the run to the deterministic CI check:
+//
+//	dagsfc-chaos -url http://localhost:8080 -n 60 -faults 12 -unit 100ms
+//	dagsfc-chaos -selfserve -smoke
+//
+// The schedule is generated from -seed (same seed, same schedule), or
+// read from a file in the faults text format with -schedule.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dagsfc/internal/diag"
+	"dagsfc/internal/faults"
+	"dagsfc/internal/netgen"
+	"dagsfc/internal/network"
+	"dagsfc/internal/server"
+	"dagsfc/internal/server/client"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/sfcgen"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "", "server base URL (default: -selfserve)")
+		selfserve   = flag.Bool("selfserve", false, "start an in-process server on an ephemeral port and drive it")
+		n           = flag.Int("n", 40, "flows to submit before the chaos window")
+		faultCount  = flag.Int("faults", 8, "incidents to generate")
+		unit        = flag.Duration("unit", 50*time.Millisecond, "wall-clock length of one schedule time unit")
+		meanGap     = flag.Float64("mean-gap", 1, "mean gap between incidents, schedule units")
+		meanHold    = flag.Float64("mean-hold", 2, "mean fault duration, schedule units")
+		nodeFrac    = flag.Float64("node-frac", 0.3, "probability an incident is a node failure")
+		degradeFrac = flag.Float64("degrade-frac", 0.3, "probability a link incident is a degradation")
+		schedFile   = flag.String("schedule", "", "read the fault schedule from this file instead of generating it")
+		size        = flag.Int("size", 3, "SFC size (number of VNFs)")
+		width       = flag.Int("width", 3, "maximum parallel VNF set size")
+		kinds       = flag.Int("kinds", 10, "VNF categories to draw from (match the server's network)")
+		rate        = flag.Float64("rate", 1, "flow delivery rate (1 keeps residual checks exact)")
+		seed        = flag.Int64("seed", 1, "schedule and workload seed")
+		nodes       = flag.Int("nodes", 50, "generated network size (selfserve only)")
+		smoke       = flag.Bool("smoke", false, "shrink to the deterministic CI run")
+	)
+	diag.Main("dagsfc-chaos", func() error {
+		if *smoke {
+			*n, *faultCount, *unit = 24, 6, 10*time.Millisecond
+		}
+		base := *url
+		if base == "" && !*selfserve {
+			return fmt.Errorf("-url or -selfserve is required")
+		}
+		if base == "" {
+			srv, addr, stop, err := startSelfServe(*nodes, *kinds, *seed)
+			if err != nil {
+				return err
+			}
+			defer stop()
+			defer srv.Close()
+			base = "http://" + addr
+			fmt.Fprintf(os.Stderr, "dagsfc-chaos: self-serving on %s\n", base)
+		}
+		return runChaos(client.New(base, nil), chaosConfig{
+			n: *n, faults: *faultCount, unit: *unit,
+			meanGap: *meanGap, meanHold: *meanHold,
+			nodeFrac: *nodeFrac, degradeFrac: *degradeFrac,
+			schedFile: *schedFile,
+			sfcCfg:    sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds},
+			rate:      *rate, seed: *seed,
+		})
+	})
+}
+
+// startSelfServe boots an in-process control plane with fast repair
+// knobs, so the chaos run still crosses a real HTTP round-trip.
+func startSelfServe(nodes, kinds int, seed int64) (*server.Server, string, func(), error) {
+	gen := netgen.Default()
+	gen.Nodes = nodes
+	gen.VNFKinds = kinds
+	nw, err := netgen.Generate(gen, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, "", nil, err
+	}
+	srv, err := server.New(server.Config{
+		Net: nw, Seed: seed,
+		RepairBackoff: 5 * time.Millisecond, RepairBackoffCap: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return srv, ln.Addr().String(), func() { _ = hs.Close() }, nil
+}
+
+type chaosConfig struct {
+	n, faults             int
+	unit                  time.Duration
+	meanGap, meanHold     float64
+	nodeFrac, degradeFrac float64
+	schedFile             string
+	sfcCfg                sfcgen.Config
+	rate                  float64
+	seed                  int64
+}
+
+// wireTarget adapts the typed HTTP client to the faults.Target interface,
+// so Replay drives a remote server exactly like it drives a raw ledger.
+type wireTarget struct {
+	ctx context.Context
+	cl  *client.Client
+}
+
+func (t wireTarget) ApplyFault(f network.Fault) error {
+	_, err := t.cl.ApplyFault(t.ctx, faultToWire(f))
+	return err
+}
+
+func (t wireTarget) RestoreFault(f network.Fault) error {
+	_, err := t.cl.RestoreFault(t.ctx, faultToWire(f))
+	return err
+}
+
+func faultToWire(f network.Fault) server.FaultRequest {
+	w := server.FaultRequest{Kind: f.Kind.String()}
+	switch f.Kind {
+	case network.FaultNodeDown:
+		w.Node = int(f.Node)
+	case network.FaultLinkDegrade:
+		w.Link, w.Fraction = int(f.Link), f.Fraction
+	default:
+		w.Link = int(f.Link)
+	}
+	return w
+}
+
+func runChaos(cl *client.Client, cfg chaosConfig) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	seedState, err := cl.Network(ctx)
+	if err != nil {
+		return fmt.Errorf("probe network: %w", err)
+	}
+
+	sched, err := loadSchedule(cfg, seedState)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "chaos: schedule of %d incidents over %d nodes / %d links:\n%s",
+		len(sched), seedState.Nodes, len(seedState.Links), sched.Format())
+
+	// Phase 1: commit the pre-chaos population.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	submitted, accepted := 0, 0
+	for i := 0; i < cfg.n; i++ {
+		dag, err := sfcgen.Generate(cfg.sfcCfg, rng)
+		if err != nil {
+			return err
+		}
+		submitted++
+		_, err = cl.CreateFlow(ctx, server.FlowRequest{
+			SFC: sfc.Format(dag),
+			Src: rng.Intn(seedState.Nodes), Dst: rng.Intn(seedState.Nodes),
+			Rate: cfg.rate, Size: 1,
+		})
+		if err == nil {
+			accepted++
+		} else if _, ok := err.(*client.APIError); !ok {
+			return fmt.Errorf("chaos: create: %w", err)
+		}
+	}
+	if accepted == 0 {
+		return fmt.Errorf("chaos: no flow admitted before the fault window")
+	}
+	fmt.Fprintf(os.Stderr, "chaos: population %d/%d flows committed\n", accepted, submitted)
+
+	// Phase 2: replay the schedule in real time against the live server.
+	events := 0
+	err = faults.Replay(ctx, wireTarget{ctx: ctx, cl: cl}, sched, cfg.unit, func(ev faults.Event, err error) {
+		events++
+		verb := "restore"
+		if ev.Apply {
+			verb = "apply"
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: t=%.2f %s %s: %v\n", ev.At, verb, ev.Fault, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "chaos: t=%.2f %s %s\n", ev.At, verb, ev.Fault)
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: replay: %w", err)
+	}
+
+	// Phase 3: settle and verify. Every fault must be restored (the
+	// schedule is self-restoring; anything left is a server-side leak) and
+	// every flow must reach a terminal state.
+	fs, err := cl.Faults(ctx)
+	if err != nil {
+		return err
+	}
+	if len(fs.Active) != 0 {
+		return fmt.Errorf("chaos: %d faults still active after a fully restoring schedule: %+v", len(fs.Active), fs.Active)
+	}
+	if fs.Applied != len(sched) || fs.Restored != len(sched) {
+		return fmt.Errorf("chaos: fault accounting %d applied / %d restored, want %d each", fs.Applied, fs.Restored, len(sched))
+	}
+	flows, err := settleFlows(ctx, cl)
+	if err != nil {
+		return err
+	}
+	var active, repaired, evicted int
+	for _, f := range flows {
+		switch f.State {
+		case server.FlowStateEvicted:
+			evicted++
+		default:
+			active++
+			if f.Repairs > 0 {
+				repaired++
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "chaos: settled — %d active (%d repaired at least once), %d evicted\n",
+		active, repaired, evicted)
+
+	// Phase 4: tear everything down; the ledger must drain to the seed.
+	for _, f := range flows {
+		if _, err := cl.ReleaseFlow(ctx, f.ID); err != nil {
+			return fmt.Errorf("chaos: release %d: %w", f.ID, err)
+		}
+	}
+	end, err := cl.Network(ctx)
+	if err != nil {
+		return err
+	}
+	if end.ActiveFlows != 0 {
+		return fmt.Errorf("chaos: %d flows still active after full release", end.ActiveFlows)
+	}
+	if !sameResiduals(seedState, end) {
+		return fmt.Errorf("chaos: ledger did not drain to the seed residuals")
+	}
+
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("chaos: metrics: %w", err)
+	}
+	if panics := counterValue(metrics, "dagsfc_server_worker_panics_total"); panics > 0 {
+		return fmt.Errorf("chaos: %d embed workers panicked", panics)
+	}
+	fmt.Fprintln(os.Stderr, "chaos: faults restored, flows settled, ledger drained to seed, zero panics — ok")
+	return nil
+}
+
+func loadSchedule(cfg chaosConfig, st server.NetworkState) (faults.Schedule, error) {
+	if cfg.schedFile != "" {
+		f, err := os.Open(cfg.schedFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return faults.Parse(f)
+	}
+	// A schedule seed decoupled from the workload seed, so -n does not
+	// change which elements fail.
+	rng := rand.New(rand.NewSource(cfg.seed ^ 0x63686173)) // "chas"
+	return faults.Generate(faults.GenConfig{
+		Nodes: st.Nodes, Edges: len(st.Links),
+		Count: cfg.faults, MeanGap: cfg.meanGap, MeanHold: cfg.meanHold,
+		NodeFrac: cfg.nodeFrac, DegradeFrac: cfg.degradeFrac,
+	}, rng)
+}
+
+// settleFlows polls the flow list until no flow is mid-repair (the
+// controller has driven everything to a terminal state).
+func settleFlows(ctx context.Context, cl *client.Client) ([]server.FlowInfo, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		flows, err := cl.Flows(ctx)
+		if err != nil {
+			return nil, err
+		}
+		repairing := 0
+		for _, f := range flows {
+			if f.State == server.FlowStateRepairing {
+				repairing++
+			}
+		}
+		if repairing == 0 {
+			return flows, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("chaos: %d flows still repairing after 30s", repairing)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// counterValue extracts a Prometheus counter's value from the text
+// exposition (summing labeled children); 0 when absent.
+func counterValue(metrics, name string) int {
+	total := 0
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			total += int(v)
+		}
+	}
+	return total
+}
+
+func sameResiduals(a, b server.NetworkState) bool {
+	if len(a.Links) != len(b.Links) || len(a.Instances) != len(b.Instances) {
+		return false
+	}
+	for i := range a.Links {
+		if a.Links[i].Residual != b.Links[i].Residual {
+			return false
+		}
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Residual != b.Instances[i].Residual {
+			return false
+		}
+	}
+	return true
+}

@@ -50,6 +50,8 @@ func main() {
 		rate        = flag.Float64("rate", 1, "flow delivery rate")
 		seed        = flag.Int64("seed", 1, "request-generator seed")
 		concurrency = flag.Int("concurrency", 16, "max in-flight requests")
+		retries     = flag.Int("retries", 3, "max retries per flow on retryable rejections (429/409/503)")
+		retryWait   = flag.Duration("retry-backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt, capped at 32x)")
 		smoke       = flag.Bool("smoke", false, "run the deterministic smoke check instead of the load")
 		nodes       = flag.Int("nodes", 50, "generated network size (selfserve only)")
 	)
@@ -76,6 +78,7 @@ func main() {
 			n: *n, meanGap: *meanGap, hold: *hold,
 			sfcCfg: sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds},
 			rate:   *rate, seed: *seed, concurrency: *concurrency,
+			retries: *retries, retryWait: *retryWait,
 		})
 	})
 }
@@ -113,12 +116,40 @@ type loadConfig struct {
 	rate        float64
 	seed        int64
 	concurrency int
+	retries     int
+	retryWait   time.Duration
 }
 
 type outcome struct {
 	accepted bool
 	status   int
 	latency  time.Duration
+	retries  int
+}
+
+// retryDelay picks the wait before retry `attempt` (1-based) for request
+// i: capped exponential backoff plus deterministic jitter derived from
+// (i, attempt), so concurrent goroutines need no shared rand.Rand and the
+// same seed replays the same schedule. A server-provided Retry-After
+// wins when it is longer.
+func retryDelay(base time.Duration, i, attempt int, retryAfter time.Duration) time.Duration {
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5 // cap at 32x base
+	}
+	delay := base << shift
+	// splitmix64-style hash of (i, attempt) for the jitter in [0, delay/2].
+	h := uint64(i)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 27
+	if delay > 0 {
+		delay += time.Duration(h % uint64(delay/2+1))
+	}
+	if retryAfter > delay {
+		delay = retryAfter
+	}
+	return delay
 }
 
 func runLoad(cl *client.Client, cfg loadConfig) error {
@@ -161,13 +192,26 @@ func runLoad(cl *client.Client, cfg loadConfig) error {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			_, err := cl.CreateFlow(ctx, reqs[i])
-			o := outcome{accepted: err == nil, latency: time.Since(t0)}
-			if apiErr, ok := err.(*client.APIError); ok {
+			var o outcome
+			for attempt := 0; ; attempt++ {
+				_, err := cl.CreateFlow(ctx, reqs[i])
+				if err == nil {
+					o.accepted, o.status = true, 0
+					break
+				}
+				apiErr, ok := err.(*client.APIError)
+				if !ok {
+					o.status = -1
+					break
+				}
 				o.status = apiErr.StatusCode
-			} else if err != nil {
-				o.status = -1
+				if attempt >= cfg.retries || !apiErr.Retryable() {
+					break
+				}
+				o.retries++
+				time.Sleep(retryDelay(cfg.retryWait, i, attempt+1, apiErr.RetryAfter))
 			}
+			o.latency = time.Since(t0)
 			outcomes[i] = o
 		}(i)
 	}
@@ -177,12 +221,16 @@ func runLoad(cl *client.Client, cfg loadConfig) error {
 }
 
 func report(outcomes []outcome, wall time.Duration) {
-	var accepted int
+	var accepted, retriedOK, totalRetries int
 	byStatus := make(map[int]int)
 	lats := make([]time.Duration, 0, len(outcomes))
 	for _, o := range outcomes {
+		totalRetries += o.retries
 		if o.accepted {
 			accepted++
+			if o.retries > 0 {
+				retriedOK++
+			}
 		} else {
 			byStatus[o.status]++
 		}
@@ -199,6 +247,9 @@ func report(outcomes []outcome, wall time.Duration) {
 		len(outcomes), wall.Round(time.Millisecond), float64(len(outcomes))/wall.Seconds())
 	fmt.Printf("accepted: %d (acceptance ratio %.3f)\n",
 		accepted, float64(accepted)/float64(len(outcomes)))
+	if totalRetries > 0 {
+		fmt.Printf("retries: %d total, %d flows accepted after a retry\n", totalRetries, retriedOK)
+	}
 	statuses := make([]int, 0, len(byStatus))
 	for s := range byStatus {
 		statuses = append(statuses, s)

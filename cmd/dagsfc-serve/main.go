@@ -12,16 +12,21 @@
 //	dagsfc-serve [-addr localhost:8080] [-net net.json | -nodes 50 -kinds 10]
 //	             [-alg mbbe] [-embed-workers 0] [-queue 64] [-timeout 30s]
 //	             [-ttl 0] [-retries 1] [-drain-timeout 30s] [-seed 1]
+//	             [-repair-retries 3] [-repair-backoff 25ms]
+//	             [-breaker-failures 0] [-breaker-cooldown 1s]
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (healthz turns 503,
 // new flows get 503), in-flight requests finish, then the HTTP listener
 // closes and the diagnostics session flushes. The API:
 //
-//	POST   /v1/flows        embed + commit one flow
-//	GET    /v1/flows[/{id}] inspect committed flows
-//	DELETE /v1/flows/{id}   release a flow's capacity
-//	GET    /v1/network      residual-network snapshot
-//	GET    /healthz         liveness; GET /metrics — telemetry
+//	POST   /v1/flows          embed + commit one flow
+//	GET    /v1/flows[/{id}]   inspect committed flows (state, repairs)
+//	DELETE /v1/flows/{id}     release a flow's capacity
+//	GET    /v1/network        residual-network snapshot
+//	POST   /v1/faults         inject a fault (quarantine capacity)
+//	POST   /v1/faults/restore restore a fault exactly
+//	GET    /v1/faults         active faults + apply/restore accounting
+//	GET    /healthz           liveness; GET /metrics — telemetry
 package main
 
 import (
@@ -56,25 +61,33 @@ func main() {
 		ttl          = flag.Duration("ttl", 0, "default flow TTL (0 = flows live until released)")
 		retries      = flag.Int("retries", 1, "re-embeds after a commit conflict before 409")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
+		repairs      = flag.Int("repair-retries", 3, "re-embed attempts for a fault-stranded flow before eviction")
+		repairWait   = flag.Duration("repair-backoff", 25*time.Millisecond, "base repair backoff (doubles per attempt)")
+		repairCap    = flag.Duration("repair-backoff-cap", time.Second, "repair backoff ceiling")
+		brkFails     = flag.Int("breaker-failures", 0, "consecutive pipeline failures that open the admission breaker (0 = disabled)")
+		brkCooldown  = flag.Duration("breaker-cooldown", time.Second, "breaker open time before the half-open probe")
 	)
 	flag.IntVar(&gen.Nodes, "nodes", gen.Nodes, "generated network size (ignored with -net)")
 	flag.IntVar(&gen.VNFKinds, "kinds", gen.VNFKinds, "generated VNF categories (ignored with -net)")
 	diag.Main("dagsfc-serve", func() error {
-		return run(*addr, *netFile, gen, *seed, *alg, *workers, *queue, *timeout, *ttl, *retries, *drainTimeout)
+		cfg := server.Config{
+			Algorithm: *alg, Seed: *seed,
+			Workers: *workers, QueueDepth: *queue,
+			RequestTimeout: *timeout, CommitRetries: *retries, DefaultTTL: *ttl,
+			RepairRetries: *repairs, RepairBackoff: *repairWait, RepairBackoffCap: *repairCap,
+			BreakerFailures: *brkFails, BreakerCooldown: *brkCooldown,
+		}
+		return run(*addr, *netFile, gen, cfg, *drainTimeout)
 	})
 }
 
-func run(addr, netFile string, gen netgen.Config, seed int64, alg string,
-	workers, queue int, timeout, ttl time.Duration, retries int, drainTimeout time.Duration) error {
-	nw, err := loadNetwork(netFile, gen, seed)
+func run(addr, netFile string, gen netgen.Config, cfg server.Config, drainTimeout time.Duration) error {
+	nw, err := loadNetwork(netFile, gen, cfg.Seed)
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
-		Net: nw, Algorithm: alg, Seed: seed,
-		Workers: workers, QueueDepth: queue,
-		RequestTimeout: timeout, CommitRetries: retries, DefaultTTL: ttl,
-	})
+	cfg.Net = nw
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -191,6 +192,19 @@ func EmbedMBBE(p *Problem) (*Result, error) { return Embed(p, MBBEOptions()) }
 // nil Ledger is replaced by a private empty one for the duration of the
 // run. Concurrent Embed calls may therefore share one Problem value.
 func Embed(p *Problem, opts Options) (*Result, error) {
+	return EmbedContext(context.Background(), p, opts)
+}
+
+// EmbedContext is Embed with cancellation: the search checks ctx between
+// layers, before each start node's search-tree build and each FST–BST pair
+// enumeration, and before tail-path assembly, returning ctx.Err() promptly
+// once the context is done. A timed-out or abandoned request therefore
+// stops burning CPU at the next check instead of running the layer loop to
+// completion. A nil ctx means context.Background().
+func EmbedContext(ctx context.Context, p *Problem, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	label := opts.Label
 	if label == "" {
@@ -214,7 +228,7 @@ func Embed(p *Problem, opts Options) (*Result, error) {
 		opts.Delay = delaymodel.Default()
 	}
 	e := &embedder{
-		p: p, opts: opts, workers: workers,
+		p: p, opts: opts, workers: workers, ctx: ctx,
 		ledger: p.ledgerOrFresh(),
 		trees:  make(map[graph.NodeID]*treeEntry),
 	}
@@ -240,6 +254,9 @@ func Embed(p *Problem, opts Options) (*Result, error) {
 type embedder struct {
 	p    *Problem
 	opts Options
+	// ctx cancels the run between layers and fanned-out build jobs; never
+	// nil (EmbedContext defaults it to Background).
+	ctx context.Context
 	// ledger is the run's read-only capacity view. It is the problem's
 	// ledger when one is set, else a private empty one — never written
 	// back to the Problem (Commit owns that).
@@ -328,6 +345,9 @@ func (e *embedder) run() (*Result, error) {
 	frontier := []*subSolution{root}
 
 	for _, spec := range specs {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		e.observeLayerStart(spec, len(frontier))
 		// Build every distinct start node's extensions up front (fanned
 		// across the worker pool); the screening loop below then only
@@ -348,6 +368,11 @@ func (e *embedder) run() (*Result, error) {
 		e.stats.CapacityRejections += capRejected
 		e.stats.DelayRejections += delayRejected
 		e.observeFiltered(spec.Index, considered, capRejected, delayRejected)
+		// A cancelled run skips build jobs, so an empty frontier here may
+		// mean "cancelled", not "infeasible" — report the cancellation.
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(next) == 0 {
 			return nil, fmt.Errorf("%w: layer %d has no feasible sub-solution", ErrNoEmbedding, spec.Index)
 		}
@@ -403,6 +428,10 @@ func (e *embedder) run() (*Result, error) {
 		e.stats.SubSolutions += len(next)
 		e.observeLayerDone(spec, len(next), next[0].cum)
 		frontier = next
+	}
+
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Close every leaf to the destination with a min-cost path and keep

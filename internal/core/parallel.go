@@ -145,7 +145,14 @@ func (e *embedder) buildLayerExtensions(spec LayerSpec, frontier []*subSolution)
 		builds = append(builds, &startBuild{start: start, sink: buildSink{record: e.opts.Observer != nil}})
 	}
 	required := spec.Required(p.Net.Catalog)
+	// Skipping jobs once the context is done leaves the layer's extension
+	// sets incomplete; run() re-checks the context before interpreting an
+	// empty frontier, so a cancelled run reports ctx.Err(), never a bogus
+	// ErrNoEmbedding.
 	e.forEach(len(builds), func(slot, i int) {
+		if e.ctx.Err() != nil {
+			return
+		}
 		e.runForward(builds[i], spec, required, e.scratch[slot].Scratch)
 	})
 	var pairs []*pairBuild
@@ -153,6 +160,9 @@ func (e *embedder) buildLayerExtensions(spec LayerSpec, frontier []*subSolution)
 		pairs = append(pairs, b.pairs...)
 	}
 	e.forEach(len(pairs), func(slot, i int) {
+		if e.ctx.Err() != nil {
+			return
+		}
 		pb := pairs[i]
 		pb.exts = e.pairExtensions(&pb.sink, spec, pb.owner.start, pb.owner.fst, pb.merger, e.scratch[slot].Scratch)
 	})

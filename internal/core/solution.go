@@ -52,6 +52,44 @@ func (s *Solution) endNodeBefore(layer int, src graph.NodeID) graph.NodeID {
 	return s.Layers[layer-1].EndNode()
 }
 
+// VisitEdges calls fn for every substrate link the embedding traverses:
+// all inter-layer and inner-layer real-paths plus the tail path. Links
+// used by several paths are visited once per use; callers that need a set
+// (e.g. fault matching) dedupe themselves.
+func (s *Solution) VisitEdges(fn func(graph.EdgeID)) {
+	for _, le := range s.Layers {
+		for _, p := range le.InterPaths {
+			for _, e := range p.Edges {
+				fn(e)
+			}
+		}
+		for _, p := range le.InnerPaths {
+			for _, e := range p.Edges {
+				fn(e)
+			}
+		}
+	}
+	for _, e := range s.TailPath.Edges {
+		fn(e)
+	}
+}
+
+// VisitNodes calls fn for every substrate node hosting one of the
+// embedding's VNF instances — the regular VNFs plus rented mergers of
+// parallel layers. Pure transit nodes are not reported: a transit node's
+// failure manifests as its incident links failing, which VisitEdges
+// covers. Nodes hosting several instances are visited once per instance.
+func (s *Solution) VisitNodes(fn func(graph.NodeID)) {
+	for _, le := range s.Layers {
+		for _, v := range le.Nodes {
+			fn(v)
+		}
+		if len(le.Nodes) > 1 {
+			fn(le.MergerNode)
+		}
+	}
+}
+
 // String renders the assignment skeleton, e.g.
 // "L1{5}->L2{7,9|m:7}->t:path(3)".
 func (s *Solution) String() string {

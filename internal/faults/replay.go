@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dagsfc/internal/network"
+)
+
+// Fault aliases network.Fault so Target implementations outside this
+// package read naturally (faults.Fault at the injection boundary, the
+// network type underneath).
+type Fault = network.Fault
+
+// Target is anything a schedule can be replayed against: a raw
+// network.Ledger, the server's repair-aware fault entry points, or an
+// HTTP client adapter talking to a remote server.
+type Target interface {
+	ApplyFault(f Fault) error
+	RestoreFault(f Fault) error
+}
+
+// Replay drives the schedule's transitions against target in order. Each
+// event's At is scaled by unit to a wall-clock offset from the replay's
+// start; a zero unit replays the whole schedule immediately, still in
+// deterministic event order — the mode the tests and sim harnesses use.
+//
+// onEvent, when non-nil, observes every transition with the error the
+// target returned; Replay itself only stops early when ctx is cancelled.
+// Target errors do not abort the replay: a restore whose apply was
+// rejected is the schedule's problem, not a reason to strand every later
+// incident.
+func Replay(ctx context.Context, target Target, s Schedule, unit time.Duration, onEvent func(Event, error)) error {
+	if target == nil {
+		return fmt.Errorf("faults: nil replay target")
+	}
+	if err := s.Validate(nil); err != nil {
+		return err
+	}
+	start := time.Now()
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for _, ev := range s.Events() {
+		if unit > 0 {
+			due := start.Add(time.Duration(ev.At * float64(unit)))
+			if wait := time.Until(due); wait > 0 {
+				if timer == nil {
+					timer = time.NewTimer(wait)
+				} else {
+					timer.Reset(wait)
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-timer.C:
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		if ev.Apply {
+			err = target.ApplyFault(ev.Fault)
+		} else {
+			err = target.RestoreFault(ev.Fault)
+		}
+		if onEvent != nil {
+			onEvent(ev, err)
+		}
+	}
+	return nil
+}

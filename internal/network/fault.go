@@ -1,0 +1,285 @@
+package network
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dagsfc/internal/graph"
+)
+
+// This file implements the survivability layer's fault model on the
+// capacity ledger. A fault takes substrate capacity out of service by
+// QUARANTINING it — the capacity is subtracted from every residual view
+// but never from the network definition — so restoring the fault returns
+// the ledger to exactly its pre-fault accounting (float-exact, not merely
+// approximate: apply and restore add and subtract the same amounts,
+// recomputed from the immutable network).
+//
+// Quarantine lives on the ROOT ledger of an overlay chain, published as an
+// immutable table behind an atomic pointer. Overlays and snapshots read
+// through to it, which gives faults the semantics the serving layer needs:
+//
+//   - a speculative embed running on a snapshot taken BEFORE the fault
+//     sees the post-fault residuals the moment the fault is applied, and
+//     its Commit re-validates against them — the stale-snapshot semantics
+//     of the copy-on-write ledger extend to faults for free;
+//   - readers never lock: ApplyFault/RestoreFault build a fresh table and
+//     swap the pointer, so a search iterating residuals mid-fault observes
+//     either the old view or the new one, never a half-applied fault.
+//
+// Mutations (ApplyFault/RestoreFault) must be serialized by the caller —
+// the server applies them under its state mutex, the offline harnesses are
+// single-threaded.
+
+// FaultKind discriminates the substrate fault classes the injector can
+// replay.
+type FaultKind int
+
+const (
+	// FaultLinkDown quarantines a link's entire bandwidth.
+	FaultLinkDown FaultKind = iota
+	// FaultNodeDown quarantines every incident link's bandwidth and every
+	// VNF instance hosted on the node.
+	FaultNodeDown
+	// FaultLinkDegrade quarantines a fraction of a link's bandwidth — a
+	// brown-out rather than a black-out.
+	FaultLinkDegrade
+)
+
+// String returns the schedule-syntax name of the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkDown:
+		return "link-down"
+	case FaultNodeDown:
+		return "node-down"
+	case FaultLinkDegrade:
+		return "link-degrade"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one substrate fault: the element it hits and, for degradation,
+// how much of the capacity it takes.
+type Fault struct {
+	Kind FaultKind
+	// Link is the target of FaultLinkDown and FaultLinkDegrade.
+	Link graph.EdgeID
+	// Node is the target of FaultNodeDown.
+	Node graph.NodeID
+	// Fraction is the share of the link's bandwidth a FaultLinkDegrade
+	// quarantines, in (0, 1].
+	Fraction float64
+}
+
+// Validate reports the first structural problem with the fault against net.
+func (f Fault) Validate(net *Network) error {
+	switch f.Kind {
+	case FaultLinkDown:
+		if f.Link < 0 || int(f.Link) >= net.G.NumEdges() {
+			return fmt.Errorf("network: fault link %d out of range [0,%d)", f.Link, net.G.NumEdges())
+		}
+	case FaultNodeDown:
+		if f.Node < 0 || int(f.Node) >= net.G.NumNodes() {
+			return fmt.Errorf("network: fault node %d out of range [0,%d)", f.Node, net.G.NumNodes())
+		}
+	case FaultLinkDegrade:
+		if f.Link < 0 || int(f.Link) >= net.G.NumEdges() {
+			return fmt.Errorf("network: fault link %d out of range [0,%d)", f.Link, net.G.NumEdges())
+		}
+		if f.Fraction <= 0 || f.Fraction > 1 {
+			return fmt.Errorf("network: degrade fraction %v outside (0,1]", f.Fraction)
+		}
+	default:
+		return fmt.Errorf("network: unknown fault kind %d", int(f.Kind))
+	}
+	return nil
+}
+
+// String renders the fault in the schedule syntax, e.g. "link-down 3" or
+// "link-degrade 7 0.5".
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultLinkDown:
+		return fmt.Sprintf("link-down %d", f.Link)
+	case FaultNodeDown:
+		return fmt.Sprintf("node-down %d", f.Node)
+	case FaultLinkDegrade:
+		return fmt.Sprintf("link-degrade %d %g", f.Link, f.Fraction)
+	}
+	return fmt.Sprintf("fault(kind=%d)", int(f.Kind))
+}
+
+// quarTable is the published quarantine view: how much capacity each edge
+// and instance currently has out of service, plus the down-count per node.
+// Tables are immutable after publication; mutations copy-and-swap.
+type quarTable struct {
+	edge map[graph.EdgeID]float64
+	inst map[instKey]float64
+	node map[graph.NodeID]int
+}
+
+func (q *quarTable) empty() bool {
+	return len(q.edge) == 0 && len(q.inst) == 0 && len(q.node) == 0
+}
+
+func cloneQuar(q *quarTable) *quarTable {
+	c := &quarTable{
+		edge: make(map[graph.EdgeID]float64),
+		inst: make(map[instKey]float64),
+		node: make(map[graph.NodeID]int),
+	}
+	if q != nil {
+		for k, v := range q.edge {
+			c.edge[k] = v
+		}
+		for k, v := range q.inst {
+			c.inst[k] = v
+		}
+		for k, v := range q.node {
+			c.node[k] = v
+		}
+	}
+	return c
+}
+
+// addEdge adjusts an edge's quarantined amount, failing if the adjustment
+// would drive it negative (a restore without a matching apply).
+func (q *quarTable) addEdge(e graph.EdgeID, amt float64) error {
+	v := q.edge[e] + amt
+	if v < -capacityEps {
+		return fmt.Errorf("network: edge %d quarantine would go negative (%v): restore without matching apply", e, v)
+	}
+	if v <= capacityEps {
+		delete(q.edge, e)
+		return nil
+	}
+	q.edge[e] = v
+	return nil
+}
+
+func (q *quarTable) addInst(k instKey, amt float64) error {
+	v := q.inst[k] + amt
+	if v < -capacityEps {
+		return fmt.Errorf("network: instance f(%d) on node %d quarantine would go negative (%v): restore without matching apply",
+			k.vnf, k.node, v)
+	}
+	if v <= capacityEps {
+		delete(q.inst, k)
+		return nil
+	}
+	q.inst[k] = v
+	return nil
+}
+
+// rootLedger walks the overlay chain to its root (itself for a root
+// ledger). Quarantine state lives only there.
+func (l *Ledger) rootLedger() *Ledger {
+	r := l
+	for r.base != nil {
+		r = r.base
+	}
+	return r
+}
+
+func (l *Ledger) quarantineTable() *quarTable {
+	return l.rootLedger().quar.Load()
+}
+
+// ApplyFault quarantines the capacity f takes out of service. Called on an
+// overlay, it applies to the overlay chain's root, so every snapshot and
+// overlay sharing that root observes the fault immediately. Concurrent
+// readers are safe; concurrent mutators are not — serialize Apply/Restore.
+func (l *Ledger) ApplyFault(f Fault) error {
+	return l.adjustFault(f, +1)
+}
+
+// RestoreFault returns f's quarantined capacity to service. It must pair
+// with an earlier ApplyFault of the same fault value; an unmatched restore
+// fails without changing anything. After every applied fault is restored,
+// residuals are float-exactly what they were before the faults.
+func (l *Ledger) RestoreFault(f Fault) error {
+	return l.adjustFault(f, -1)
+}
+
+func (l *Ledger) adjustFault(f Fault, sign float64) error {
+	if err := f.Validate(l.net); err != nil {
+		return err
+	}
+	root := l.rootLedger()
+	q := cloneQuar(root.quar.Load())
+	switch f.Kind {
+	case FaultLinkDown:
+		if err := q.addEdge(f.Link, sign*l.net.G.Edge(f.Link).Capacity); err != nil {
+			return err
+		}
+	case FaultLinkDegrade:
+		if err := q.addEdge(f.Link, sign*f.Fraction*l.net.G.Edge(f.Link).Capacity); err != nil {
+			return err
+		}
+	case FaultNodeDown:
+		if n := q.node[f.Node] + int(sign); n < 0 {
+			return fmt.Errorf("network: node %d down-count would go negative: restore without matching apply", f.Node)
+		} else if n == 0 {
+			delete(q.node, f.Node)
+		} else {
+			q.node[f.Node] = n
+		}
+		// Each incident edge appears exactly once in the node's adjacency
+		// list (self loops are impossible), so apply/restore are symmetric.
+		for _, arc := range l.net.G.Neighbors(f.Node) {
+			if err := q.addEdge(arc.Edge, sign*l.net.G.Edge(arc.Edge).Capacity); err != nil {
+				return err
+			}
+		}
+		for _, vnf := range l.net.VNFsAt(f.Node) {
+			inst, _ := l.net.Instance(f.Node, vnf)
+			if err := q.addInst(instKey{f.Node, vnf}, sign*inst.Capacity); err != nil {
+				return err
+			}
+		}
+	}
+	if q.empty() {
+		root.quar.Store(nil)
+		return nil
+	}
+	root.quar.Store(q)
+	return nil
+}
+
+// EdgeQuarantined reports how much of edge e's bandwidth active faults
+// have taken out of service.
+func (l *Ledger) EdgeQuarantined(e graph.EdgeID) float64 {
+	if q := l.quarantineTable(); q != nil {
+		return q.edge[e]
+	}
+	return 0
+}
+
+// InstanceQuarantined reports how much of the instance's processing
+// capacity active faults have taken out of service.
+func (l *Ledger) InstanceQuarantined(node graph.NodeID, vnf VNFID) float64 {
+	if q := l.quarantineTable(); q != nil {
+		return q.inst[instKey{node, vnf}]
+	}
+	return 0
+}
+
+// NodeDown reports whether v is currently failed by at least one active
+// node fault.
+func (l *Ledger) NodeDown(v graph.NodeID) bool {
+	if q := l.quarantineTable(); q != nil {
+		return q.node[v] > 0
+	}
+	return false
+}
+
+// FaultsActive reports whether any quarantine is in effect.
+func (l *Ledger) FaultsActive() bool {
+	q := l.quarantineTable()
+	return q != nil && !q.empty()
+}
+
+// quarPointer is a tiny alias so ledger.go can declare the field without
+// importing sync/atomic twice; see Ledger.quar.
+type quarPointer = atomic.Pointer[quarTable]

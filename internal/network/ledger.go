@@ -33,6 +33,9 @@ type Ledger struct {
 	// instUsed holds absolute committed capacity on roots and deltas on
 	// overlays.
 	instUsed map[instKey]float64
+	// quar is the active fault quarantine (root only; overlays read through
+	// to their root's table). See fault.go for the publication protocol.
+	quar quarPointer
 }
 
 // NewLedger returns an empty root ledger over net.
@@ -66,9 +69,15 @@ func (l *Ledger) Overlay() *Ledger {
 	}
 }
 
-// EdgeResidual reports the remaining bandwidth of edge e.
+// EdgeResidual reports the remaining bandwidth of edge e, net of any
+// capacity active faults have quarantined. It can be negative while a
+// fault holds capacity that committed flows are still using.
 func (l *Ledger) EdgeResidual(e graph.EdgeID) float64 {
-	return l.net.G.Edge(e).Capacity - l.EdgeUsed(e)
+	r := l.net.G.Edge(e).Capacity - l.EdgeUsed(e)
+	if q := l.quarantineTable(); q != nil {
+		r -= q.edge[e]
+	}
+	return r
 }
 
 // EdgeUsed reports the committed bandwidth of edge e.
@@ -80,14 +89,19 @@ func (l *Ledger) EdgeUsed(e graph.EdgeID) float64 {
 }
 
 // InstanceResidual reports the remaining processing capacity of the
-// instance of vnf on node. Missing instances have zero residual; the dummy
-// VNF is infinite.
+// instance of vnf on node, net of any capacity active faults have
+// quarantined. Missing instances have zero residual; the dummy VNF is
+// infinite (node faults black-hole its links instead).
 func (l *Ledger) InstanceResidual(node graph.NodeID, vnf VNFID) float64 {
 	inst, ok := l.net.Instance(node, vnf)
 	if !ok {
 		return 0
 	}
-	return inst.Capacity - l.InstanceUsed(node, vnf)
+	r := inst.Capacity - l.InstanceUsed(node, vnf)
+	if q := l.quarantineTable(); q != nil {
+		r -= q.inst[instKey{node, vnf}]
+	}
+	return r
 }
 
 // InstanceUsed reports the committed capacity of the instance of vnf on
@@ -309,6 +323,10 @@ func (l *Ledger) Flatten() *Ledger {
 			}
 		}
 	}
+	// The flattened root inherits the active quarantine (the table is
+	// immutable, so sharing the pointer is safe); the server's rebase must
+	// not lose in-flight faults.
+	c.quar.Store(l.quarantineTable())
 	return c
 }
 
@@ -319,11 +337,13 @@ func (l *Ledger) Clone() *Ledger {
 	if l.base != nil {
 		return l.Flatten()
 	}
-	return &Ledger{
+	c := &Ledger{
 		net:      l.net,
 		edgeUsed: append([]float64(nil), l.edgeUsed...),
 		instUsed: maps.Clone(l.instUsed),
 	}
+	c.quar.Store(l.quar.Load())
+	return c
 }
 
 // CostOptions returns graph search options that admit only links with at

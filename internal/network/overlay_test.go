@@ -18,6 +18,9 @@ func ledgersAgree(t *testing.T, a, b *Ledger, context string) {
 		if math.Abs(a.EdgeUsed(id)-b.EdgeUsed(id)) > 1e-9 {
 			t.Fatalf("%s: edge %d used %v vs %v", context, e, a.EdgeUsed(id), b.EdgeUsed(id))
 		}
+		if math.Abs(a.EdgeResidual(id)-b.EdgeResidual(id)) > 1e-9 {
+			t.Fatalf("%s: edge %d residual %v vs %v", context, e, a.EdgeResidual(id), b.EdgeResidual(id))
+		}
 	}
 	for v := 0; v < g.NumNodes(); v++ {
 		for f := VNFID(0); f <= a.net.Catalog.Merger(); f++ {
@@ -25,6 +28,11 @@ func ledgersAgree(t *testing.T, a, b *Ledger, context string) {
 			bu := b.InstanceUsed(graph.NodeID(v), f)
 			if math.Abs(au-bu) > 1e-9 {
 				t.Fatalf("%s: instance f(%d)@%d used %v vs %v", context, f, v, au, bu)
+			}
+			ar := a.InstanceResidual(graph.NodeID(v), f)
+			br := b.InstanceResidual(graph.NodeID(v), f)
+			if ar != br && math.Abs(ar-br) > 1e-9 { // Inf == Inf for the dummy
+				t.Fatalf("%s: instance f(%d)@%d residual %v vs %v", context, f, v, ar, br)
 			}
 		}
 	}
@@ -49,12 +57,16 @@ func TestOverlayMatchesCloneProperty(t *testing.T) {
 
 		overlay := base.Overlay()
 		clone := base.Clone()
+		// Fault events are mirrored onto both roots (the overlay's base and
+		// the independent clone); quarantine must keep the views in lockstep
+		// exactly like reservations do.
+		var live []Fault
 		for step := 0; step < 400; step++ {
 			e := graph.EdgeID(rng.Intn(net.G.NumEdges()))
 			node := graph.NodeID(rng.Intn(net.G.NumNodes()))
 			f := VNFID(rng.Intn(int(net.Catalog.Merger()) + 1))
 			amt := float64(rng.Intn(40)) / 4
-			switch rng.Intn(4) {
+			switch rng.Intn(6) {
 			case 0:
 				oe, ce := overlay.ReserveEdge(e, amt), clone.ReserveEdge(e, amt)
 				if (oe == nil) != (ce == nil) {
@@ -71,9 +83,53 @@ func TestOverlayMatchesCloneProperty(t *testing.T) {
 			case 3:
 				overlay.ReleaseInstance(node, f, amt)
 				clone.ReleaseInstance(node, f, amt)
+			case 4:
+				var flt Fault
+				switch rng.Intn(3) {
+				case 0:
+					flt = Fault{Kind: FaultLinkDown, Link: e}
+				case 1:
+					flt = Fault{Kind: FaultNodeDown, Node: node}
+				case 2:
+					flt = Fault{Kind: FaultLinkDegrade, Link: e, Fraction: float64(1+rng.Intn(4)) / 4}
+				}
+				oe, ce := overlay.ApplyFault(flt), clone.ApplyFault(flt)
+				if (oe == nil) != (ce == nil) {
+					t.Fatalf("seed=%d step=%d: ApplyFault(%v) overlay err=%v clone err=%v", seed, step, flt, oe, ce)
+				}
+				if oe == nil {
+					live = append(live, flt)
+				}
+			case 5:
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				flt := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if err := overlay.RestoreFault(flt); err != nil {
+					t.Fatalf("seed=%d step=%d: overlay RestoreFault(%v): %v", seed, step, flt, err)
+				}
+				if err := clone.RestoreFault(flt); err != nil {
+					t.Fatalf("seed=%d step=%d: clone RestoreFault(%v): %v", seed, step, flt, err)
+				}
 			}
 			ledgersAgree(t, overlay, clone, "during interleaving")
 		}
+		// Drain the outstanding faults so the commit phase below exercises
+		// the original conflict-free path, and check restores are exact.
+		for _, flt := range live {
+			if err := overlay.RestoreFault(flt); err != nil {
+				t.Fatalf("seed=%d: drain overlay RestoreFault(%v): %v", seed, flt, err)
+			}
+			if err := clone.RestoreFault(flt); err != nil {
+				t.Fatalf("seed=%d: drain clone RestoreFault(%v): %v", seed, flt, err)
+			}
+		}
+		if overlay.FaultsActive() || clone.FaultsActive() {
+			t.Fatalf("seed=%d: quarantine not drained after restoring every live fault", seed)
+		}
+		ledgersAgree(t, overlay, clone, "after fault drain")
 
 		// Snapshot must be an independent copy of the current view.
 		snap := overlay.Snapshot()
@@ -157,6 +213,47 @@ func TestOverlayCommitConflict(t *testing.T) {
 	}
 	if b.OverlayLen() == 0 {
 		t.Fatal("rejected overlay lost its deltas")
+	}
+}
+
+// TestOverlayCommitObservesRelease interleaves a base-side release between
+// an overlay's reservation and its commit: the commit's re-validation must
+// see the freed capacity (admitting a reservation that was infeasible at
+// snapshot time), and a negative overlay delta must fold as a release.
+func TestOverlayCommitObservesRelease(t *testing.T) {
+	net := testNet(t)
+	base := NewLedger(net)
+	if err := base.ReserveEdge(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	ov := base.Overlay()
+	// Infeasible right now (residual 2 < 7): the overlay can't even book it.
+	if err := ov.ReserveEdge(0, 7); err == nil {
+		t.Fatal("overlay reserve beyond residual succeeded")
+	}
+	// Book the 2 that fit, then the base releases 6 before the commit.
+	if err := ov.ReserveEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.ReserveEdge(0, 5); err == nil {
+		t.Fatal("second overlay reserve should still exceed the stale residual")
+	}
+	base.ReleaseEdge(0, 6)
+	if err := ov.Commit(); err != nil {
+		t.Fatalf("commit after base release: %v", err)
+	}
+	if got := base.EdgeUsed(0); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("base EdgeUsed = %v, want 4 (8 - 6 + 2)", got)
+	}
+
+	// A release recorded in the overlay folds into the base on commit.
+	ov2 := base.Overlay()
+	ov2.ReleaseEdge(0, 3)
+	if err := ov2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.EdgeUsed(0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("base EdgeUsed = %v after negative-delta commit, want 1", got)
 	}
 }
 

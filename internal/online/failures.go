@@ -1,0 +1,224 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/faults"
+	"dagsfc/internal/network"
+	"dagsfc/internal/telemetry"
+)
+
+// RepairRecord is one entry of a failure run's repair log: what happened
+// to request Idx when the fault at Time struck. The log's order is fully
+// determined by the inputs — same requests, schedule and embedder ⇒ same
+// log — which is the determinism contract the chaos tests assert.
+type RepairRecord struct {
+	Time  float64
+	Fault network.Fault
+	Idx   int
+	// Outcome is "revalidated" (the embedding survived the fault in
+	// place), "repaired" (released and successfully re-embedded) or
+	// "evicted" (re-embed failed; the flow is lost).
+	Outcome string
+}
+
+// FailureReport extends ChurnReport with the fault injector's and repair
+// loop's accounting.
+type FailureReport struct {
+	ChurnReport
+	FaultsApplied  int
+	FaultsRestored int
+	// Revalidated counts fault-hit flows that kept their embedding;
+	// Repaired those re-embedded onto new resources; Evicted those lost.
+	Revalidated int
+	Repaired    int
+	Evicted     int
+	RepairLog   []RepairRecord
+}
+
+// failEvent merges the churn timeline with the fault schedule. Kind
+// ordering at equal timestamps: departures release capacity first, then
+// restores return quarantined capacity, then faults strike (and repairs
+// run against the freshest view), then arrivals are admitted.
+type failEvent struct {
+	time float64
+	kind int // 0 departure, 1 fault restore, 2 fault apply, 3 arrival
+	idx  int // request index (kinds 0,3) or schedule incident (kinds 1,2)
+	flt  network.Fault
+}
+
+// RunFailures is the offline survivability harness: it processes timed
+// flow requests in event order exactly like RunChurn while replaying a
+// fault schedule against the shared ledger. When an applied fault strands
+// an active flow (its embedding traverses the failed element and no
+// longer validates), the flow's resources are released and it is
+// re-embedded against the post-fault network; flows that cannot be
+// re-embedded are evicted. Everything is single-threaded and
+// deterministic: same inputs, same report.
+func RunFailures(net *network.Network, reqs []TimedRequest, sched faults.Schedule, embed Embedder) (FailureReport, error) {
+	if err := sched.Validate(net); err != nil {
+		return FailureReport{}, err
+	}
+	var events []failEvent
+	for i, r := range reqs {
+		if r.Duration < 0 {
+			return FailureReport{}, fmt.Errorf("online: request %d has negative duration", i)
+		}
+		events = append(events, failEvent{time: r.Arrival, kind: 3, idx: i})
+		events = append(events, failEvent{time: r.Arrival + r.Duration, kind: 0, idx: i})
+	}
+	for _, ev := range sched.Events() {
+		kind := 2
+		if !ev.Apply {
+			kind = 1
+		}
+		events = append(events, failEvent{time: ev.At, kind: kind, idx: ev.Incident, flt: ev.Fault})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.time != eb.time {
+			return ea.time < eb.time
+		}
+		if ea.kind != eb.kind {
+			return ea.kind < eb.kind
+		}
+		return ea.idx < eb.idx
+	})
+
+	ledger := network.NewLedger(net)
+	report := FailureReport{ChurnReport: ChurnReport{Report: Report{Outcomes: make([]Outcome, len(reqs))}}}
+	active := NewFlowTable[int]()
+	activeFaults := 0
+
+	admit := func(idx int) {
+		req := reqs[idx]
+		ov := ledger.Overlay()
+		p := &core.Problem{
+			Net: net, Ledger: ov, SFC: req.SFC,
+			Src: req.Src, Dst: req.Dst, Rate: req.Rate, Size: req.Size,
+		}
+		begin := time.Now()
+		res, err := embed(p)
+		if err == nil {
+			_, err = core.Commit(p, res.Solution)
+			if err == nil {
+				err = ov.Commit()
+			}
+			if err != nil {
+				ov.Discard()
+				report.CommitFailures++
+				telemetry.RecordOnlineCommitFailure()
+			}
+		}
+		latency := time.Since(begin)
+		if err != nil {
+			report.Outcomes[idx] = Outcome{Err: err, Latency: latency}
+			report.Rejected++
+			telemetry.RecordOnlineRequest(false, latency)
+			return
+		}
+		telemetry.RecordOverlayCommit()
+		p.Ledger = ledger
+		active.Add(idx, Flow{Problem: p, Solution: res.Solution})
+		report.Outcomes[idx] = Outcome{Accepted: true, Cost: res.Cost.Total(), Latency: latency}
+		report.Accepted++
+		report.TotalCost += res.Cost.Total()
+		telemetry.RecordOnlineRequest(true, latency)
+		if active.Peak() > report.PeakActive {
+			report.PeakActive = active.Peak()
+		}
+	}
+
+	// repairHit decides one stranded candidate's fate. Revalidation runs in
+	// a throwaway overlay that first takes the flow's own reservations out,
+	// so a flow is never condemned for capacity it itself holds.
+	repairHit := func(at float64, flt network.Fault, idx int, f Flow) error {
+		probe := *f.Problem
+		probe.Ledger = ledger.Overlay()
+		if err := core.Release(&probe, f.Solution); err != nil {
+			return fmt.Errorf("online: revalidation release of flow %d: %v", idx, err)
+		}
+		if core.Validate(&probe, f.Solution) == nil {
+			probe.Ledger.Discard()
+			report.Revalidated++
+			report.RepairLog = append(report.RepairLog, RepairRecord{Time: at, Fault: flt, Idx: idx, Outcome: "revalidated"})
+			telemetry.RecordRepair("revalidated")
+			return nil
+		}
+		probe.Ledger.Discard()
+
+		// Stranded for real: release from the shared ledger and re-embed
+		// through the same transactional path an arrival takes.
+		active.Release(idx)
+		if err := core.Release(f.Problem, f.Solution); err != nil {
+			return fmt.Errorf("online: repair release of flow %d: %v", idx, err)
+		}
+		telemetry.RecordRepairAttempt()
+		ov := ledger.Overlay()
+		p := *f.Problem
+		p.Ledger = ov
+		res, err := embed(&p)
+		if err == nil {
+			_, err = core.Commit(&p, res.Solution)
+			if err == nil {
+				err = ov.Commit()
+			}
+		}
+		if err != nil {
+			ov.Discard()
+			report.Evicted++
+			report.RepairLog = append(report.RepairLog, RepairRecord{Time: at, Fault: flt, Idx: idx, Outcome: "evicted"})
+			telemetry.RecordRepair("evicted")
+			return nil
+		}
+		p.Ledger = ledger
+		active.Add(idx, Flow{Problem: &p, Solution: res.Solution})
+		report.Repaired++
+		report.RepairLog = append(report.RepairLog, RepairRecord{Time: at, Fault: flt, Idx: idx, Outcome: "repaired"})
+		telemetry.RecordRepair("repaired")
+		return nil
+	}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case 0: // departure
+			if f, ok := active.Release(ev.idx); ok {
+				if err := core.Release(f.Problem, f.Solution); err != nil {
+					return report, err
+				}
+			}
+		case 1: // fault restore
+			if err := ledger.RestoreFault(ev.flt); err != nil {
+				return report, err
+			}
+			report.FaultsRestored++
+			activeFaults--
+			telemetry.RecordFault(ev.flt.Kind.String(), false, activeFaults)
+		case 2: // fault apply
+			if err := ledger.ApplyFault(ev.flt); err != nil {
+				return report, err
+			}
+			report.FaultsApplied++
+			activeFaults++
+			telemetry.RecordFault(ev.flt.Kind.String(), true, activeFaults)
+			// Scan hit flows in ascending request order for determinism.
+			keys := active.Keys()
+			sort.Ints(keys)
+			for _, idx := range keys {
+				f, ok := active.Get(idx)
+				if !ok || !faults.Hits(net, f.Solution, ev.flt) {
+					continue
+				}
+				if err := repairHit(ev.time, ev.flt, idx, f); err != nil {
+					return report, err
+				}
+			}
+		case 3: // arrival
+			admit(ev.idx)
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,177 @@
+package online
+
+import (
+	"testing"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/faults"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/sfc"
+)
+
+// diamondNet offers two disjoint paths 0→3, each hosting an f(1)
+// instance, with node 1 strictly cheaper — embeds deterministically land
+// there, and a fault on that path forces a reroute through node 2.
+//
+//	    1  (f1 $5)
+//	  /   \
+//	0       3
+//	  \   /
+//	    2  (f1 $6)
+func diamondNet() *network.Network {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10) // e0
+	g.MustAddEdge(1, 3, 1, 10) // e1
+	g.MustAddEdge(0, 2, 1, 10) // e2
+	g.MustAddEdge(2, 3, 1, 10) // e3
+	net := network.New(g, network.Catalog{N: 1})
+	net.MustAddInstance(1, 1, 5, 4)
+	net.MustAddInstance(2, 1, 6, 4)
+	return net
+}
+
+func diamondReq(arrival, duration float64) TimedRequest {
+	return TimedRequest{
+		Request: Request{
+			SFC: sfc.DAGSFC{Layers: []sfc.Layer{{VNFs: []network.VNFID{1}}}},
+			Src: 0, Dst: 3, Rate: 1, Size: 1,
+		},
+		Arrival: arrival, Duration: duration,
+	}
+}
+
+func TestRunFailuresRepairsReroutableFlow(t *testing.T) {
+	net := diamondNet()
+	reqs := []TimedRequest{diamondReq(0, 100)}
+	sched := faults.Schedule{
+		{At: 1, Duration: 10, Fault: network.Fault{Kind: network.FaultNodeDown, Node: 1}},
+	}
+	report, err := RunFailures(net, reqs, sched, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Accepted != 1 {
+		t.Fatalf("accepted %d, want 1", report.Accepted)
+	}
+	if report.FaultsApplied != 1 || report.FaultsRestored != 1 {
+		t.Fatalf("faults applied/restored = %d/%d, want 1/1", report.FaultsApplied, report.FaultsRestored)
+	}
+	if report.Repaired != 1 || report.Evicted != 0 || report.Revalidated != 0 {
+		t.Fatalf("repaired/evicted/revalidated = %d/%d/%d, want 1/0/0",
+			report.Repaired, report.Evicted, report.Revalidated)
+	}
+	if len(report.RepairLog) != 1 {
+		t.Fatalf("repair log %+v, want one entry", report.RepairLog)
+	}
+	rec := report.RepairLog[0]
+	if rec.Idx != 0 || rec.Outcome != "repaired" || rec.Time != 1 {
+		t.Fatalf("repair record = %+v", rec)
+	}
+
+	// Determinism: the identical run must produce the identical log.
+	again, err := RunFailures(net, reqs, sched, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.RepairLog) != len(report.RepairLog) || again.RepairLog[0] != report.RepairLog[0] {
+		t.Fatalf("same-seed repair logs diverged: %+v vs %+v", again.RepairLog, report.RepairLog)
+	}
+	if again.Repaired != report.Repaired || again.Accepted != report.Accepted {
+		t.Fatal("same-seed reports diverged")
+	}
+}
+
+func TestRunFailuresEvictsWhenNoAlternative(t *testing.T) {
+	net := tinyNet() // single path 0-1-2
+	reqs := []TimedRequest{
+		timed(1, 0, 100),
+		// Arrives after the fault is restored AND the eviction freed the
+		// instance: must be admitted.
+		timed(2, 60, 10),
+	}
+	sched := faults.Schedule{
+		{At: 1, Duration: 50, Fault: network.Fault{Kind: network.FaultLinkDown, Link: 0}},
+	}
+	report, err := RunFailures(net, reqs, sched, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Evicted != 1 || report.Repaired != 0 {
+		t.Fatalf("evicted/repaired = %d/%d, want 1/0 (no alternative path)", report.Evicted, report.Repaired)
+	}
+	if len(report.RepairLog) != 1 || report.RepairLog[0].Outcome != "evicted" {
+		t.Fatalf("repair log = %+v", report.RepairLog)
+	}
+	if report.Accepted != 2 {
+		t.Fatalf("accepted %d, want 2 (second flow admitted post-restore)", report.Accepted)
+	}
+	if !report.Outcomes[1].Accepted {
+		t.Fatal("post-restore arrival rejected: eviction did not free capacity")
+	}
+}
+
+func TestRunFailuresRevalidatesUnaffectedFlow(t *testing.T) {
+	net := tinyNet() // edge capacity 100
+	reqs := []TimedRequest{timed(1, 0, 100)}
+	sched := faults.Schedule{
+		// Half of edge 0's 100 units quarantined; the rate-1 flow easily
+		// still fits — it must survive in place, untouched.
+		{At: 1, Duration: 10, Fault: network.Fault{Kind: network.FaultLinkDegrade, Link: 0, Fraction: 0.5}},
+	}
+	report, err := RunFailures(net, reqs, sched, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Revalidated != 1 || report.Repaired != 0 || report.Evicted != 0 {
+		t.Fatalf("revalidated/repaired/evicted = %d/%d/%d, want 1/0/0",
+			report.Revalidated, report.Repaired, report.Evicted)
+	}
+	if len(report.RepairLog) != 1 || report.RepairLog[0].Outcome != "revalidated" {
+		t.Fatalf("repair log = %+v", report.RepairLog)
+	}
+}
+
+// TestRunFailuresDrainsLedger reruns an identical scenario to prove no
+// state leaks through the shared (immutable) network — the offline analog
+// of the server's drain-to-seed invariant.
+func TestRunFailuresDrainsLedger(t *testing.T) {
+	net := diamondNet()
+	reqs := []TimedRequest{
+		diamondReq(0, 30), diamondReq(2, 30), diamondReq(4, 30), diamondReq(6, 30),
+	}
+	sched := faults.Schedule{
+		{At: 5, Duration: 10, Fault: network.Fault{Kind: network.FaultNodeDown, Node: 1}},
+		{At: 8, Duration: 4, Fault: network.Fault{Kind: network.FaultLinkDegrade, Link: 3, Fraction: 0.5}},
+	}
+	a, err := RunFailures(net, reqs, sched, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFailures(net, reqs, sched, core.EmbedMBBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accepted != b.Accepted || a.TotalCost != b.TotalCost ||
+		a.Repaired != b.Repaired || a.Evicted != b.Evicted || a.Revalidated != b.Revalidated {
+		t.Fatalf("repeated runs diverged:\n%+v\n%+v", a, b)
+	}
+	if len(a.RepairLog) != len(b.RepairLog) {
+		t.Fatalf("repair logs diverged: %+v vs %+v", a.RepairLog, b.RepairLog)
+	}
+	for i := range a.RepairLog {
+		if a.RepairLog[i] != b.RepairLog[i] {
+			t.Fatalf("repair log entry %d diverged: %+v vs %+v", i, a.RepairLog[i], b.RepairLog[i])
+		}
+	}
+}
+
+func TestRunFailuresRejectsBadSchedule(t *testing.T) {
+	net := tinyNet()
+	sched := faults.Schedule{
+		{At: 0, Duration: 1, Fault: network.Fault{Kind: network.FaultLinkDown, Link: 99}},
+	}
+	if _, err := RunFailures(net, nil, sched, core.EmbedMBBE); err == nil {
+		t.Fatal("out-of-range fault target accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package online
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpiryWheelCancelBeforeDue pins the generation semantics without
+// concurrency: a cancelled key never fires, a superseded deadline fires
+// exactly once (at the newest generation), and cancel-then-reschedule
+// fires.
+func TestExpiryWheelCancelBeforeDue(t *testing.T) {
+	var mu sync.Mutex
+	fired := map[int]int{}
+	w := NewExpiryWheel[int](func(k int) {
+		mu.Lock()
+		fired[k]++
+		mu.Unlock()
+	})
+	defer w.Stop()
+
+	now := time.Now()
+	w.Schedule(1, now.Add(30*time.Millisecond))
+	w.Cancel(1) // must never fire
+
+	w.Schedule(2, now.Add(10*time.Hour))        // would fire far in the future...
+	w.Schedule(2, now.Add(20*time.Millisecond)) // ...superseded: fires once, soon
+
+	w.Schedule(3, now.Add(25*time.Millisecond))
+	w.Cancel(3)
+	w.Schedule(3, now.Add(20*time.Millisecond)) // cancel then re-arm: fires
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := fired[2] >= 1 && fired[3] >= 1
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(60 * time.Millisecond) // would catch a late, stale firing of key 1
+	mu.Lock()
+	defer mu.Unlock()
+	if fired[1] != 0 {
+		t.Fatalf("cancelled key fired %d times", fired[1])
+	}
+	if fired[2] != 1 {
+		t.Fatalf("superseded key fired %d times, want exactly 1", fired[2])
+	}
+	if fired[3] != 1 {
+		t.Fatalf("re-armed key fired %d times, want exactly 1", fired[3])
+	}
+}
+
+// TestExpiryWheelGenerationCancelRace hammers Schedule/Cancel for the
+// same keys from many goroutines while the wheel is actively firing —
+// the generation map is what keeps a stale heap entry from expiring a
+// re-armed key. Run under -race this doubles as the wheel's memory-model
+// test; the assertions bound what the generations allow: once a key's
+// final Schedule (issued after every Cancel) is in, the key fires at
+// least once and the wheel drains to empty.
+func TestExpiryWheelGenerationCancelRace(t *testing.T) {
+	const keys = 31
+	const goroutines = 8
+	const rounds = 120
+
+	var mu sync.Mutex
+	fired := map[int]int{}
+	w := NewExpiryWheel[int](func(k int) {
+		mu.Lock()
+		fired[k]++
+		mu.Unlock()
+	})
+	defer w.Stop()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := (g*rounds + i) % keys
+				// Mix immediate-past, imminent and far deadlines so pops,
+				// stale drops and timer resets all interleave.
+				switch i % 3 {
+				case 0:
+					w.Schedule(key, time.Now().Add(-time.Millisecond))
+				case 1:
+					w.Schedule(key, time.Now().Add(time.Duration(i%5)*time.Millisecond))
+				case 2:
+					w.Schedule(key, time.Now().Add(time.Hour))
+				}
+				if i%2 == 0 {
+					w.Cancel(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesce: re-arm every key once with a near deadline; each must fire
+	// at least once more and the wheel must drain completely (no pending
+	// generations stranded by the race).
+	mu.Lock()
+	baseline := make(map[int]int, keys)
+	for k, n := range fired {
+		baseline[k] = n
+	}
+	mu.Unlock()
+	for k := 0; k < keys; k++ {
+		w.Schedule(k, time.Now().Add(2*time.Millisecond))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("wheel did not drain: %d pending", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for k := 0; k < keys; k++ {
+		if fired[k] <= baseline[k] {
+			t.Fatalf("key %d never fired after its final schedule (before %d, after %d)",
+				k, baseline[k], fired[k])
+		}
+	}
+}

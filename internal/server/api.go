@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -39,6 +40,17 @@ type Cost struct {
 	Link  float64 `json:"link"`
 }
 
+// Flow lifecycle states. A flow is "active" from commit until release; a
+// substrate fault that strands it moves it to "repairing" while the
+// repair loop re-embeds it; exhausted repairs leave a terminal "evicted"
+// tombstone that stays visible in GET /v1/flows until acknowledged with
+// DELETE.
+const (
+	FlowStateActive    = "active"
+	FlowStateRepairing = "repairing"
+	FlowStateEvicted   = "evicted"
+)
+
 // FlowInfo describes one committed flow: the response of POST /v1/flows
 // and the element of GET /v1/flows.
 type FlowInfo struct {
@@ -54,6 +66,31 @@ type FlowInfo struct {
 	// ExpiresAt is set when the flow has a TTL; the server releases it
 	// automatically at that time.
 	ExpiresAt *time.Time `json:"expires_at,omitempty"`
+	// State is the flow's lifecycle state (FlowStateActive, -Repairing or
+	// -Evicted).
+	State string `json:"state,omitempty"`
+	// Repairs counts successful re-embeds after faults stranded the flow.
+	Repairs int `json:"repairs,omitempty"`
+	// LastError is the final re-embed error of an evicted flow.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// FaultRequest is the body of POST /v1/faults and /v1/faults/restore:
+// one substrate fault in wire form. Kind is "link-down", "node-down" or
+// "link-degrade"; Fraction applies to degradations only.
+type FaultRequest struct {
+	Kind     string  `json:"kind"`
+	Link     int     `json:"link,omitempty"`
+	Node     int     `json:"node,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
+}
+
+// FaultState is the response of the fault endpoints: the faults currently
+// quarantining capacity plus lifetime apply/restore counters.
+type FaultState struct {
+	Active   []FaultRequest `json:"active"`
+	Applied  int            `json:"applied"`
+	Restored int            `json:"restored"`
 }
 
 // LinkState is one link's residual bandwidth in GET /v1/network.
@@ -107,4 +144,25 @@ var (
 	ErrNotFound = errors.New("server: no such flow")
 	// ErrBadRequest marks an unparsable or invalid flow request (HTTP 400).
 	ErrBadRequest = errors.New("server: bad request")
+	// ErrOverloaded rejects a request shed by the admission circuit
+	// breaker (HTTP 503 with Retry-After). The concrete error is an
+	// *OverloadedError carrying the suggested wait.
+	ErrOverloaded = errors.New("server: overloaded, admission breaker open")
+	// ErrInternal marks a pipeline failure that is the server's fault, not
+	// the request's — a recovered embedder panic (HTTP 500).
+	ErrInternal = errors.New("server: internal error")
 )
+
+// OverloadedError is the concrete breaker rejection: errors.Is-equal to
+// ErrOverloaded, plus the cooldown remaining before admissions may
+// resume (the HTTP layer's Retry-After header).
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrOverloaded, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }

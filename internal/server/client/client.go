@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"dagsfc/internal/server"
 )
@@ -38,10 +40,24 @@ func (c *Client) BaseURL() string { return c.base }
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent) — set
+	// on 503 responses shed by the admission circuit breaker.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Retryable reports whether the rejection is transient: the request may
+// succeed if simply resent later (queue overflow, commit conflict, or
+// breaker shedding).
+func (e *APIError) Retryable() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusConflict, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
 }
 
 // CreateFlow embeds and commits one flow (POST /v1/flows).
@@ -76,6 +92,28 @@ func (c *Client) Flows(ctx context.Context) ([]server.FlowInfo, error) {
 func (c *Client) Network(ctx context.Context) (server.NetworkState, error) {
 	var st server.NetworkState
 	err := c.do(ctx, http.MethodGet, "/v1/network", nil, &st)
+	return st, err
+}
+
+// ApplyFault injects one substrate fault (POST /v1/faults).
+func (c *Client) ApplyFault(ctx context.Context, f server.FaultRequest) (server.FaultState, error) {
+	var st server.FaultState
+	err := c.do(ctx, http.MethodPost, "/v1/faults", f, &st)
+	return st, err
+}
+
+// RestoreFault restores a previously injected fault (POST
+// /v1/faults/restore).
+func (c *Client) RestoreFault(ctx context.Context, f server.FaultRequest) (server.FaultState, error) {
+	var st server.FaultState
+	err := c.do(ctx, http.MethodPost, "/v1/faults/restore", f, &st)
+	return st, err
+}
+
+// Faults reports the active faults and lifetime counters (GET /v1/faults).
+func (c *Client) Faults(ctx context.Context) (server.FaultState, error) {
+	var st server.FaultState
+	err := c.do(ctx, http.MethodGet, "/v1/faults", nil, &st)
 	return st, err
 }
 
@@ -133,7 +171,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dagsfc/internal/core"
+	"dagsfc/internal/network"
 	"dagsfc/internal/telemetry"
 )
 
@@ -18,6 +19,9 @@ import (
 //	GET    /v1/flows/{id}   one committed flow
 //	DELETE /v1/flows/{id}   release a flow's capacity
 //	GET    /v1/network      residual-network snapshot
+//	POST   /v1/faults       inject a substrate fault (FaultRequest → FaultState)
+//	POST   /v1/faults/restore  restore a previously injected fault
+//	GET    /v1/faults       active faults and lifetime counters
 //	GET    /healthz         "ok", or 503 once draining
 //	GET    /metrics         telemetry registry (Prometheus text)
 //	/debug/pprof/...        runtime profiles
@@ -28,6 +32,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/flows/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/flows/{id}", s.handleDelete)
 	mux.HandleFunc("GET /v1/network", s.handleNetwork)
+	mux.HandleFunc("POST /v1/faults", s.handleFault(s.ApplyFault))
+	mux.HandleFunc("POST /v1/faults/restore", s.handleFault(s.RestoreFault))
+	mux.HandleFunc("GET /v1/faults", s.handleFaultList)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	debug := telemetry.DebugMux(telemetry.Default())
 	mux.Handle("/metrics", debug)
@@ -86,6 +93,33 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleFault decodes a wire fault and applies the given transition
+// (ApplyFault or RestoreFault), returning the resulting fault state.
+func (s *Server) handleFault(apply func(network.Fault) (FaultState, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req FaultRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "bad JSON: " + err.Error()})
+			return
+		}
+		f, err := faultFromWire(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := apply(f)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func (s *Server) handleFaultList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Faults())
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: "draining"})
@@ -104,7 +138,9 @@ func flowID(w http.ResponseWriter, r *http.Request) (int64, bool) {
 	return id, true
 }
 
-// writeError maps pipeline outcomes onto HTTP status codes.
+// writeError maps pipeline outcomes onto HTTP status codes. Breaker
+// rejections additionally carry a Retry-After header with the cooldown
+// remaining, rounded up to whole seconds.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -114,6 +150,16 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		var oe *OverloadedError
+		if errors.As(err, &oe) {
+			secs := int(oe.RetryAfter.Seconds())
+			if time.Duration(secs)*time.Second < oe.RetryAfter || secs < 1 {
+				secs++
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrTimeout):

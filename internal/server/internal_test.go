@@ -75,6 +75,65 @@ func TestServerQueueOverflow(t *testing.T) {
 	}
 }
 
+// TestBreakerTransitions drives the admission breaker's state machine
+// with explicit clocks: closed → open after the failure run, shed with a
+// shrinking Retry-After while open, half-open single probe after the
+// cooldown, and probe outcome deciding close vs re-open.
+func TestBreakerTransitions(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: time.Second}
+	t0 := time.Unix(100, 0)
+
+	if err := b.allow(t0); err != nil {
+		t.Fatalf("closed breaker shed: %v", err)
+	}
+	b.record(false, t0)
+	b.record(true, t0) // a success resets the run
+	b.record(false, t0)
+	if err := b.allow(t0); err != nil {
+		t.Fatal("one failure below threshold tripped the breaker")
+	}
+	b.record(false, t0) // second consecutive failure: trips
+
+	err := b.allow(t0.Add(200 * time.Millisecond))
+	var oe *OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter != 800*time.Millisecond {
+		t.Fatalf("open breaker: %v, want 800ms Retry-After", err)
+	}
+
+	// Cooldown over: exactly one probe passes, the rest are shed.
+	t1 := t0.Add(1100 * time.Millisecond)
+	if err := b.allow(t1); err != nil {
+		t.Fatalf("half-open probe shed: %v", err)
+	}
+	if err := b.allow(t1); !errors.As(err, &oe) {
+		t.Fatalf("second request during probe: %v, want shed", err)
+	}
+	b.record(false, t1) // failed probe re-opens
+	if err := b.allow(t1.Add(time.Millisecond)); !errors.As(err, &oe) {
+		t.Fatalf("re-opened breaker admitted: %v", err)
+	}
+
+	t2 := t1.Add(1100 * time.Millisecond)
+	if err := b.allow(t2); err != nil {
+		t.Fatalf("second probe shed: %v", err)
+	}
+	b.record(true, t2) // good probe closes
+	for i := 0; i < 5; i++ {
+		if err := b.allow(t2.Add(time.Second)); err != nil {
+			t.Fatalf("closed breaker shed request %d: %v", i, err)
+		}
+	}
+
+	// threshold 0 disables everything.
+	off := &breaker{cooldown: time.Second}
+	for i := 0; i < 10; i++ {
+		off.record(false, t0)
+	}
+	if err := off.allow(t0); err != nil {
+		t.Fatalf("disabled breaker shed: %v", err)
+	}
+}
+
 // TestServerRebaseDrainsToSeed forces a ledger rebase after every commit
 // (rebaseLen = 0) and checks commits and releases across rebases still
 // drain the ledger back to the seed residuals: releasing a flow committed

@@ -65,6 +65,23 @@ type Config struct {
 	// DefaultTTL auto-releases flows that do not request their own TTL;
 	// 0 means such flows live until an explicit release.
 	DefaultTTL time.Duration
+	// RepairRetries is how many re-embed attempts a fault-stranded flow
+	// gets before it is evicted (default 3).
+	RepairRetries int
+	// RepairBackoff is the base delay before a repair's second and later
+	// attempts; it doubles per attempt up to RepairBackoffCap, plus a
+	// deterministic seeded jitter of up to half the delay (defaults 25ms
+	// and 1s).
+	RepairBackoff    time.Duration
+	RepairBackoffCap time.Duration
+	// BreakerFailures arms the admission circuit breaker: after this many
+	// consecutive embed/commit failures the server sheds new flows with
+	// ErrOverloaded (HTTP 503 + Retry-After) until BreakerCooldown passes
+	// and a half-open probe succeeds. 0 leaves the breaker disabled.
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker stays open before it
+	// lets a probe through (default 1s).
+	BreakerCooldown time.Duration
 	// Rules standardizes Chain requests into hybrid DAG-SFCs (default
 	// sfc.StockRules; unknown categories stay sequential).
 	Rules *sfc.RuleTable
@@ -79,6 +96,10 @@ type Server struct {
 	cfg      Config
 	net      *network.Network
 	embedder map[string]Embedder
+	// embedCtx holds the context-aware variants of the builtin tree
+	// searches, so a timed-out request stops searching instead of burning
+	// a worker; algorithms without one fall back to the plain signature.
+	embedCtx map[string]ctxEmbedder
 
 	// mu guards the live state below. The commit loop takes it to
 	// validate+commit, release paths take it to return capacity, and
@@ -97,8 +118,28 @@ type Server struct {
 	flows     *online.FlowTable[int64]
 	meta      map[int64]FlowInfo
 	wheel     *online.ExpiryWheel[int64]
+	// Survivability state, also under mu: the faults currently
+	// quarantining capacity, lifetime counters, the terminal repair log,
+	// and the IDs of repairing flows their owner released mid-repair (the
+	// repair controller and commit loop abandon those).
+	activeFaults   []network.Fault
+	faultsApplied  int
+	faultsRestored int
+	repairLog      []RepairEvent
+	dropped        map[int64]bool
 
 	nextID atomic.Int64
+
+	// The repair controller: a single goroutine draining an unbounded
+	// queue of fault-stranded flows, one at a time.
+	repairMu   sync.Mutex
+	repairQ    []*repairTask
+	repairBusy int
+	repairKick chan struct{}
+	repairStop chan struct{}
+	repairWG   sync.WaitGroup
+
+	brk breaker
 
 	// drainMu serializes admission against the start of a drain: Submit
 	// holds it shared while enqueueing, Drain holds it exclusively while
@@ -125,13 +166,22 @@ type job struct {
 	dag      sfc.DAGSFC
 	alg      string
 	embed    Embedder
+	embedCtx ctxEmbedder
 	ttl      time.Duration
 	begin    time.Time
 	retries  int
 	res      *core.Result
 	finished atomic.Bool
 	done     chan jobResult
+	// repair marks a re-embed issued by the repair controller: the commit
+	// loop re-registers the flow under its original ID instead of
+	// allocating a new one.
+	repair *repairTask
 }
+
+// ctxEmbedder is the optional context-aware embedding signature; the
+// builtin bbe/mbbe searches provide one via core.EmbedContext.
+type ctxEmbedder func(context.Context, *core.Problem) (*core.Result, error)
 
 type jobResult struct {
 	info FlowInfo
@@ -167,23 +217,42 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Rules == nil {
 		cfg.Rules = sfc.StockRules()
 	}
+	if cfg.RepairRetries <= 0 {
+		cfg.RepairRetries = 3
+	}
+	if cfg.RepairBackoff <= 0 {
+		cfg.RepairBackoff = 25 * time.Millisecond
+	}
+	if cfg.RepairBackoffCap <= 0 {
+		cfg.RepairBackoffCap = time.Second
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
 	rebaseLen := cfg.Net.G.NumEdges()
 	if rebaseLen < 64 {
 		rebaseLen = 64
 	}
 	s := &Server{
-		cfg:       cfg,
-		net:       cfg.Net,
-		embedder:  builtinEmbedders(cfg.Seed),
-		ledger:    network.NewLedger(cfg.Net).Overlay(),
-		rebaseLen: rebaseLen,
-		flows:     online.NewFlowTable[int64](),
-		meta:      make(map[int64]FlowInfo),
-		admit:     make(chan *job, cfg.QueueDepth),
-		commit:    make(chan *job, cfg.QueueDepth+cfg.Workers),
+		cfg:        cfg,
+		net:        cfg.Net,
+		embedder:   builtinEmbedders(cfg.Seed),
+		embedCtx:   builtinCtxEmbedders(),
+		ledger:     network.NewLedger(cfg.Net).Overlay(),
+		rebaseLen:  rebaseLen,
+		flows:      online.NewFlowTable[int64](),
+		meta:       make(map[int64]FlowInfo),
+		dropped:    make(map[int64]bool),
+		admit:      make(chan *job, cfg.QueueDepth),
+		commit:     make(chan *job, cfg.QueueDepth+cfg.Workers),
+		repairKick: make(chan struct{}, 1),
+		repairStop: make(chan struct{}),
+		brk:        breaker{threshold: cfg.BreakerFailures, cooldown: cfg.BreakerCooldown},
 	}
 	for name, e := range cfg.Embedders {
 		s.embedder[name] = e
+		// A config override shadows the builtin, ctx-aware variant too.
+		delete(s.embedCtx, name)
 	}
 	if _, ok := s.embedder[cfg.Algorithm]; !ok {
 		return nil, fmt.Errorf("server: unknown default algorithm %q", cfg.Algorithm)
@@ -195,9 +264,27 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.commitWG.Add(1)
 	go s.commitLoop()
+	s.repairWG.Add(1)
+	go s.repairLoop()
 	telemetry.SetServerQueueDepth(0)
 	telemetry.SetServerActiveFlows(0)
+	if cfg.BreakerFailures > 0 {
+		telemetry.SetBreakerState(0, false)
+	}
 	return s, nil
+}
+
+// builtinCtxEmbedders maps the builtin algorithms that support
+// cooperative cancellation to their context-aware entry points.
+func builtinCtxEmbedders() map[string]ctxEmbedder {
+	return map[string]ctxEmbedder{
+		"mbbe": func(ctx context.Context, p *core.Problem) (*core.Result, error) {
+			return core.EmbedContext(ctx, p, core.MBBEOptions())
+		},
+		"bbe": func(ctx context.Context, p *core.Problem) (*core.Result, error) {
+			return core.EmbedContext(ctx, p, core.BBEOptions())
+		},
+	}
 }
 
 // builtinEmbedders is the default algorithm registry. The randomized
@@ -234,15 +321,15 @@ func (s *Server) Algorithms() []string {
 }
 
 // prepare turns a wire request into a validated job-ready instance.
-func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, time.Duration, error) {
+func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, ctxEmbedder, time.Duration, error) {
 	var dag sfc.DAGSFC
 	switch {
 	case req.SFC != "" && len(req.Chain) > 0:
-		return dag, "", nil, 0, fmt.Errorf("%w: set sfc or chain, not both", ErrBadRequest)
+		return dag, "", nil, nil, 0, fmt.Errorf("%w: set sfc or chain, not both", ErrBadRequest)
 	case req.SFC != "":
 		parsed, err := sfc.Parse(req.SFC)
 		if err != nil {
-			return dag, "", nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			return dag, "", nil, nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		dag = parsed
 	case len(req.Chain) > 0:
@@ -256,10 +343,10 @@ func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, time.Du
 		}
 		dag = sfc.ChainToDAG(chain, s.cfg.Rules, width)
 	default:
-		return dag, "", nil, 0, fmt.Errorf("%w: one of sfc or chain is required", ErrBadRequest)
+		return dag, "", nil, nil, 0, fmt.Errorf("%w: one of sfc or chain is required", ErrBadRequest)
 	}
 	if req.TTLSeconds < 0 {
-		return dag, "", nil, 0, fmt.Errorf("%w: negative ttl_seconds", ErrBadRequest)
+		return dag, "", nil, nil, 0, fmt.Errorf("%w: negative ttl_seconds", ErrBadRequest)
 	}
 	alg := req.Alg
 	if alg == "" {
@@ -267,7 +354,7 @@ func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, time.Du
 	}
 	embed, ok := s.embedder[alg]
 	if !ok {
-		return dag, "", nil, 0, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, alg)
+		return dag, "", nil, nil, 0, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, alg)
 	}
 	p := &core.Problem{
 		Net: s.net, SFC: dag,
@@ -275,13 +362,13 @@ func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, time.Du
 		Rate: req.Rate, Size: req.Size,
 	}
 	if err := p.Validate(); err != nil {
-		return dag, "", nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return dag, "", nil, nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	ttl := s.cfg.DefaultTTL
 	if req.TTLSeconds > 0 {
 		ttl = time.Duration(req.TTLSeconds * float64(time.Second))
 	}
-	return dag, alg, embed, ttl, nil
+	return dag, alg, embed, s.embedCtx[alg], ttl, nil
 }
 
 // Submit runs one flow request through the pipeline: admission, a
@@ -290,15 +377,19 @@ func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, time.Du
 // timeout (the tighter of ctx and Config.RequestTimeout) expires.
 func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) {
 	begin := time.Now()
-	dag, alg, embed, ttl, err := s.prepare(req)
+	dag, alg, embed, embedCtx, ttl, err := s.prepare(req)
 	if err != nil {
 		telemetry.RecordServerRequest("flows.create", "invalid", time.Since(begin))
+		return FlowInfo{}, err
+	}
+	if err := s.brk.allow(time.Now()); err != nil {
+		telemetry.RecordServerRequest("flows.create", "shed", time.Since(begin))
 		return FlowInfo{}, err
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	j := &job{
-		ctx: ctx, req: req, dag: dag, alg: alg, embed: embed, ttl: ttl,
+		ctx: ctx, req: req, dag: dag, alg: alg, embed: embed, embedCtx: embedCtx, ttl: ttl,
 		begin: begin, done: make(chan jobResult, 1),
 	}
 
@@ -343,19 +434,29 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 }
 
 // recordDecision emits the server and shared-online metric families for a
-// completed embed decision.
+// completed embed decision and feeds the circuit breaker. Only pipeline
+// outcomes reach here — admission-level rejections (queue full,
+// draining, shed) say nothing about the substrate's health, and timeouts
+// are classified separately at the Submit select.
 func (s *Server) recordDecision(err error, begin time.Time) {
 	elapsed := time.Since(begin)
 	switch {
 	case err == nil:
 		telemetry.RecordServerRequest("flows.create", "accepted", elapsed)
 		telemetry.RecordOnlineRequest(true, elapsed)
+		s.brk.record(true, time.Now())
 	case errors.Is(err, ErrCommitConflict):
 		telemetry.RecordServerRequest("flows.create", "conflict", elapsed)
 		telemetry.RecordOnlineRequest(false, elapsed)
+		s.brk.record(false, time.Now())
 	case errors.Is(err, core.ErrNoEmbedding):
 		telemetry.RecordServerRequest("flows.create", "no_embedding", elapsed)
 		telemetry.RecordOnlineRequest(false, elapsed)
+		s.brk.record(false, time.Now())
+	case errors.Is(err, ErrInternal):
+		telemetry.RecordServerRequest("flows.create", "error", elapsed)
+		telemetry.RecordOnlineRequest(false, elapsed)
+		s.brk.record(false, time.Now())
 	default:
 		telemetry.RecordServerRequest("flows.create", "error", elapsed)
 		telemetry.RecordOnlineRequest(false, elapsed)
@@ -382,14 +483,35 @@ func (s *Server) worker() {
 			Src: graph.NodeID(j.req.Src), Dst: graph.NodeID(j.req.Dst),
 			Rate: j.req.Rate, Size: j.req.Size,
 		}
-		res, err := j.embed(p)
+		res, err := s.runEmbed(j, p)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The ctx-aware search stopped cooperatively; report it as
+				// the timeout it is, not an embedding failure.
+				err = fmt.Errorf("%w: embed cancelled: %v", ErrTimeout, err)
+			}
 			s.finish(j, jobResult{err: err})
 			continue
 		}
 		j.res = res
 		s.commit <- j
 	}
+}
+
+// runEmbed executes the job's embedder, preferring the context-aware
+// variant, and converts a panicking embedder into a failed request — the
+// worker (and the process) survives.
+func (s *Server) runEmbed(j *job, p *core.Problem) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			telemetry.RecordWorkerPanic()
+			res, err = nil, fmt.Errorf("%w: embedder panicked: %v", ErrInternal, r)
+		}
+	}()
+	if j.embedCtx != nil {
+		return j.embedCtx(j.ctx, p)
+	}
+	return j.embed(p)
 }
 
 // commitLoop is the single writer that turns speculative results into
@@ -431,6 +553,13 @@ func (s *Server) commitLoop() {
 			s.finish(j, jobResult{err: fmt.Errorf("%w: %v", ErrCommitConflict, err)})
 			continue
 		}
+		// A repair whose flow was released mid-flight must not re-reserve;
+		// the dropped flag stays for the controller to consume.
+		if j.repair != nil && s.dropped[j.repair.id] {
+			s.mu.Unlock()
+			s.finish(j, jobResult{err: fmt.Errorf("%w: flow %d released during repair", ErrNotFound, j.repair.id)})
+			continue
+		}
 		// Feasible against the live ledger. Claim the job before
 		// reserving so a commit never outlives a timed-out request.
 		if !j.finished.CompareAndSwap(false, true) {
@@ -448,17 +577,31 @@ func (s *Server) commitLoop() {
 			s.inflight.Done()
 			continue
 		}
-		id := s.nextID.Add(1)
-		info := FlowInfo{
-			ID: id, SFC: sfc.Format(j.dag),
-			Src: j.req.Src, Dst: j.req.Dst, Rate: j.req.Rate, Size: j.req.Size,
-			Alg:     j.alg,
-			Cost:    Cost{Total: cb.Total(), VNF: cb.VNFCost, Link: cb.LinkCost},
-			Created: time.Now(),
-		}
-		if j.ttl > 0 {
-			at := info.Created.Add(j.ttl)
-			info.ExpiresAt = &at
+		var id int64
+		var info FlowInfo
+		if j.repair != nil {
+			// Re-register under the original identity: same ID, same TTL
+			// deadline, fresh cost, one more repair on the odometer.
+			id = j.repair.id
+			info = j.repair.info
+			info.State = FlowStateActive
+			info.Repairs++
+			info.LastError = ""
+			info.Cost = Cost{Total: cb.Total(), VNF: cb.VNFCost, Link: cb.LinkCost}
+		} else {
+			id = s.nextID.Add(1)
+			info = FlowInfo{
+				ID: id, SFC: sfc.Format(j.dag),
+				Src: j.req.Src, Dst: j.req.Dst, Rate: j.req.Rate, Size: j.req.Size,
+				Alg:     j.alg,
+				Cost:    Cost{Total: cb.Total(), VNF: cb.VNFCost, Link: cb.LinkCost},
+				Created: time.Now(),
+				State:   FlowStateActive,
+			}
+			if j.ttl > 0 {
+				at := info.Created.Add(j.ttl)
+				info.ExpiresAt = &at
+			}
 		}
 		s.flows.Add(id, online.Flow{Problem: p, Solution: j.res.Solution})
 		s.meta[id] = info
@@ -505,6 +648,19 @@ func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 	s.mu.Lock()
 	f, ok := s.flows.Release(id)
 	if !ok {
+		// A flow can be known without holding resources: mid-repair, or an
+		// evicted tombstone. Deleting it cancels the repair (the dropped
+		// flag tells the controller and commit loop to stand down) or
+		// acknowledges the eviction.
+		if info, exists := s.meta[id]; exists {
+			delete(s.meta, id)
+			if info.State == FlowStateRepairing {
+				s.dropped[id] = true
+			}
+			s.mu.Unlock()
+			s.wheel.Cancel(id)
+			return info, true
+		}
 		s.mu.Unlock()
 		return FlowInfo{}, false
 	}
@@ -616,6 +772,12 @@ func (s *Server) Drain(ctx context.Context) error {
 		return fmt.Errorf("server: drain: %w", ctx.Err())
 	}
 	s.stopOnce.Do(func() {
+		// The repair controller goes first: it is the only producer that
+		// could still enqueue onto admit (it checks draining under drainMu
+		// before every attempt, so by now it can only be idling or backing
+		// off — both exit promptly on repairStop).
+		close(s.repairStop)
+		s.repairWG.Wait()
 		close(s.admit)
 		s.workerWG.Wait()
 		close(s.commit)

@@ -1,0 +1,497 @@
+// Survivability: the server-side half of the fault injector. ApplyFault
+// quarantines capacity on the live ledger and scans committed flows for
+// casualties; flows whose embedding no longer validates are released and
+// handed to a single repair controller that re-embeds them through the
+// ordinary speculative-worker/commit-loop pipeline with bounded
+// exponential backoff and deterministic jitter. Flows whose repairs are
+// exhausted become terminal "evicted" tombstones, still visible over GET
+// /v1/flows. The admission circuit breaker lives here too: a run of
+// consecutive embed/commit failures flips it open and new flows are shed
+// with 503 + Retry-After until a cooldown passes and a probe succeeds.
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/faults"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/telemetry"
+)
+
+// RepairEvent is one terminal repair decision, in the order the server
+// made them. With a fixed fault sequence and a deterministic embedder the
+// log is reproducible: casualties are scanned in ascending flow-ID order
+// and repaired strictly one at a time.
+type RepairEvent struct {
+	Flow  int64
+	Fault network.Fault
+	// Outcome is "revalidated" (the embedding survived the fault in
+	// place), "repaired" (re-embedded onto new resources) or "evicted".
+	Outcome string
+	// Attempts is the number of re-embed attempts made (0 for
+	// revalidations).
+	Attempts int
+}
+
+// repairTask is one stranded flow waiting for the repair controller. Its
+// resources are already released; info still carries the original
+// request in wire form, which is re-prepared per attempt.
+type repairTask struct {
+	id    int64
+	fault network.Fault
+	info  FlowInfo
+}
+
+// ApplyFault quarantines the fault's capacity on the live ledger (POST
+// /v1/faults). Committed flows that traverse the failed element are
+// revalidated in place; those that no longer fit are released and queued
+// for repair. Snapshots already taken by in-flight embeds observe the
+// quarantine at commit time — the commit loop re-validates against the
+// post-fault residuals.
+func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
+	begin := time.Now()
+	s.mu.Lock()
+	if err := s.ledger.ApplyFault(f); err != nil {
+		s.mu.Unlock()
+		telemetry.RecordServerRequest("faults.apply", "invalid", time.Since(begin))
+		return FaultState{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	s.activeFaults = append(s.activeFaults, f)
+	s.faultsApplied++
+	telemetry.RecordFault(f.Kind.String(), true, len(s.activeFaults))
+
+	// Scan casualties in ascending flow-ID order for a deterministic
+	// repair sequence.
+	ids := s.flows.Keys()
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	var stranded []*repairTask
+	for _, id := range ids {
+		fl, ok := s.flows.Get(id)
+		if !ok || !faults.Hits(s.net, fl.Solution, f) {
+			continue
+		}
+		// Revalidate net of the flow's own reservations: release into a
+		// throwaway overlay first, so a flow is never condemned for
+		// capacity it itself holds.
+		probe := *fl.Problem
+		probe.Ledger = s.ledger.Overlay()
+		relErr := core.Release(&probe, fl.Solution)
+		if relErr == nil && core.Validate(&probe, fl.Solution) == nil {
+			probe.Ledger.Discard()
+			s.repairLog = append(s.repairLog, RepairEvent{Flow: id, Fault: f, Outcome: "revalidated"})
+			telemetry.RecordRepair("revalidated")
+			continue
+		}
+		probe.Ledger.Discard()
+		// Stranded for real: return its capacity now (the fault may have
+		// pushed residuals negative; releasing restores sanity and lets the
+		// repair and concurrent arrivals compete for what is left).
+		fl, _ = s.flows.Release(id)
+		fl.Problem.Ledger = s.ledger
+		_ = core.Release(fl.Problem, fl.Solution)
+		info := s.meta[id]
+		info.State = FlowStateRepairing
+		s.meta[id] = info
+		stranded = append(stranded, &repairTask{id: id, fault: f, info: info})
+	}
+	telemetry.SetServerActiveFlows(s.flows.Len())
+	st := s.faultStateLocked()
+	s.mu.Unlock()
+
+	for _, t := range stranded {
+		s.wheel.Cancel(t.id)
+	}
+	s.enqueueRepairs(stranded)
+	telemetry.RecordServerRequest("faults.apply", "ok", time.Since(begin))
+	return st, nil
+}
+
+// RestoreFault returns a previously applied fault's quarantined capacity
+// (POST /v1/faults/restore). Repairing or evicted flows are not
+// resurrected — a restore only changes what future embeds (including
+// pending repairs) can use.
+func (s *Server) RestoreFault(f network.Fault) (FaultState, error) {
+	begin := time.Now()
+	s.mu.Lock()
+	if err := s.ledger.RestoreFault(f); err != nil {
+		s.mu.Unlock()
+		telemetry.RecordServerRequest("faults.restore", "invalid", time.Since(begin))
+		return FaultState{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	for i, af := range s.activeFaults {
+		if af == f {
+			s.activeFaults = append(s.activeFaults[:i], s.activeFaults[i+1:]...)
+			break
+		}
+	}
+	s.faultsRestored++
+	telemetry.RecordFault(f.Kind.String(), false, len(s.activeFaults))
+	st := s.faultStateLocked()
+	s.mu.Unlock()
+	telemetry.RecordServerRequest("faults.restore", "ok", time.Since(begin))
+	return st, nil
+}
+
+// Faults reports the active faults and lifetime counters (GET /v1/faults).
+func (s *Server) Faults() FaultState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faultStateLocked()
+}
+
+func (s *Server) faultStateLocked() FaultState {
+	st := FaultState{
+		Active:   make([]FaultRequest, 0, len(s.activeFaults)),
+		Applied:  s.faultsApplied,
+		Restored: s.faultsRestored,
+	}
+	for _, f := range s.activeFaults {
+		st.Active = append(st.Active, faultToWire(f))
+	}
+	return st
+}
+
+// RepairLog returns a copy of the terminal repair decisions so far, in
+// the order they were made.
+func (s *Server) RepairLog() []RepairEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RepairEvent, len(s.repairLog))
+	copy(out, s.repairLog)
+	return out
+}
+
+// PendingRepairs reports how many stranded flows are queued or mid-repair
+// — zero means every fault consequence so far has reached a terminal
+// outcome (the chaos driver's settling condition).
+func (s *Server) PendingRepairs() int {
+	s.repairMu.Lock()
+	defer s.repairMu.Unlock()
+	return len(s.repairQ) + s.repairBusy
+}
+
+// RevalidateFlows re-checks every committed flow's embedding against the
+// current residual network, net of the flow's own reservations. It
+// returns the IDs that no longer validate — after a quiescent repair
+// pass this must be empty, which is the chaos invariant.
+func (s *Server) RevalidateFlows() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := s.flows.Keys()
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	var bad []int64
+	for _, id := range ids {
+		fl, ok := s.flows.Get(id)
+		if !ok {
+			continue
+		}
+		probe := *fl.Problem
+		probe.Ledger = s.ledger.Overlay()
+		err := core.Release(&probe, fl.Solution)
+		if err == nil {
+			err = core.Validate(&probe, fl.Solution)
+		}
+		probe.Ledger.Discard()
+		if err != nil {
+			bad = append(bad, id)
+		}
+	}
+	return bad
+}
+
+func faultToWire(f network.Fault) FaultRequest {
+	w := FaultRequest{Kind: f.Kind.String()}
+	switch f.Kind {
+	case network.FaultNodeDown:
+		w.Node = int(f.Node)
+	case network.FaultLinkDegrade:
+		w.Link, w.Fraction = int(f.Link), f.Fraction
+	default:
+		w.Link = int(f.Link)
+	}
+	return w
+}
+
+func faultFromWire(w FaultRequest) (network.Fault, error) {
+	kind, err := faults.ParseKind(w.Kind)
+	if err != nil {
+		return network.Fault{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	f := network.Fault{Kind: kind}
+	switch kind {
+	case network.FaultNodeDown:
+		f.Node = graph.NodeID(w.Node)
+	case network.FaultLinkDegrade:
+		f.Link, f.Fraction = graph.EdgeID(w.Link), w.Fraction
+	default:
+		f.Link = graph.EdgeID(w.Link)
+	}
+	return f, nil
+}
+
+// enqueueRepairs hands stranded flows to the repair controller. The
+// queue is unbounded on purpose: a large fault may strand many flows and
+// dropping any would leak their "repairing" state forever.
+func (s *Server) enqueueRepairs(tasks []*repairTask) {
+	if len(tasks) == 0 {
+		return
+	}
+	s.repairMu.Lock()
+	s.repairQ = append(s.repairQ, tasks...)
+	s.repairMu.Unlock()
+	select {
+	case s.repairKick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Server) popRepair() *repairTask {
+	s.repairMu.Lock()
+	defer s.repairMu.Unlock()
+	if len(s.repairQ) == 0 {
+		return nil
+	}
+	t := s.repairQ[0]
+	s.repairQ = s.repairQ[1:]
+	s.repairBusy++
+	return t
+}
+
+func (s *Server) repairDone() {
+	s.repairMu.Lock()
+	s.repairBusy--
+	s.repairMu.Unlock()
+}
+
+// repairLoop is the single repair controller: it drains the stranded-flow
+// queue strictly one flow at a time (deterministic ordering, and repairs
+// never compete with each other for capacity), re-embedding each through
+// the ordinary admission pipeline. Backoff between attempts is
+// exponential with a deterministic seeded jitter, so two same-seed chaos
+// runs sleep identically.
+func (s *Server) repairLoop() {
+	defer s.repairWG.Done()
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x7265706169727321)) // "repairs!"
+	for {
+		select {
+		case <-s.repairStop:
+			return
+		case <-s.repairKick:
+		}
+		for {
+			t := s.popRepair()
+			if t == nil {
+				break
+			}
+			s.repairOne(t, rng)
+			s.repairDone()
+		}
+	}
+}
+
+// repairOne drives one stranded flow to a terminal state: re-registered
+// under its original ID on success, an evicted tombstone on exhaustion.
+func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
+	var lastErr error
+	for attempt := 1; attempt <= s.cfg.RepairRetries; attempt++ {
+		if attempt > 1 {
+			if !s.repairBackoff(attempt-1, rng) {
+				return // stopping; the flow keeps its repairing state
+			}
+		}
+		if s.repairAbandoned(t.id) {
+			return
+		}
+		err := s.repairAttempt(t)
+		if err == nil {
+			s.mu.Lock()
+			s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "repaired", Attempts: attempt})
+			delete(s.dropped, t.id)
+			s.mu.Unlock()
+			telemetry.RecordRepair("repaired")
+			return
+		}
+		lastErr = err
+	}
+	s.mu.Lock()
+	if s.dropped[t.id] {
+		// Released by its owner while we were retrying: the meta entry is
+		// already gone; no tombstone, no log entry.
+		delete(s.dropped, t.id)
+		s.mu.Unlock()
+		return
+	}
+	if info, ok := s.meta[t.id]; ok && info.State == FlowStateRepairing {
+		info.State = FlowStateEvicted
+		if lastErr != nil {
+			info.LastError = lastErr.Error()
+		}
+		s.meta[t.id] = info
+	}
+	s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "evicted", Attempts: s.cfg.RepairRetries})
+	delete(s.dropped, t.id)
+	s.mu.Unlock()
+	telemetry.RecordRepair("evicted")
+}
+
+// repairBackoff sleeps the capped exponential delay for the given retry
+// (1-based), with deterministic jitter in [0, delay/2]. It returns false
+// if the server began stopping mid-sleep.
+func (s *Server) repairBackoff(retry int, rng *rand.Rand) bool {
+	delay := s.cfg.RepairBackoff << (retry - 1)
+	if delay > s.cfg.RepairBackoffCap || delay <= 0 {
+		delay = s.cfg.RepairBackoffCap
+	}
+	delay += time.Duration(rng.Int63n(int64(delay/2) + 1))
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-s.repairStop:
+		return false
+	}
+}
+
+// repairAbandoned reports whether the flow was released by its owner (or
+// the server began draining) while waiting for repair; either way the
+// repairing state is resolved here.
+func (s *Server) repairAbandoned(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dropped[id] {
+		delete(s.dropped, id)
+		return true
+	}
+	return false
+}
+
+// repairAttempt runs one re-embed through the admission pipeline and
+// waits for its outcome. The job carries the repair marker, so the
+// commit loop re-registers the flow under its original ID instead of
+// allocating a new one.
+func (s *Server) repairAttempt(t *repairTask) error {
+	dag, alg, embed, embedCtx, _, err := s.prepare(FlowRequest{
+		SFC: t.info.SFC, Src: t.info.Src, Dst: t.info.Dst,
+		Rate: t.info.Rate, Size: t.info.Size, Alg: t.info.Alg,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	j := &job{
+		ctx: ctx, req: FlowRequest{Src: t.info.Src, Dst: t.info.Dst, Rate: t.info.Rate, Size: t.info.Size},
+		dag: dag, alg: alg, embed: embed, embedCtx: embedCtx,
+		begin: time.Now(), done: make(chan jobResult, 1),
+		repair: t,
+	}
+	telemetry.RecordRepairAttempt()
+
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		return ErrDraining
+	}
+	s.inflight.Add(1)
+	select {
+	case s.admit <- j:
+		s.drainMu.RUnlock()
+		telemetry.SetServerQueueDepth(len(s.admit))
+	default:
+		s.inflight.Done()
+		s.drainMu.RUnlock()
+		return ErrQueueFull
+	}
+
+	select {
+	case r := <-j.done:
+		return r.err
+	case <-ctx.Done():
+		if j.finished.CompareAndSwap(false, true) {
+			return fmt.Errorf("%w during repair", ErrTimeout)
+		}
+		r := <-j.done
+		return r.err
+	}
+}
+
+// breaker is the admission circuit breaker: a run of threshold
+// consecutive embed/commit failures opens it; while open, admissions are
+// shed with ErrOverloaded until cooldown passes; the first request after
+// cooldown is a half-open probe whose outcome closes or re-opens it.
+// threshold 0 disables it entirely.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state    int // 0 closed, 1 half-open, 2 open
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// allow decides one admission; non-nil means shed.
+func (b *breaker) allow(now time.Time) error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case 2: // open
+		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return &OverloadedError{RetryAfter: wait}
+		}
+		b.state, b.probing = 1, true
+		telemetry.SetBreakerState(1, false)
+		return nil
+	case 1: // half-open
+		if b.probing {
+			return &OverloadedError{RetryAfter: b.cooldown}
+		}
+		b.probing = true
+		return nil
+	}
+	return nil
+}
+
+// record feeds one pipeline decision back. Only embed/commit outcomes
+// reach here — admission-level rejections (queue full, draining,
+// timeout) say nothing about the substrate's health.
+func (b *breaker) record(success bool, now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case 1: // half-open: the probe's outcome decides
+		b.probing = false
+		if success {
+			b.state, b.fails = 0, 0
+			telemetry.SetBreakerState(0, false)
+		} else {
+			b.state, b.openedAt = 2, now
+			telemetry.SetBreakerState(2, true)
+		}
+	case 0: // closed
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state, b.openedAt = 2, now
+			telemetry.SetBreakerState(2, true)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/faults"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/netgen"
+	"dagsfc/internal/network"
+	"dagsfc/internal/server"
+	"dagsfc/internal/server/client"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/sfcgen"
+)
+
+// twoPathNet offers two disjoint paths 0→3, each with an f(1) instance;
+// node 1 is strictly cheaper, so the deterministic embed lands there and
+// a fault on node 1 forces a reroute through node 2.
+func twoPathNet() *network.Network {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10) // e0
+	g.MustAddEdge(1, 3, 1, 10) // e1
+	g.MustAddEdge(0, 2, 1, 10) // e2
+	g.MustAddEdge(2, 3, 1, 10) // e3
+	net := network.New(g, network.Catalog{N: 1})
+	net.MustAddInstance(1, 1, 5, 4)
+	net.MustAddInstance(2, 1, 6, 4)
+	return net
+}
+
+// fastRepairs keeps test repairs fast without changing their semantics.
+func fastRepairs(cfg server.Config) server.Config {
+	cfg.RepairRetries = 2
+	cfg.RepairBackoff = time.Millisecond
+	cfg.RepairBackoffCap = 4 * time.Millisecond
+	return cfg
+}
+
+func TestServerRepairsFlowAcrossFault(t *testing.T) {
+	srv, cl := newTestServer(t, fastRepairs(server.Config{Net: twoPathNet(), Workers: 2}))
+	ctx := context.Background()
+	seed, err := cl.Network(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := cl.CreateFlow(ctx, server.FlowRequest{SFC: "1", Src: 0, Dst: 3, Rate: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != server.FlowStateActive {
+		t.Fatalf("fresh flow state %q, want active", info.State)
+	}
+
+	// Take node 1 down over the API: the flow must re-embed via node 2.
+	st, err := cl.ApplyFault(ctx, server.FaultRequest{Kind: "node-down", Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Active) != 1 || st.Applied != 1 {
+		t.Fatalf("fault state after apply: %+v", st)
+	}
+	waitFor(t, func() bool {
+		got, ok := srv.Flow(info.ID)
+		return ok && got.State == server.FlowStateActive && got.Repairs == 1
+	})
+	got, _ := srv.Flow(info.ID)
+	if got.Cost.Total <= info.Cost.Total {
+		t.Fatalf("repaired cost %v not above original %v (should use pricier node 2)", got.Cost.Total, info.Cost.Total)
+	}
+	log := srv.RepairLog()
+	if len(log) != 1 || log[0].Flow != info.ID || log[0].Outcome != "repaired" || log[0].Attempts != 1 {
+		t.Fatalf("repair log = %+v", log)
+	}
+	if bad := srv.RevalidateFlows(); len(bad) != 0 {
+		t.Fatalf("flows failing revalidation after repair: %v", bad)
+	}
+
+	if _, err := cl.RestoreFault(ctx, server.FaultRequest{Kind: "node-down", Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ReleaseFlow(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	end, err := cl.Network(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalResiduals(residuals(seed), residuals(end)) {
+		t.Fatalf("ledger did not drain to seed: %v vs %v", residuals(seed), residuals(end))
+	}
+}
+
+func TestServerEvictsStrandedFlow(t *testing.T) {
+	srv, cl := newTestServer(t, fastRepairs(server.Config{Net: tinyNet(), Workers: 2}))
+	ctx := context.Background()
+	seed, err := cl.Network(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := cl.CreateFlow(ctx, lineRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only path dies; there is no repair target.
+	if _, err := cl.ApplyFault(ctx, server.FaultRequest{Kind: "link-down", Link: 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		got, ok := srv.Flow(info.ID)
+		return ok && got.State == server.FlowStateEvicted
+	})
+	if srv.ActiveFlows() != 0 {
+		t.Fatalf("evicted flow still counted active: %d", srv.ActiveFlows())
+	}
+
+	// The tombstone stays visible over the API with its terminal state.
+	list, err := cl.Flows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].State != server.FlowStateEvicted || list[0].LastError == "" {
+		t.Fatalf("evicted flow listing = %+v", list)
+	}
+	log := srv.RepairLog()
+	if len(log) != 1 || log[0].Outcome != "evicted" || log[0].Attempts != 2 {
+		t.Fatalf("repair log = %+v", log)
+	}
+
+	// Eviction already released the capacity: restoring the fault alone
+	// must return the ledger to the seed.
+	if _, err := cl.RestoreFault(ctx, server.FaultRequest{Kind: "link-down", Link: 0}); err != nil {
+		t.Fatal(err)
+	}
+	end, err := cl.Network(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalResiduals(residuals(seed), residuals(end)) {
+		t.Fatalf("residuals after restore: %v, want seed %v", residuals(end), residuals(seed))
+	}
+
+	// DELETE acknowledges the tombstone; a second DELETE is a 404.
+	if _, err := cl.ReleaseFlow(ctx, info.ID); err != nil {
+		t.Fatalf("acknowledging eviction: %v", err)
+	}
+	list, err = cl.Flows(ctx)
+	if err != nil || len(list) != 0 {
+		t.Fatalf("tombstone not cleared: %+v, %v", list, err)
+	}
+	var apiErr *client.APIError
+	if _, err := cl.ReleaseFlow(ctx, info.ID); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestServerRevalidatesUntouchedFlow(t *testing.T) {
+	srv, cl := newTestServer(t, fastRepairs(server.Config{Net: tinyNet()}))
+	ctx := context.Background()
+
+	info, err := cl.CreateFlow(ctx, lineRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half of edge 0's 100 units quarantined: the rate-1 flow still fits
+	// and must survive in place, untouched.
+	if _, err := cl.ApplyFault(ctx, server.FaultRequest{Kind: "link-degrade", Link: 0, Fraction: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(srv.RepairLog()) == 1 })
+	log := srv.RepairLog()
+	if log[0].Outcome != "revalidated" || log[0].Flow != info.ID {
+		t.Fatalf("repair log = %+v", log)
+	}
+	got, ok := srv.Flow(info.ID)
+	if !ok || got.State != server.FlowStateActive || got.Repairs != 0 {
+		t.Fatalf("flow after degrade = %+v", got)
+	}
+	if srv.PendingRepairs() != 0 {
+		t.Fatalf("pending repairs = %d, want 0", srv.PendingRepairs())
+	}
+}
+
+func TestServerBreakerShedsAndRecovers(t *testing.T) {
+	srv, cl := newTestServer(t, server.Config{
+		Net: tinyNet(), BreakerFailures: 2, BreakerCooldown: 100 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	// Two consecutive infeasible embeds trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit(ctx, lineRequest(1000)); !errors.Is(err, core.ErrNoEmbedding) {
+			t.Fatalf("submit %d: %v, want ErrNoEmbedding", i, err)
+		}
+	}
+	_, err := srv.Submit(ctx, lineRequest(1))
+	if !errors.Is(err, server.ErrOverloaded) {
+		t.Fatalf("tripped breaker let a flow through: %v", err)
+	}
+	var oe *server.OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("overload error carries no Retry-After: %v", err)
+	}
+
+	// Over HTTP the shed maps to 503 with a Retry-After header.
+	var apiErr *client.APIError
+	if _, err := cl.CreateFlow(ctx, lineRequest(1)); !errors.As(err, &apiErr) ||
+		apiErr.StatusCode != http.StatusServiceUnavailable || apiErr.RetryAfter <= 0 || !apiErr.Retryable() {
+		t.Fatalf("HTTP shed = %v", err)
+	}
+
+	// After the cooldown a half-open probe goes through; its success
+	// closes the breaker and normal admission resumes.
+	time.Sleep(120 * time.Millisecond)
+	info, err := srv.Submit(ctx, lineRequest(1))
+	if err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	if _, err := srv.Submit(ctx, lineRequest(1)); err != nil {
+		t.Fatalf("breaker did not close after a good probe: %v", err)
+	}
+	if _, err := srv.Release(info.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerWorkerPanicRecovered(t *testing.T) {
+	boom := func(p *core.Problem) (*core.Result, error) { panic("synthetic embedder bug") }
+	srv, cl := newTestServer(t, server.Config{
+		Net: tinyNet(), Workers: 1,
+		Embedders: map[string]server.Embedder{"boom": boom},
+	})
+	ctx := context.Background()
+
+	req := lineRequest(1)
+	req.Alg = "boom"
+	_, err := srv.Submit(ctx, req)
+	if !errors.Is(err, server.ErrInternal) {
+		t.Fatalf("panicking embedder: %v, want ErrInternal", err)
+	}
+	var apiErr *client.APIError
+	if _, err := cl.CreateFlow(ctx, req); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic over HTTP = %v, want 500", err)
+	}
+
+	// The worker survived: a normal flow still goes through it.
+	if _, err := cl.CreateFlow(ctx, lineRequest(1)); err != nil {
+		t.Fatalf("pipeline dead after panic: %v", err)
+	}
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "dagsfc_server_worker_panics_total") {
+		t.Fatal("metrics missing dagsfc_server_worker_panics_total")
+	}
+}
+
+// chaosRun is one full deterministic chaos scenario: a seeded network and
+// workload, a seeded fault schedule applied event by event (waiting for
+// the repair controller to settle between events), then full teardown.
+// It returns everything two identical runs must agree on.
+type chaosOutcome struct {
+	accepted int
+	log      []server.RepairEvent
+	faults   server.FaultState
+	seed     []float64
+	end      []float64
+}
+
+func chaosRun(t *testing.T) chaosOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	ncfg := netgen.Default()
+	ncfg.Nodes = 24
+	ncfg.VNFKinds = 5
+	ncfg.InstanceCapacity = 4
+	net := netgen.MustGenerate(ncfg, rng)
+
+	srv, err := server.New(fastRepairs(server.Config{Net: net, Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	out := chaosOutcome{seed: residuals(srv.NetworkState())}
+
+	// Sequential submissions keep the accept set deterministic.
+	scfg := sfcgen.Config{Size: 3, LayerWidth: 3, VNFKinds: 5}
+	for i := 0; i < 20; i++ {
+		dag := sfcgen.MustGenerate(scfg, rng)
+		_, err := srv.Submit(ctx, server.FlowRequest{
+			SFC: sfc.Format(dag),
+			Src: rng.Intn(ncfg.Nodes), Dst: rng.Intn(ncfg.Nodes),
+			Rate: 1, Size: 1,
+		})
+		if err == nil {
+			out.accepted++
+		}
+	}
+
+	sched, err := faults.Generate(faults.GenConfig{
+		Nodes: ncfg.Nodes, Edges: net.G.NumEdges(),
+		Count: 6, MeanGap: 1, MeanHold: 2, NodeFrac: 0.4, DegradeFrac: 0.3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sched.Events() {
+		if ev.Apply {
+			_, err = srv.ApplyFault(ev.Fault)
+		} else {
+			_, err = srv.RestoreFault(ev.Fault)
+		}
+		if err != nil {
+			t.Fatalf("event %+v: %v", ev, err)
+		}
+		// Settle: every consequence of this event reaches a terminal state
+		// before the next one fires, which pins the repair order.
+		waitFor(t, func() bool { return srv.PendingRepairs() == 0 })
+	}
+
+	// The schedule restores every incident, so no fault is active and the
+	// chaos invariant holds: every surviving flow still validates.
+	if bad := srv.RevalidateFlows(); len(bad) != 0 {
+		t.Fatalf("flows failing revalidation after chaos: %v", bad)
+	}
+	out.log = srv.RepairLog()
+	out.faults = srv.Faults()
+
+	for _, f := range srv.Flows() {
+		if _, err := srv.Release(f.ID); err != nil {
+			t.Fatalf("release %d: %v", f.ID, err)
+		}
+	}
+	out.end = residuals(srv.NetworkState())
+	return out
+}
+
+// TestServerChaosInvariant is the PR's acceptance check: after a seeded
+// fault schedule fully plays out, surviving flows re-validate, the ledger
+// drains to the exact seed residuals, and a second identical run makes
+// the identical repair/eviction decisions in the identical order.
+func TestServerChaosInvariant(t *testing.T) {
+	a := chaosRun(t)
+
+	if a.accepted == 0 {
+		t.Fatal("chaos run admitted nothing")
+	}
+	if len(a.log) == 0 {
+		t.Fatal("chaos run exercised no repairs — schedule too gentle to test anything")
+	}
+	if len(a.faults.Active) != 0 || a.faults.Applied != 6 || a.faults.Restored != 6 {
+		t.Fatalf("fault accounting after full schedule: %+v", a.faults)
+	}
+	if !equalResiduals(a.seed, a.end) {
+		t.Fatalf("ledger did not drain to seed residuals:\nseed %v\nend  %v", a.seed, a.end)
+	}
+
+	b := chaosRun(t)
+	if a.accepted != b.accepted {
+		t.Fatalf("accept counts diverged: %d vs %d", a.accepted, b.accepted)
+	}
+	if len(a.log) != len(b.log) {
+		t.Fatalf("repair logs diverged in length: %d vs %d\n%+v\n%+v", len(a.log), len(b.log), a.log, b.log)
+	}
+	for i := range a.log {
+		if a.log[i] != b.log[i] {
+			t.Fatalf("repair log entry %d diverged: %+v vs %+v", i, a.log[i], b.log[i])
+		}
+	}
+	if !equalResiduals(a.end, b.end) {
+		t.Fatal("final residuals diverged between identical runs")
+	}
+}

@@ -55,6 +55,62 @@ func RecordOverlayCommit() {
 		"Overlay ledgers committed into their base ledger.").Inc()
 }
 
+// Survivability metric names (PR 5): the fault injector's apply/restore
+// traffic, the server's flow-repair pipeline, the admission circuit
+// breaker, and worker panic recoveries.
+const (
+	MetricFaultsApplied       = "dagsfc_faults_applied_total"
+	MetricFaultsRestored      = "dagsfc_faults_restored_total"
+	MetricFaultsActive        = "dagsfc_faults_active"
+	MetricServerRepairs       = "dagsfc_server_repairs_total"
+	MetricServerRepairRetries = "dagsfc_server_repair_attempts_total"
+	MetricServerWorkerPanics  = "dagsfc_server_worker_panics_total"
+	MetricServerBreakerState  = "dagsfc_server_breaker_state"
+	MetricServerBreakerTrips  = "dagsfc_server_breaker_trips_total"
+)
+
+// RecordFault records one applied or restored fault, labeled by kind
+// ("link-down", "node-down", "link-degrade"), and publishes the number of
+// currently active faults.
+func RecordFault(kind string, applied bool, active int) {
+	r := Default()
+	if applied {
+		r.Counter(MetricFaultsApplied, "Substrate faults applied, by kind.", L("kind", kind)).Inc()
+	} else {
+		r.Counter(MetricFaultsRestored, "Substrate faults restored, by kind.", L("kind", kind)).Inc()
+	}
+	r.Gauge(MetricFaultsActive, "Faults currently quarantining capacity.").Set(float64(active))
+}
+
+// RecordRepair records the terminal outcome of one flow repair:
+// "revalidated" (survived in place), "repaired" (re-embedded) or
+// "evicted" (retries exhausted).
+func RecordRepair(outcome string) {
+	Default().Counter(MetricServerRepairs, "Flow repairs by terminal outcome.", L("outcome", outcome)).Inc()
+}
+
+// RecordRepairAttempt records one re-embed attempt inside a repair
+// (several attempts may precede one terminal outcome).
+func RecordRepairAttempt() {
+	Default().Counter(MetricServerRepairRetries, "Re-embed attempts made by the flow repair loop.").Inc()
+}
+
+// RecordWorkerPanic records one recovered panic in an embed worker (the
+// request fails; the process survives).
+func RecordWorkerPanic() {
+	Default().Counter(MetricServerWorkerPanics, "Panics recovered in embed workers.").Inc()
+}
+
+// SetBreakerState publishes the admission circuit breaker's state
+// (0=closed, 1=half-open, 2=open) and, on a trip, bumps the trip counter.
+func SetBreakerState(state int, tripped bool) {
+	r := Default()
+	r.Gauge(MetricServerBreakerState, "Admission breaker state (0=closed, 1=half-open, 2=open).").Set(float64(state))
+	if tripped {
+		r.Counter(MetricServerBreakerTrips, "Times the admission breaker tripped open.").Inc()
+	}
+}
+
 // EmbedSample is one completed embedding attempt, however it was
 // produced.
 type EmbedSample struct {
