@@ -62,6 +62,7 @@ func main() {
 		retries      = flag.Int("retries", 1, "re-embeds after a commit conflict before 409")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
 		repairs      = flag.Int("repair-retries", 3, "re-embed attempts for a fault-stranded flow before eviction")
+		repairAdmits = flag.Int("repair-admit-retries", 8, "queue-full/timeout rejections a repair absorbs without charging repair-retries (0 = none)")
 		repairWait   = flag.Duration("repair-backoff", 25*time.Millisecond, "base repair backoff (doubles per attempt)")
 		repairCap    = flag.Duration("repair-backoff-cap", time.Second, "repair backoff ceiling")
 		brkFails     = flag.Int("breaker-failures", 0, "consecutive pipeline failures that open the admission breaker (0 = disabled)")
@@ -70,11 +71,17 @@ func main() {
 	flag.IntVar(&gen.Nodes, "nodes", gen.Nodes, "generated network size (ignored with -net)")
 	flag.IntVar(&gen.VNFKinds, "kinds", gen.VNFKinds, "generated VNF categories (ignored with -net)")
 	diag.Main("dagsfc-serve", func() error {
+		if *repairAdmits <= 0 {
+			// The flag's 0 means "no grace"; Config uses negative for that
+			// (its zero value takes the default).
+			*repairAdmits = -1
+		}
 		cfg := server.Config{
 			Algorithm: *alg, Seed: *seed,
 			Workers: *workers, QueueDepth: *queue,
 			RequestTimeout: *timeout, CommitRetries: *retries, DefaultTTL: *ttl,
-			RepairRetries: *repairs, RepairBackoff: *repairWait, RepairBackoffCap: *repairCap,
+			RepairRetries: *repairs, RepairAdmitRetries: *repairAdmits,
+			RepairBackoff: *repairWait, RepairBackoffCap: *repairCap,
 			BreakerFailures: *brkFails, BreakerCooldown: *brkCooldown,
 		}
 		return run(*addr, *netFile, gen, cfg, *drainTimeout)

@@ -83,18 +83,18 @@ func TestBreakerTransitions(t *testing.T) {
 	b := &breaker{threshold: 2, cooldown: time.Second}
 	t0 := time.Unix(100, 0)
 
-	if err := b.allow(t0); err != nil {
-		t.Fatalf("closed breaker shed: %v", err)
+	if probe, err := b.allow(t0); err != nil || probe {
+		t.Fatalf("closed breaker: probe=%v err=%v, want plain admit", probe, err)
 	}
-	b.record(false, t0)
-	b.record(true, t0) // a success resets the run
-	b.record(false, t0)
-	if err := b.allow(t0); err != nil {
+	b.record(false, false, t0)
+	b.record(true, false, t0) // a success resets the run
+	b.record(false, false, t0)
+	if _, err := b.allow(t0); err != nil {
 		t.Fatal("one failure below threshold tripped the breaker")
 	}
-	b.record(false, t0) // second consecutive failure: trips
+	b.record(false, false, t0) // second consecutive failure: trips
 
-	err := b.allow(t0.Add(200 * time.Millisecond))
+	_, err := b.allow(t0.Add(200 * time.Millisecond))
 	var oe *OverloadedError
 	if !errors.As(err, &oe) || oe.RetryAfter != 800*time.Millisecond {
 		t.Fatalf("open breaker: %v, want 800ms Retry-After", err)
@@ -102,24 +102,29 @@ func TestBreakerTransitions(t *testing.T) {
 
 	// Cooldown over: exactly one probe passes, the rest are shed.
 	t1 := t0.Add(1100 * time.Millisecond)
-	if err := b.allow(t1); err != nil {
-		t.Fatalf("half-open probe shed: %v", err)
+	if probe, err := b.allow(t1); err != nil || !probe {
+		t.Fatalf("half-open probe: probe=%v err=%v, want the probe slot", probe, err)
 	}
-	if err := b.allow(t1); !errors.As(err, &oe) {
+	if _, err := b.allow(t1); !errors.As(err, &oe) {
 		t.Fatalf("second request during probe: %v, want shed", err)
 	}
-	b.record(false, t1) // failed probe re-opens
-	if err := b.allow(t1.Add(time.Millisecond)); !errors.As(err, &oe) {
+	// A straggler's stale verdict while half-open must not decide.
+	b.record(true, false, t1)
+	if _, err := b.allow(t1); !errors.As(err, &oe) {
+		t.Fatalf("straggler success closed the half-open breaker: %v", err)
+	}
+	b.record(false, true, t1) // failed probe re-opens
+	if _, err := b.allow(t1.Add(time.Millisecond)); !errors.As(err, &oe) {
 		t.Fatalf("re-opened breaker admitted: %v", err)
 	}
 
 	t2 := t1.Add(1100 * time.Millisecond)
-	if err := b.allow(t2); err != nil {
-		t.Fatalf("second probe shed: %v", err)
+	if probe, err := b.allow(t2); err != nil || !probe {
+		t.Fatalf("second probe: probe=%v err=%v", probe, err)
 	}
-	b.record(true, t2) // good probe closes
+	b.record(true, true, t2) // good probe closes
 	for i := 0; i < 5; i++ {
-		if err := b.allow(t2.Add(time.Second)); err != nil {
+		if _, err := b.allow(t2.Add(time.Second)); err != nil {
 			t.Fatalf("closed breaker shed request %d: %v", i, err)
 		}
 	}
@@ -127,14 +132,205 @@ func TestBreakerTransitions(t *testing.T) {
 	// threshold 0 disables everything.
 	off := &breaker{cooldown: time.Second}
 	for i := 0; i < 10; i++ {
-		off.record(false, t0)
+		off.record(false, false, t0)
 	}
-	if err := off.allow(t0); err != nil {
+	off.abortProbe()
+	if _, err := off.allow(t0); err != nil {
 		t.Fatalf("disabled breaker shed: %v", err)
 	}
 }
 
-// TestServerRebaseDrainsToSeed forces a ledger rebase after every commit
+// TestBreakerAbortProbeFreesSlot pins the probe-wedge fix: a probe that
+// dies at admission (queue full, draining, timeout) must give the slot
+// back, so the next request can probe instead of every request shedding
+// 503 forever.
+func TestBreakerAbortProbeFreesSlot(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: time.Second}
+	t0 := time.Unix(100, 0)
+	b.record(false, false, t0) // trips
+
+	t1 := t0.Add(1100 * time.Millisecond)
+	probe, err := b.allow(t1)
+	if err != nil || !probe {
+		t.Fatalf("first probe: probe=%v err=%v", probe, err)
+	}
+	b.abortProbe() // the probe bounced at admission: no verdict
+
+	// The slot is free again: a new request becomes the probe...
+	probe, err = b.allow(t1.Add(time.Millisecond))
+	if err != nil || !probe {
+		t.Fatalf("probe after abort: probe=%v err=%v, want a fresh slot", probe, err)
+	}
+	// ...and only one at a time, still.
+	var oe *OverloadedError
+	if _, err := b.allow(t1.Add(time.Millisecond)); !errors.As(err, &oe) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	b.record(true, true, t1.Add(2*time.Millisecond))
+	if _, err := b.allow(t1.Add(3 * time.Millisecond)); err != nil {
+		t.Fatalf("breaker did not close after the post-abort probe: %v", err)
+	}
+}
+
+// waitCond polls cond until it holds or a generous deadline expires.
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerProbeSurvivesAdmissionRejection reproduces the probe-wedge
+// scenario end to end: the breaker goes half-open while the admission
+// queue is full, so its probe request bounces with ErrQueueFull without
+// the pipeline ever judging it. The slot must come back — subsequent
+// requests keep getting ErrQueueFull (not ErrOverloaded), and once the
+// queue drains a fresh probe closes the breaker.
+func TestServerProbeSurvivesAdmissionRejection(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1, 100)
+	g.MustAddEdge(1, 2, 1, 100)
+	net := network.New(g, network.Catalog{N: 1})
+	net.MustAddInstance(1, 1, 10, 4)
+
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	block := func(p *core.Problem) (*core.Result, error) {
+		entered <- struct{}{}
+		<-gate
+		return core.EmbedMBBE(p)
+	}
+	srv, err := New(Config{
+		Net: net, Workers: 1, QueueDepth: 1,
+		BreakerFailures: 1, BreakerCooldown: time.Millisecond,
+		Embedders: map[string]Embedder{"block": block},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	blockReq := FlowRequest{SFC: "1", Src: 0, Dst: 2, Rate: 1, Size: 1, Alg: "block"}
+	req := FlowRequest{SFC: "1", Src: 0, Dst: 2, Rate: 1, Size: 1}
+
+	// Occupy the single worker and fill the depth-1 queue.
+	results := make(chan error, 2)
+	go func() { _, err := srv.Submit(ctx, blockReq); results <- err }()
+	<-entered
+	go func() { _, err := srv.Submit(ctx, blockReq); results <- err }()
+	waitCond(t, func() bool { return len(srv.admit) == 1 })
+
+	// Trip the breaker and let the cooldown pass: the next admit is the
+	// half-open probe — and it bounces on the full queue.
+	srv.brk.record(false, false, time.Now())
+	time.Sleep(5 * time.Millisecond)
+	if _, err := srv.Submit(ctx, req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("probe against full queue: %v, want ErrQueueFull", err)
+	}
+	// The wedge regression: with the probe slot stuck, this would shed
+	// with ErrOverloaded forever. It must instead probe again and hit the
+	// same (honest) queue-full.
+	if _, err := srv.Submit(ctx, req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("request after bounced probe: %v, want ErrQueueFull not ErrOverloaded", err)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("blocked submit %d: %v", i, err)
+		}
+	}
+	// Queue drained; the next request takes the probe slot, succeeds, and
+	// closes the breaker for the one after it.
+	if _, err := srv.Submit(ctx, req); err != nil {
+		t.Fatalf("probe after drain: %v", err)
+	}
+	if _, err := srv.Submit(ctx, req); err != nil {
+		t.Fatalf("breaker did not close after successful probe: %v", err)
+	}
+}
+
+// TestRepairNotChargedForAdmissionRejections pins the repair-accounting
+// fix: queue-full rejections of a repair's re-embed must not count
+// against RepairRetries — a stranded flow waits out the congestion in
+// state repairing and is repaired once admission opens up, instead of
+// being evicted with a bogus "unrepairable" tombstone.
+func TestRepairNotChargedForAdmissionRejections(t *testing.T) {
+	// Two disjoint paths 0→3 with an f(1) instance on each middle node;
+	// node 1 is cheaper, so the flow lands there and a node-1 fault
+	// forces a repair through node 2.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1, 10)
+	g.MustAddEdge(1, 3, 1, 10)
+	g.MustAddEdge(0, 2, 1, 10)
+	g.MustAddEdge(2, 3, 1, 10)
+	net := network.New(g, network.Catalog{N: 1})
+	net.MustAddInstance(1, 1, 5, 4)
+	net.MustAddInstance(2, 1, 6, 4)
+
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	block := func(p *core.Problem) (*core.Result, error) {
+		entered <- struct{}{}
+		<-gate
+		return core.EmbedMBBE(p)
+	}
+	srv, err := New(Config{
+		Net: net, Workers: 1, QueueDepth: 1,
+		RepairRetries: 2, RepairAdmitRetries: 1000,
+		RepairBackoff: time.Millisecond, RepairBackoffCap: 2 * time.Millisecond,
+		Embedders: map[string]Embedder{"block": block},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	info, err := srv.Submit(ctx, FlowRequest{SFC: "1", Src: 0, Dst: 3, Rate: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Jam the pipeline: one blocked embed in the worker, one queued.
+	blockReq := FlowRequest{SFC: "1", Src: 0, Dst: 3, Rate: 1, Size: 1, Alg: "block"}
+	results := make(chan error, 2)
+	go func() { _, err := srv.Submit(ctx, blockReq); results <- err }()
+	<-entered
+	go func() { _, err := srv.Submit(ctx, blockReq); results <- err }()
+	waitCond(t, func() bool { return len(srv.admit) == 1 })
+
+	// Strand the flow. Every repair attempt now bounces on the full
+	// queue; with RepairRetries=2, the pre-fix accounting would evict it
+	// within ~2 backoff periods.
+	if _, err := srv.ApplyFault(network.Fault{Kind: network.FaultNodeDown, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	got, ok := srv.Flow(info.ID)
+	if !ok || got.State != FlowStateRepairing {
+		t.Fatalf("flow during congestion = %+v, want state repairing (not evicted)", got)
+	}
+
+	// Open the pipeline; the repair must reach a real re-embed and win.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		<-results // outcome irrelevant: they only existed to jam the queue
+	}
+	waitCond(t, func() bool {
+		got, ok := srv.Flow(info.ID)
+		return ok && got.State == FlowStateActive && got.Repairs >= 1
+	})
+	log := srv.RepairLog()
+	last := log[len(log)-1]
+	if last.Flow != info.ID || last.Outcome != "repaired" || last.Attempts < 1 || last.Attempts > 2 {
+		t.Fatalf("repair log tail = %+v, want repaired with 1-2 judged attempts", last)
+	}
+}
 // (rebaseLen = 0) and checks commits and releases across rebases still
 // drain the ledger back to the seed residuals: releasing a flow committed
 // before a rebase must return its capacity through the current overlay.

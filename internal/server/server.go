@@ -66,8 +66,15 @@ type Config struct {
 	// 0 means such flows live until an explicit release.
 	DefaultTTL time.Duration
 	// RepairRetries is how many re-embed attempts a fault-stranded flow
-	// gets before it is evicted (default 3).
+	// gets before it is evicted (default 3). Only attempts the pipeline
+	// actually judged count; see RepairAdmitRetries.
 	RepairRetries int
+	// RepairAdmitRetries caps how many admission-level rejections (queue
+	// full, request timeout) one repair absorbs — retried after backoff
+	// without charging RepairRetries, since they reflect server load, not
+	// the flow's embeddability (default 8; negative disables the grace
+	// and charges nothing extra).
+	RepairAdmitRetries int
 	// RepairBackoff is the base delay before a repair's second and later
 	// attempts; it doubles per attempt up to RepairBackoffCap, plus a
 	// deterministic seeded jitter of up to half the delay (defaults 25ms
@@ -219,6 +226,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RepairRetries <= 0 {
 		cfg.RepairRetries = 3
+	}
+	if cfg.RepairAdmitRetries < 0 {
+		cfg.RepairAdmitRetries = 0
+	} else if cfg.RepairAdmitRetries == 0 {
+		cfg.RepairAdmitRetries = 8
 	}
 	if cfg.RepairBackoff <= 0 {
 		cfg.RepairBackoff = 25 * time.Millisecond
@@ -382,7 +394,12 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 		telemetry.RecordServerRequest("flows.create", "invalid", time.Since(begin))
 		return FlowInfo{}, err
 	}
-	if err := s.brk.allow(time.Now()); err != nil {
+	// probe marks this request as the breaker's single half-open probe.
+	// Every exit below that ends the request before the pipeline judges
+	// it must give the slot back with abortProbe, or the breaker would
+	// stay half-open with the slot taken forever, shedding everything.
+	probe, err := s.brk.allow(time.Now())
+	if err != nil {
 		telemetry.RecordServerRequest("flows.create", "shed", time.Since(begin))
 		return FlowInfo{}, err
 	}
@@ -396,6 +413,9 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
+		if probe {
+			s.brk.abortProbe()
+		}
 		telemetry.RecordServerRequest("flows.create", "draining", time.Since(begin))
 		return FlowInfo{}, ErrDraining
 	}
@@ -410,25 +430,31 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 	default:
 		s.inflight.Done()
 		s.drainMu.RUnlock()
+		if probe {
+			s.brk.abortProbe()
+		}
 		telemetry.RecordServerRequest("flows.create", "overflow", time.Since(begin))
 		return FlowInfo{}, ErrQueueFull
 	}
 
 	select {
 	case r := <-j.done:
-		s.recordDecision(r.err, begin)
+		s.recordDecision(r.err, probe, begin)
 		return r.info, r.err
 	case <-ctx.Done():
 		if j.finished.CompareAndSwap(false, true) {
 			// We own the outcome: the pipeline will discard the job
 			// without committing when it next looks at it.
+			if probe {
+				s.brk.abortProbe()
+			}
 			telemetry.RecordServerRequest("flows.create", "timeout", time.Since(begin))
 			return FlowInfo{}, fmt.Errorf("%w after %v", ErrTimeout, time.Since(begin).Round(time.Millisecond))
 		}
 		// The pipeline claimed the job a moment before the deadline; its
 		// reply is imminent and authoritative (the flow may be committed).
 		r := <-j.done
-		s.recordDecision(r.err, begin)
+		s.recordDecision(r.err, probe, begin)
 		return r.info, r.err
 	}
 }
@@ -437,27 +463,36 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 // completed embed decision and feeds the circuit breaker. Only pipeline
 // outcomes reach here — admission-level rejections (queue full,
 // draining, shed) say nothing about the substrate's health, and timeouts
-// are classified separately at the Submit select.
-func (s *Server) recordDecision(err error, begin time.Time) {
+// are classified separately at the Submit select. probe is passed
+// through so the breaker knows whether this decision is the half-open
+// probe's verdict.
+func (s *Server) recordDecision(err error, probe bool, begin time.Time) {
 	elapsed := time.Since(begin)
 	switch {
 	case err == nil:
 		telemetry.RecordServerRequest("flows.create", "accepted", elapsed)
 		telemetry.RecordOnlineRequest(true, elapsed)
-		s.brk.record(true, time.Now())
+		s.brk.record(true, probe, time.Now())
 	case errors.Is(err, ErrCommitConflict):
 		telemetry.RecordServerRequest("flows.create", "conflict", elapsed)
 		telemetry.RecordOnlineRequest(false, elapsed)
-		s.brk.record(false, time.Now())
+		s.brk.record(false, probe, time.Now())
 	case errors.Is(err, core.ErrNoEmbedding):
 		telemetry.RecordServerRequest("flows.create", "no_embedding", elapsed)
 		telemetry.RecordOnlineRequest(false, elapsed)
-		s.brk.record(false, time.Now())
+		s.brk.record(false, probe, time.Now())
 	case errors.Is(err, ErrInternal):
 		telemetry.RecordServerRequest("flows.create", "error", elapsed)
 		telemetry.RecordOnlineRequest(false, elapsed)
-		s.brk.record(false, time.Now())
+		s.brk.record(false, probe, time.Now())
 	default:
+		// A pipeline outcome that is not a health verdict (e.g. the
+		// ctx-aware embedder reporting ErrTimeout just before the Submit
+		// deadline fired). If this request held the probe slot, return it
+		// — no verdict was reached.
+		if probe {
+			s.brk.abortProbe()
+		}
 		telemetry.RecordServerRequest("flows.create", "error", elapsed)
 		telemetry.RecordOnlineRequest(false, elapsed)
 	}

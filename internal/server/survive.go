@@ -12,6 +12,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -35,8 +36,9 @@ type RepairEvent struct {
 	// Outcome is "revalidated" (the embedding survived the fault in
 	// place), "repaired" (re-embedded onto new resources) or "evicted".
 	Outcome string
-	// Attempts is the number of re-embed attempts made (0 for
-	// revalidations).
+	// Attempts is the number of re-embed attempts the pipeline actually
+	// judged (0 for revalidations). Admission-level rejections retried
+	// under Config.RepairAdmitRetries are not counted.
 	Attempts int
 }
 
@@ -298,11 +300,19 @@ func (s *Server) repairLoop() {
 
 // repairOne drives one stranded flow to a terminal state: re-registered
 // under its original ID on success, an evicted tombstone on exhaustion.
+// Only attempts the pipeline actually judged count against
+// RepairRetries: an admission-level rejection (queue full, request
+// timeout) says the server was busy, not that the flow is unembeddable,
+// so those retry after backoff under their own RepairAdmitRetries cap —
+// a transiently overloaded server never evicts a repairable flow without
+// a single re-embed ever executing.
 func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 	var lastErr error
-	for attempt := 1; attempt <= s.cfg.RepairRetries; attempt++ {
-		if attempt > 1 {
-			if !s.repairBackoff(attempt-1, rng) {
+	attempts := 0 // re-embed attempts the pipeline judged
+	admits := 0   // admission-level rejections absorbed
+	for try := 0; ; try++ {
+		if try > 0 {
+			if !s.repairBackoff(try, rng) {
 				return // stopping; the flow keeps its repairing state
 			}
 		}
@@ -312,13 +322,28 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 		err := s.repairAttempt(t)
 		if err == nil {
 			s.mu.Lock()
-			s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "repaired", Attempts: attempt})
+			s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "repaired", Attempts: attempts + 1})
 			delete(s.dropped, t.id)
 			s.mu.Unlock()
 			telemetry.RecordRepair("repaired")
 			return
 		}
 		lastErr = err
+		if errors.Is(err, ErrDraining) {
+			return // stopping; the flow keeps its repairing state
+		}
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTimeout) {
+			if admits++; admits <= s.cfg.RepairAdmitRetries {
+				continue
+			}
+			// Admission stayed closed through every backoff; the eviction
+			// below carries the queue condition as last_error, not a bogus
+			// infeasibility, and Attempts reflects real embed attempts.
+			break
+		}
+		if attempts++; attempts >= s.cfg.RepairRetries {
+			break
+		}
 	}
 	s.mu.Lock()
 	if s.dropped[t.id] {
@@ -335,7 +360,7 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 		}
 		s.meta[t.id] = info
 	}
-	s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "evicted", Attempts: s.cfg.RepairRetries})
+	s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "evicted", Attempts: attempts})
 	delete(s.dropped, t.id)
 	s.mu.Unlock()
 	telemetry.RecordRepair("evicted")
@@ -439,42 +464,69 @@ type breaker struct {
 	probing  bool
 }
 
-// allow decides one admission; non-nil means shed.
-func (b *breaker) allow(now time.Time) error {
+// allow decides one admission; non-nil err means shed. probe reports
+// that this request holds the breaker's single half-open probe slot: the
+// caller must either deliver the probe's verdict through record or give
+// the slot back with abortProbe if the request dies before the pipeline
+// judges it (queue full, draining, timeout).
+func (b *breaker) allow(now time.Time) (probe bool, err error) {
 	if b.threshold <= 0 {
-		return nil
+		return false, nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case 2: // open
 		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
-			return &OverloadedError{RetryAfter: wait}
+			return false, &OverloadedError{RetryAfter: wait}
 		}
 		b.state, b.probing = 1, true
 		telemetry.SetBreakerState(1, false)
-		return nil
+		return true, nil
 	case 1: // half-open
 		if b.probing {
-			return &OverloadedError{RetryAfter: b.cooldown}
+			return false, &OverloadedError{RetryAfter: b.cooldown}
 		}
 		b.probing = true
-		return nil
+		return true, nil
 	}
-	return nil
+	return false, nil
 }
 
-// record feeds one pipeline decision back. Only embed/commit outcomes
-// reach here — admission-level rejections (queue full, draining,
-// timeout) say nothing about the substrate's health.
-func (b *breaker) record(success bool, now time.Time) {
+// abortProbe returns the half-open probe slot without a verdict: the
+// request holding it was rejected at admission or timed out before the
+// pipeline judged it, which says nothing about the substrate's health.
+// The breaker stays half-open and the next admission becomes the probe —
+// without this, a probe dying at admission (likely under the very
+// overload that opened the breaker) would leave probing set forever and
+// every subsequent request would shed.
+func (b *breaker) abortProbe() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == 1 {
+		b.probing = false
+	}
+}
+
+// record feeds one pipeline decision back; probe marks the request that
+// holds the half-open probe slot. Only embed/commit outcomes reach here
+// — admission-level rejections (queue full, draining, timeout) say
+// nothing about the substrate's health.
+func (b *breaker) record(success, probe bool, now time.Time) {
 	if b.threshold <= 0 {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case 1: // half-open: the probe's outcome decides
+	case 1: // half-open: only the probe's outcome decides
+		if !probe {
+			// A straggler admitted before the trip; its verdict is stale.
+			return
+		}
 		b.probing = false
 		if success {
 			b.state, b.fails = 0, 0
