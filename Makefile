@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke bench-json serve-smoke chaos-smoke race-survival repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke bench-json serve-smoke obs-smoke chaos-smoke race-survival repro examples vet fmt
 
 all: build vet test
 
@@ -61,13 +61,23 @@ bench-json:
 serve-smoke:
 	$(GO) run ./cmd/dagsfc-load -selfserve -smoke
 
+# obs-smoke checks the observability surface end to end over real HTTP:
+# the smoke run additionally asserts stage histograms and journal
+# counters appear in /metrics, /v1/events is non-empty, and a committed
+# flow's /v1/flows/{id}/events timeline runs enqueue→committed→released.
+# A JSON-structured log stream and debug journal logging exercise the
+# slog path at the same time.
+obs-smoke:
+	$(GO) run ./cmd/dagsfc-load -selfserve -smoke -log-format json -log-level debug
+
 # chaos-smoke boots the control plane in-process, commits a flow
 # population, replays a seeded self-restoring fault schedule against it,
 # and verifies the survivability invariants: all faults restored, every
 # flow settles (repaired or evicted), the ledger drains back to the exact
-# seed residuals, and zero embed workers panicked.
+# seed residuals, and zero embed workers panicked. On failure the full
+# event journal is dumped for post-mortem (CI uploads it as an artifact).
 chaos-smoke:
-	$(GO) run ./cmd/dagsfc-chaos -selfserve -smoke
+	$(GO) run ./cmd/dagsfc-chaos -selfserve -smoke -journal-dump /tmp/chaos-journal.json
 
 # The survivability packages run concurrent repair controllers, fault
 # injection, and breaker state under load — run them under the race

@@ -21,18 +21,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"dagsfc/internal/diag"
 	"dagsfc/internal/faults"
+	"dagsfc/internal/journal"
 	"dagsfc/internal/netgen"
 	"dagsfc/internal/network"
 	"dagsfc/internal/server"
@@ -60,6 +63,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "schedule and workload seed")
 		nodes       = flag.Int("nodes", 50, "generated network size (selfserve only)")
 		smoke       = flag.Bool("smoke", false, "shrink to the deterministic CI run")
+		journalDump = flag.String("journal-dump", "", "on failure, write the server's full journal as JSON to this file")
 	)
 	diag.Main("dagsfc-chaos", func() error {
 		if *smoke {
@@ -79,7 +83,8 @@ func main() {
 			base = "http://" + addr
 			fmt.Fprintf(os.Stderr, "dagsfc-chaos: self-serving on %s\n", base)
 		}
-		return runChaos(client.New(base, nil), chaosConfig{
+		cl := client.New(base, nil)
+		err := runChaos(cl, chaosConfig{
 			n: *n, faults: *faultCount, unit: *unit,
 			meanGap: *meanGap, meanHold: *meanHold,
 			nodeFrac: *nodeFrac, degradeFrac: *degradeFrac,
@@ -87,6 +92,13 @@ func main() {
 			sfcCfg:    sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds},
 			rate:      *rate, seed: *seed,
 		})
+		if err != nil {
+			// Turn "invariant failed" into a causal trace: the flight
+			// recorder's view of every flow a fault touched, plus a full
+			// JSON dump for the CI artifact.
+			dumpJournalOnFailure(cl, *journalDump)
+		}
+		return err
 	})
 }
 
@@ -247,6 +259,7 @@ func runChaos(cl *client.Client, cfg chaosConfig) error {
 	}
 	fmt.Fprintf(os.Stderr, "chaos: settled — %d active (%d repaired at least once), %d evicted\n",
 		active, repaired, evicted)
+	printEvictionReasons(ctx, cl)
 
 	// Phase 4: tear everything down; the ledger must drain to the seed.
 	for _, f := range flows {
@@ -337,6 +350,121 @@ func counterValue(metrics, name string) int {
 		}
 	}
 	return total
+}
+
+// fetchJournal pages the server's whole retained journal.
+func fetchJournal(ctx context.Context, cl *client.Client) ([]journal.Event, error) {
+	var all []journal.Event
+	var cursor uint64
+	for {
+		page, err := cl.Events(ctx, cursor, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Events...)
+		if len(page.Events) == 0 || page.Next == cursor {
+			return all, nil
+		}
+		cursor = page.Next
+	}
+}
+
+// printEvictionReasons summarizes the journal's terminal repair failures:
+// which flows were evicted, after how many attempts, and why — the
+// journal-derived replacement for a bare eviction count.
+func printEvictionReasons(ctx context.Context, cl *client.Client) {
+	events, err := fetchJournal(ctx, cl)
+	if err != nil {
+		return
+	}
+	for _, ev := range events {
+		if ev.Type != journal.TypeEvicted {
+			continue
+		}
+		reason := ev.Err
+		if reason == "" {
+			reason = "(no error recorded)"
+		}
+		fmt.Fprintf(os.Stderr, "chaos: evicted flow %d after %d attempts (%s, %.0fms stranded): %s\n",
+			ev.Flow, ev.Attempt, ev.Detail, ev.Seconds*1000, reason)
+	}
+}
+
+// dumpJournalOnFailure prints the last events of every flow a fault
+// stranded or evicted (a readable causal trace on stderr) and, when
+// dumpFile is set, writes the full retained journal as JSON for the CI
+// artifact. Best-effort: the server may already be gone.
+func dumpJournalOnFailure(cl *client.Client, dumpFile string) {
+	const perFlowTail = 20
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	events, err := fetchJournal(ctx, cl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: journal unavailable for post-mortem: %v\n", err)
+		return
+	}
+	// Flows worth tracing: anything a fault touched or that reached a bad
+	// terminal state.
+	interesting := make(map[int64]bool)
+	for _, ev := range events {
+		switch ev.Type {
+		case journal.TypeFaultStrand, journal.TypeEvicted:
+			if ev.Flow != 0 {
+				interesting[ev.Flow] = true
+			}
+		}
+	}
+	if len(interesting) > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: post-mortem — last %d journal events per stranded/evicted flow:\n", perFlowTail)
+	}
+	ids := make([]int64, 0, len(interesting))
+	for id := range interesting {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	for _, id := range ids {
+		var tail []journal.Event
+		for _, ev := range events {
+			if ev.Flow == id {
+				tail = append(tail, ev)
+			}
+		}
+		if len(tail) > perFlowTail {
+			tail = tail[len(tail)-perFlowTail:]
+		}
+		for _, ev := range tail {
+			line := fmt.Sprintf("chaos:   flow %d seq %d %s", ev.Flow, ev.Seq, ev.Type)
+			if ev.Attempt != 0 {
+				line += fmt.Sprintf(" attempt=%d", ev.Attempt)
+			}
+			if ev.Seconds != 0 {
+				line += fmt.Sprintf(" seconds=%.6f", ev.Seconds)
+			}
+			if ev.Detail != "" {
+				line += " detail=" + ev.Detail
+			}
+			if ev.Err != "" {
+				line += " error=" + ev.Err
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if dumpFile == "" {
+		return
+	}
+	f, err := os.Create(dumpFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: journal dump: %v\n", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(events); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: journal dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "chaos: wrote %d journal events to %s\n", len(events), dumpFile)
 }
 
 func sameResiduals(a, b server.NetworkState) bool {

@@ -20,16 +20,20 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"dagsfc/internal/diag"
+	"dagsfc/internal/journal"
 	"dagsfc/internal/netgen"
 	"dagsfc/internal/server"
 	"dagsfc/internal/server/client"
@@ -54,6 +58,8 @@ func main() {
 		retryWait   = flag.Duration("retry-backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt, capped at 32x)")
 		smoke       = flag.Bool("smoke", false, "run the deterministic smoke check instead of the load")
 		nodes       = flag.Int("nodes", 50, "generated network size (selfserve only)")
+		logLevel    = flag.String("log-level", "off", "selfserve structured log threshold: debug, info, warn, error, off")
+		logFormat   = flag.String("log-format", "text", "selfserve structured log encoding: text or json")
 	)
 	diag.Main("dagsfc-load", func() error {
 		base := *url
@@ -61,7 +67,7 @@ func main() {
 			return fmt.Errorf("-url or -selfserve is required")
 		}
 		if base == "" {
-			srv, addr, stopServe, err := startSelfServe(*nodes, *kinds, *seed)
+			srv, addr, stopServe, err := startSelfServe(*nodes, *kinds, *seed, *logLevel, *logFormat)
 			if err != nil {
 				return err
 			}
@@ -85,7 +91,7 @@ func main() {
 
 // startSelfServe boots an in-process control plane on an ephemeral local
 // port, so the load path still crosses a real HTTP round-trip.
-func startSelfServe(nodes, kinds int, seed int64) (*server.Server, string, func(), error) {
+func startSelfServe(nodes, kinds int, seed int64, logLevel, logFormat string) (*server.Server, string, func(), error) {
 	gen := netgen.Default()
 	gen.Nodes = nodes
 	gen.VNFKinds = kinds
@@ -93,7 +99,11 @@ func startSelfServe(nodes, kinds int, seed int64) (*server.Server, string, func(
 	if err != nil {
 		return nil, "", nil, err
 	}
-	srv, err := server.New(server.Config{Net: nw, Seed: seed})
+	logger, err := journal.NewLogger(os.Stderr, logLevel, logFormat)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	srv, err := server.New(server.Config{Net: nw, Seed: seed, Logger: logger})
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -217,7 +227,173 @@ func runLoad(cl *client.Client, cfg loadConfig) error {
 	}
 	wg.Wait()
 	report(outcomes, time.Since(begin))
+
+	// The server-side view of the same run: per-stage latency percentiles
+	// from the dagsfc_server_stage_seconds histograms, and the journal's
+	// account of why requests were rejected or retried.
+	if metrics, err := cl.Metrics(ctx); err == nil {
+		printStageTable(os.Stdout, metrics)
+	}
+	printJournalSummary(ctx, cl)
 	return nil
+}
+
+// stageBucket is one cumulative histogram bucket parsed back out of the
+// Prometheus text exposition.
+type stageBucket struct {
+	le    float64
+	count uint64
+}
+
+// parseStageBuckets extracts the dagsfc_server_stage_seconds _bucket
+// series from a /metrics scrape, keyed by stage label.
+func parseStageBuckets(metrics string) map[string][]stageBucket {
+	const prefix = `dagsfc_server_stage_seconds_bucket{stage="`
+	out := make(map[string][]stageBucket)
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		stage, rest, ok := strings.Cut(rest, `"`)
+		if !ok {
+			continue
+		}
+		rest, ok = strings.CutPrefix(rest, `,le="`)
+		if !ok {
+			continue
+		}
+		leRaw, rest, ok := strings.Cut(rest, `"`)
+		if !ok {
+			continue
+		}
+		countRaw := strings.TrimSpace(strings.TrimPrefix(rest, "}"))
+		le := math.Inf(1)
+		if leRaw != "+Inf" {
+			v, err := strconv.ParseFloat(leRaw, 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		count, err := strconv.ParseUint(countRaw, 10, 64)
+		if err != nil {
+			continue
+		}
+		out[stage] = append(out[stage], stageBucket{le: le, count: count})
+	}
+	return out
+}
+
+// bucketQuantile estimates quantile q from cumulative buckets: the upper
+// bound of the first bucket holding the q-th observation (the classic
+// histogram_quantile upper-bound estimate, without interpolation).
+func bucketQuantile(buckets []stageBucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	for _, b := range buckets {
+		if b.count >= rank {
+			return b.le
+		}
+	}
+	return buckets[len(buckets)-1].le
+}
+
+// printStageTable renders the per-stage p50/p95/p99 table from a /metrics
+// scrape. Stages with no observations are omitted; no stage histograms at
+// all prints nothing (an old server).
+func printStageTable(w io.Writer, metrics string) {
+	byStage := parseStageBuckets(metrics)
+	if len(byStage) == 0 {
+		return
+	}
+	order := []string{"queue_wait", "embed", "commit_wait", "repair"}
+	var rows [][4]string
+	for _, stage := range order {
+		buckets, ok := byStage[stage]
+		if !ok || buckets[len(buckets)-1].count == 0 {
+			continue
+		}
+		rows = append(rows, [4]string{stage,
+			fmtSeconds(bucketQuantile(buckets, 0.50)),
+			fmtSeconds(bucketQuantile(buckets, 0.95)),
+			fmtSeconds(bucketQuantile(buckets, 0.99))})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "server stages (histogram upper bounds):\n")
+	fmt.Fprintf(w, "  %-12s %10s %10s %10s\n", "stage", "p50", "p95", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s %10s %10s %10s\n", r[0], r[1], r[2], r[3])
+	}
+}
+
+// fmtSeconds renders a histogram bound as a duration ("≤" semantics).
+func fmtSeconds(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// printJournalSummary pages the server's flight recorder and prints the
+// rejection reasons and retry activity it recorded — the server's own
+// explanation of the client-side status counts above.
+func printJournalSummary(ctx context.Context, cl *client.Client) {
+	var (
+		rejected  = make(map[string]int)
+		conflicts int
+		retries   int
+		evicted   int
+		cursor    uint64
+	)
+	for {
+		page, err := cl.Events(ctx, cursor, 0)
+		if err != nil {
+			return // an old server without /v1/events; nothing to print
+		}
+		for _, ev := range page.Events {
+			switch ev.Type {
+			case journal.TypeRejected:
+				rejected[ev.Err]++
+			case journal.TypeCommitConflict:
+				conflicts++
+			case journal.TypeEnqueue:
+				if ev.Attempt > 0 {
+					retries++
+				}
+			case journal.TypeEvicted:
+				evicted++
+			}
+		}
+		if len(page.Events) == 0 || page.Next == cursor {
+			break
+		}
+		cursor = page.Next
+	}
+	if len(rejected) == 0 && conflicts == 0 && retries == 0 && evicted == 0 {
+		return
+	}
+	fmt.Printf("journal: %d commit conflicts, %d conflict re-embeds, %d evictions\n",
+		conflicts, retries, evicted)
+	reasons := make([]string, 0, len(rejected))
+	for r := range rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Printf("journal: rejected %dx: %s\n", rejected[r], r)
+	}
 }
 
 func report(outcomes []outcome, wall time.Duration) {
@@ -330,6 +506,37 @@ func runSmoke(cl *client.Client, kinds int, rate float64, seed int64) error {
 	if !strings.Contains(metrics, "dagsfc_server_requests_total") {
 		return fmt.Errorf("smoke: /metrics missing dagsfc_server_requests_total")
 	}
+	if !strings.Contains(metrics, "dagsfc_server_stage_seconds_bucket") {
+		return fmt.Errorf("smoke: /metrics missing dagsfc_server_stage_seconds histograms")
+	}
+	if !strings.Contains(metrics, "dagsfc_journal_events_total") {
+		return fmt.Errorf("smoke: /metrics missing dagsfc_journal_events_total")
+	}
+
+	// The flight recorder must have witnessed the whole cycle: a non-empty
+	// global journal, and the committed flow's own timeline running
+	// enqueue → committed → released.
+	page, err := cl.Events(ctx, 0, 0)
+	if err != nil {
+		return fmt.Errorf("smoke: events: %w", err)
+	}
+	if len(page.Events) == 0 {
+		return fmt.Errorf("smoke: journal is empty after a commit/release cycle")
+	}
+	timeline, err := cl.FlowEvents(ctx, info.ID, 0)
+	if err != nil {
+		return fmt.Errorf("smoke: flow events: %w", err)
+	}
+	saw := make(map[journal.Type]bool)
+	for _, ev := range timeline.Events {
+		saw[ev.Type] = true
+	}
+	for _, want := range []journal.Type{journal.TypeEnqueue, journal.TypeCommitted, journal.TypeReleased} {
+		if !saw[want] {
+			return fmt.Errorf("smoke: flow %d timeline missing %q (got %d events)", info.ID, want, len(timeline.Events))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "smoke: journal recorded %d events for flow %d\n", len(timeline.Events), info.ID)
 	fmt.Fprintln(os.Stderr, "smoke: commit/release cycle exact, telemetry live — ok")
 	return nil
 }

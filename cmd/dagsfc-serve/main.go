@@ -14,6 +14,7 @@
 //	             [-ttl 0] [-retries 1] [-drain-timeout 30s] [-seed 1]
 //	             [-repair-retries 3] [-repair-backoff 25ms]
 //	             [-breaker-failures 0] [-breaker-cooldown 1s]
+//	             [-journal 4096] [-log-level info] [-log-format text|json]
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (healthz turns 503,
 // new flows get 503), in-flight requests finish, then the HTTP listener
@@ -22,6 +23,8 @@
 //	POST   /v1/flows          embed + commit one flow
 //	GET    /v1/flows[/{id}]   inspect committed flows (state, repairs)
 //	DELETE /v1/flows/{id}     release a flow's capacity
+//	GET    /v1/flows/{id}/events  one flow's journal timeline
+//	GET    /v1/events         page the flight-recorder journal
 //	GET    /v1/network        residual-network snapshot
 //	POST   /v1/faults         inject a fault (quarantine capacity)
 //	POST   /v1/faults/restore restore a fault exactly
@@ -42,6 +45,7 @@ import (
 	"time"
 
 	"dagsfc/internal/diag"
+	"dagsfc/internal/journal"
 	"dagsfc/internal/netgen"
 	"dagsfc/internal/network"
 	"dagsfc/internal/server"
@@ -67,6 +71,9 @@ func main() {
 		repairCap    = flag.Duration("repair-backoff-cap", time.Second, "repair backoff ceiling")
 		brkFails     = flag.Int("breaker-failures", 0, "consecutive pipeline failures that open the admission breaker (0 = disabled)")
 		brkCooldown  = flag.Duration("breaker-cooldown", time.Second, "breaker open time before the half-open probe")
+		journalSize  = flag.Int("journal", 4096, "flight-recorder ring capacity (events replayable over /v1/events)")
+		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error, off")
+		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
 	)
 	flag.IntVar(&gen.Nodes, "nodes", gen.Nodes, "generated network size (ignored with -net)")
 	flag.IntVar(&gen.VNFKinds, "kinds", gen.VNFKinds, "generated VNF categories (ignored with -net)")
@@ -76,6 +83,11 @@ func main() {
 			// (its zero value takes the default).
 			*repairAdmits = -1
 		}
+		// Logs go to stderr: stdout stays reserved for data.
+		logger, err := journal.NewLogger(os.Stderr, *logLevel, *logFormat)
+		if err != nil {
+			return err
+		}
 		cfg := server.Config{
 			Algorithm: *alg, Seed: *seed,
 			Workers: *workers, QueueDepth: *queue,
@@ -83,6 +95,7 @@ func main() {
 			RepairRetries: *repairs, RepairAdmitRetries: *repairAdmits,
 			RepairBackoff: *repairWait, RepairBackoffCap: *repairCap,
 			BreakerFailures: *brkFails, BreakerCooldown: *brkCooldown,
+			JournalSize: *journalSize, Logger: logger,
 		}
 		return run(*addr, *netFile, gen, cfg, *drainTimeout)
 	})

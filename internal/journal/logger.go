@@ -1,0 +1,39 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger assembles the slog.Logger a Journal emits through, from the
+// CLI-flag vocabulary shared by dagsfc-serve and dagsfc-load: level is
+// "debug", "info", "warn", "error" or "off", format is "text" or "json".
+// "off" returns a nil logger, which disables log emission while the
+// journal keeps recording events.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	if level == "off" {
+		return nil, nil
+	}
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, error or off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}

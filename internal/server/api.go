@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"dagsfc/internal/journal"
 )
 
 // This file defines the JSON wire types of the control-plane API and the
@@ -117,6 +119,18 @@ type NetworkState struct {
 	ActiveFlows int             `json:"active_flows"`
 	Links       []LinkState     `json:"links"`
 	Instances   []InstanceState `json:"instances"`
+}
+
+// EventsPage is the response of the journal endpoints: one page of
+// flight-recorder events. For GET /v1/events, Next is the cursor to pass
+// as ?since= for the following page and Missed counts events the ring
+// overwrote before the cursor was read (a lagging consumer sees exactly
+// how much it lost, never a silent gap). For GET /v1/flows/{id}/events,
+// Next and Missed are zero — the flow timeline is not paged.
+type EventsPage struct {
+	Events []journal.Event `json:"events"`
+	Next   uint64          `json:"next,omitempty"`
+	Missed uint64          `json:"missed,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx response carries.

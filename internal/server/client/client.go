@@ -117,6 +117,32 @@ func (c *Client) Faults(ctx context.Context) (server.FaultState, error) {
 	return st, err
 }
 
+// FlowEvents fetches one flow's journal timeline (GET
+// /v1/flows/{id}/events). limit > 0 keeps only the most recent limit
+// events.
+func (c *Client) FlowEvents(ctx context.Context, id int64, limit int) (server.EventsPage, error) {
+	path := fmt.Sprintf("/v1/flows/%d/events", id)
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var page server.EventsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// Events pages the global journal (GET /v1/events): pass 0 to start from
+// the oldest retained event, then the returned Next as since for each
+// following page. limit 0 uses the server default page size.
+func (c *Client) Events(ctx context.Context, since uint64, limit int) (server.EventsPage, error) {
+	path := "/v1/events?since=" + strconv.FormatUint(since, 10)
+	if limit > 0 {
+		path += "&limit=" + strconv.Itoa(limit)
+	}
+	var page server.EventsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
 // Healthz reports nil while the server is admitting flows.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)

@@ -18,12 +18,14 @@ import (
 //	GET    /v1/flows        list committed flows
 //	GET    /v1/flows/{id}   one committed flow
 //	DELETE /v1/flows/{id}   release a flow's capacity
+//	GET    /v1/flows/{id}/events  one flow's journal timeline
+//	GET    /v1/events       page the global journal (?since=cursor&limit=n)
 //	GET    /v1/network      residual-network snapshot
 //	POST   /v1/faults       inject a substrate fault (FaultRequest → FaultState)
 //	POST   /v1/faults/restore  restore a previously injected fault
 //	GET    /v1/faults       active faults and lifetime counters
 //	GET    /healthz         "ok", or 503 once draining
-//	GET    /metrics         telemetry registry (Prometheus text)
+//	GET    /metrics         telemetry registry (Prometheus text or JSON)
 //	/debug/pprof/...        runtime profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -31,6 +33,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/flows", s.handleList)
 	mux.HandleFunc("GET /v1/flows/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/flows/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/flows/{id}/events", s.handleFlowEvents)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/network", s.handleNetwork)
 	mux.HandleFunc("POST /v1/faults", s.handleFault(s.ApplyFault))
 	mux.HandleFunc("POST /v1/faults/restore", s.handleFault(s.RestoreFault))
@@ -84,6 +88,68 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Flows())
+}
+
+// handleFlowEvents serves one flow's journal timeline. A flow is 404 only
+// when the journal retains no events for it AND it has no live meta entry
+// — evicted tombstones and recently-released flows still answer as long
+// as their events survive in the ring.
+func (s *Server) handleFlowEvents(w http.ResponseWriter, r *http.Request) {
+	id, ok := flowID(w, r)
+	if !ok {
+		return
+	}
+	limit, ok := queryInt(w, r, "limit", 0)
+	if !ok {
+		return
+	}
+	events := s.journal.Flow(id, limit)
+	if len(events) == 0 {
+		if _, known := s.Flow(id); !known {
+			writeJSON(w, http.StatusNotFound, ErrorBody{Error: "no such flow (no journal events retained)"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, EventsPage{Events: events})
+}
+
+// handleEvents pages the global journal: ?since= is the cursor returned
+// as next by the previous page (0 from the beginning), ?limit= bounds the
+// page size (default 256, 0 keeps the default — the full ring can be
+// large).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	limit, ok := queryInt(w, r, "limit", 256)
+	if !ok {
+		return
+	}
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "since must be a non-negative integer"})
+			return
+		}
+		since = v
+	}
+	events, next, missed := s.journal.Since(since, limit)
+	writeJSON(w, http.StatusOK, EventsPage{Events: events, Next: next, Missed: missed})
+}
+
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: name + " must be a non-negative integer"})
+		return 0, false
+	}
+	if v == 0 {
+		return def, true
+	}
+	return v, true
 }
 
 func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {

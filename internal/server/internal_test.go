@@ -331,6 +331,7 @@ func TestRepairNotChargedForAdmissionRejections(t *testing.T) {
 		t.Fatalf("repair log tail = %+v, want repaired with 1-2 judged attempts", last)
 	}
 }
+
 // (rebaseLen = 0) and checks commits and releases across rebases still
 // drain the ledger back to the seed residuals: releasing a flow committed
 // before a rebase must return its capacity through the current overlay.

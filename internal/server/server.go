@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -29,6 +30,7 @@ import (
 	"dagsfc/internal/baseline"
 	"dagsfc/internal/core"
 	"dagsfc/internal/graph"
+	"dagsfc/internal/journal"
 	"dagsfc/internal/network"
 	"dagsfc/internal/online"
 	"dagsfc/internal/sfc"
@@ -89,6 +91,16 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker stays open before it
 	// lets a probe through (default 1s).
 	BreakerCooldown time.Duration
+	// JournalSize is the flight recorder's ring capacity: how many of the
+	// most recent lifecycle events GET /v1/events and
+	// GET /v1/flows/{id}/events can replay (default 4096). Overflow is
+	// counted in dagsfc_journal_dropped_total, never silent.
+	JournalSize int
+	// Logger, when set, receives one structured record per journal event
+	// with flow_id/attempt/type attributes — the log stream and the
+	// journal are fed by the same hook, so they cannot disagree. Nil
+	// disables logging (the journal still records).
+	Logger *slog.Logger
 	// Rules standardizes Chain requests into hybrid DAG-SFCs (default
 	// sfc.StockRules; unknown categories stay sequential).
 	Rules *sfc.RuleTable
@@ -137,6 +149,13 @@ type Server struct {
 
 	nextID atomic.Int64
 
+	// journal is the flight recorder: every decision point below appends
+	// one typed event, so a flow's whole lifecycle can be replayed after
+	// the fact. Flow IDs are allocated at admission (not commit), so even
+	// a rejected or conflicted request has a complete enqueue→terminal
+	// timeline under its ID.
+	journal *journal.Journal
+
 	// The repair controller: a single goroutine draining an unbounded
 	// queue of fault-stranded flows, one at a time.
 	repairMu   sync.Mutex
@@ -169,6 +188,7 @@ type Server struct {
 // committing), or the pipeline on reply (sent on done, buffered 1).
 type job struct {
 	ctx      context.Context
+	id       int64 // flow ID, allocated at admission
 	req      FlowRequest
 	dag      sfc.DAGSFC
 	alg      string
@@ -180,6 +200,12 @@ type job struct {
 	res      *core.Result
 	finished atomic.Bool
 	done     chan jobResult
+	// Stage timestamps for the journal and the per-stage histograms:
+	// enqueuedAt→dequeuedAt is queue wait, embedDone→commit decision is
+	// commit wait.
+	enqueuedAt time.Time
+	dequeuedAt time.Time
+	embedDone  time.Time
 	// repair marks a re-embed issued by the repair controller: the commit
 	// loop re-registers the flow under its original ID instead of
 	// allocating a new one.
@@ -241,6 +267,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = time.Second
 	}
+	if cfg.JournalSize <= 0 {
+		cfg.JournalSize = 4096
+	}
 	rebaseLen := cfg.Net.G.NumEdges()
 	if rebaseLen < 64 {
 		rebaseLen = 64
@@ -259,7 +288,13 @@ func New(cfg Config) (*Server, error) {
 		commit:     make(chan *job, cfg.QueueDepth+cfg.Workers),
 		repairKick: make(chan struct{}, 1),
 		repairStop: make(chan struct{}),
+		journal:    journal.New(cfg.JournalSize, cfg.Logger),
 		brk:        breaker{threshold: cfg.BreakerFailures, cooldown: cfg.BreakerCooldown},
+	}
+	// Breaker transitions are journaled via this hook; safe because the
+	// journal never calls back into the breaker.
+	s.brk.onTransition = func(state string) {
+		s.journal.Append(journal.Event{Type: journal.TypeBreaker, Detail: state})
 	}
 	for name, e := range cfg.Embedders {
 		s.embedder[name] = e
@@ -405,8 +440,12 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
+	// The flow's ID is allocated here, at admission, not at commit: a
+	// rejected or conflicted request still has an identity the journal can
+	// hang its enqueue→terminal timeline on.
 	j := &job{
-		ctx: ctx, req: req, dag: dag, alg: alg, embed: embed, embedCtx: embedCtx, ttl: ttl,
+		ctx: ctx, id: s.nextID.Add(1),
+		req: req, dag: dag, alg: alg, embed: embed, embedCtx: embedCtx, ttl: ttl,
 		begin: begin, done: make(chan jobResult, 1),
 	}
 
@@ -416,6 +455,9 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 		if probe {
 			s.brk.abortProbe()
 		}
+		s.journal.Append(journal.Event{
+			Type: journal.TypeRejected, Flow: j.id, Alg: alg, Err: ErrDraining.Error(),
+		})
 		telemetry.RecordServerRequest("flows.create", "draining", time.Since(begin))
 		return FlowInfo{}, ErrDraining
 	}
@@ -425,7 +467,11 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 	s.inflight.Add(1)
 	select {
 	case s.admit <- j:
+		j.enqueuedAt = time.Now()
 		s.drainMu.RUnlock()
+		s.journal.Append(journal.Event{
+			Time: j.enqueuedAt, Type: journal.TypeEnqueue, Flow: j.id, Alg: alg,
+		})
 		telemetry.SetServerQueueDepth(len(s.admit))
 	default:
 		s.inflight.Done()
@@ -433,13 +479,16 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 		if probe {
 			s.brk.abortProbe()
 		}
+		s.journal.Append(journal.Event{
+			Type: journal.TypeRejected, Flow: j.id, Alg: alg, Err: ErrQueueFull.Error(),
+		})
 		telemetry.RecordServerRequest("flows.create", "overflow", time.Since(begin))
 		return FlowInfo{}, ErrQueueFull
 	}
 
 	select {
 	case r := <-j.done:
-		s.recordDecision(r.err, probe, begin)
+		s.recordDecision(j, r.err, probe, begin)
 		return r.info, r.err
 	case <-ctx.Done():
 		if j.finished.CompareAndSwap(false, true) {
@@ -448,26 +497,36 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 			if probe {
 				s.brk.abortProbe()
 			}
+			s.journal.Append(journal.Event{
+				Type: journal.TypeRejected, Flow: j.id, Alg: alg, Err: ErrTimeout.Error(),
+			})
 			telemetry.RecordServerRequest("flows.create", "timeout", time.Since(begin))
 			return FlowInfo{}, fmt.Errorf("%w after %v", ErrTimeout, time.Since(begin).Round(time.Millisecond))
 		}
 		// The pipeline claimed the job a moment before the deadline; its
 		// reply is imminent and authoritative (the flow may be committed).
 		r := <-j.done
-		s.recordDecision(r.err, probe, begin)
+		s.recordDecision(j, r.err, probe, begin)
 		return r.info, r.err
 	}
 }
 
 // recordDecision emits the server and shared-online metric families for a
-// completed embed decision and feeds the circuit breaker. Only pipeline
-// outcomes reach here — admission-level rejections (queue full,
+// completed embed decision, journals the terminal rejection if the
+// pipeline failed the request, and feeds the circuit breaker. Only
+// pipeline outcomes reach here — admission-level rejections (queue full,
 // draining, shed) say nothing about the substrate's health, and timeouts
 // are classified separately at the Submit select. probe is passed
 // through so the breaker knows whether this decision is the half-open
 // probe's verdict.
-func (s *Server) recordDecision(err error, probe bool, begin time.Time) {
+func (s *Server) recordDecision(j *job, err error, probe bool, begin time.Time) {
 	elapsed := time.Since(begin)
+	if err != nil {
+		s.journal.Append(journal.Event{
+			Type: journal.TypeRejected, Flow: j.id, Alg: j.alg,
+			Attempt: j.retries, Err: err.Error(),
+		})
+	}
 	switch {
 	case err == nil:
 		telemetry.RecordServerRequest("flows.create", "accepted", elapsed)
@@ -510,6 +569,15 @@ func (s *Server) worker() {
 			s.inflight.Done()
 			continue
 		}
+		j.dequeuedAt = time.Now()
+		if !j.enqueuedAt.IsZero() {
+			wait := j.dequeuedAt.Sub(j.enqueuedAt)
+			s.journal.Append(journal.Event{
+				Time: j.dequeuedAt, Type: journal.TypeDequeue, Flow: j.id,
+				Attempt: j.retries, Seconds: wait.Seconds(),
+			})
+			telemetry.RecordServerStage(telemetry.StageQueueWait, wait)
+		}
 		s.mu.Lock()
 		snap := s.ledger.Snapshot()
 		s.mu.Unlock()
@@ -518,16 +586,34 @@ func (s *Server) worker() {
 			Src: graph.NodeID(j.req.Src), Dst: graph.NodeID(j.req.Dst),
 			Rate: j.req.Rate, Size: j.req.Size,
 		}
+		s.journal.Append(journal.Event{
+			Type: journal.TypeEmbedStart, Flow: j.id, Alg: j.alg, Attempt: j.retries,
+		})
+		embedBegin := time.Now()
 		res, err := s.runEmbed(j, p)
+		j.embedDone = time.Now()
+		embedDur := j.embedDone.Sub(embedBegin)
+		telemetry.RecordServerStage(telemetry.StageEmbed, embedDur)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				// The ctx-aware search stopped cooperatively; report it as
 				// the timeout it is, not an embedding failure.
 				err = fmt.Errorf("%w: embed cancelled: %v", ErrTimeout, err)
 			}
+			s.journal.Append(journal.Event{
+				Time: j.embedDone, Type: journal.TypeEmbedDone, Flow: j.id,
+				Alg: j.alg, Attempt: j.retries, Seconds: embedDur.Seconds(),
+				Workers: s.cfg.Workers, Err: err.Error(),
+			})
 			s.finish(j, jobResult{err: err})
 			continue
 		}
+		s.journal.Append(journal.Event{
+			Time: j.embedDone, Type: journal.TypeEmbedDone, Flow: j.id,
+			Alg: j.alg, Attempt: j.retries, Seconds: embedDur.Seconds(),
+			Cost: res.Cost.Total(), Nodes: res.Stats.TreeNodes,
+			Workers: s.cfg.Workers,
+		})
 		j.res = res
 		s.commit <- j
 	}
@@ -561,6 +647,9 @@ func (s *Server) commitLoop() {
 			s.inflight.Done()
 			continue
 		}
+		s.journal.Append(journal.Event{
+			Type: journal.TypeCommitAttempt, Flow: j.id, Attempt: j.retries,
+		})
 		// The live ledger pointer is read under mu: a rebase may swap it
 		// for a freshly flattened overlay at any commit.
 		s.mu.Lock()
@@ -572,6 +661,10 @@ func (s *Server) commitLoop() {
 		if err := core.Validate(p, j.res.Solution); err != nil {
 			s.mu.Unlock()
 			telemetry.RecordOnlineCommitFailure()
+			s.journal.Append(journal.Event{
+				Type: journal.TypeCommitConflict, Flow: j.id, Attempt: j.retries,
+				Err: err.Error(),
+			})
 			if j.retries < s.cfg.CommitRetries {
 				j.retries++
 				j.res = nil
@@ -579,6 +672,11 @@ func (s *Server) commitLoop() {
 				// enough that retrying would only add to the herd.
 				select {
 				case s.admit <- j:
+					j.enqueuedAt = time.Now()
+					s.journal.Append(journal.Event{
+						Time: j.enqueuedAt, Type: journal.TypeEnqueue, Flow: j.id,
+						Attempt: j.retries, Detail: "conflict retry",
+					})
 					telemetry.SetServerQueueDepth(len(s.admit))
 				default:
 					s.finish(j, jobResult{err: fmt.Errorf("%w (queue full on retry): %v", ErrCommitConflict, err)})
@@ -624,7 +722,7 @@ func (s *Server) commitLoop() {
 			info.LastError = ""
 			info.Cost = Cost{Total: cb.Total(), VNF: cb.VNFCost, Link: cb.LinkCost}
 		} else {
-			id = s.nextID.Add(1)
+			id = j.id
 			info = FlowInfo{
 				ID: id, SFC: sfc.Format(j.dag),
 				Src: j.req.Src, Dst: j.req.Dst, Rate: j.req.Rate, Size: j.req.Size,
@@ -649,6 +747,17 @@ func (s *Server) commitLoop() {
 			s.ledger = s.ledger.Flatten().Overlay()
 		}
 		s.mu.Unlock()
+		committedAt := time.Now()
+		ev := journal.Event{
+			Time: committedAt, Type: journal.TypeCommitted, Flow: id,
+			Attempt: j.retries, Alg: j.alg, Cost: info.Cost.Total,
+		}
+		if !j.embedDone.IsZero() {
+			wait := committedAt.Sub(j.embedDone)
+			ev.Seconds = wait.Seconds()
+			telemetry.RecordServerStage(telemetry.StageCommitWait, wait)
+		}
+		s.journal.Append(ev)
 		if info.ExpiresAt != nil {
 			s.wheel.Schedule(id, *info.ExpiresAt)
 		}
@@ -680,6 +789,10 @@ func (s *Server) Release(id int64) (FlowInfo, error) {
 }
 
 func (s *Server) release(id int64, how string) (FlowInfo, bool) {
+	evType := journal.TypeReleased
+	if how == "expired" {
+		evType = journal.TypeExpired
+	}
 	s.mu.Lock()
 	f, ok := s.flows.Release(id)
 	if !ok {
@@ -694,6 +807,9 @@ func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 			}
 			s.mu.Unlock()
 			s.wheel.Cancel(id)
+			s.journal.Append(journal.Event{
+				Type: evType, Flow: id, Detail: "state " + info.State,
+			})
 			return info, true
 		}
 		s.mu.Unlock()
@@ -711,11 +827,15 @@ func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 	telemetry.SetServerActiveFlows(s.flows.Len())
 	s.mu.Unlock()
 	s.wheel.Cancel(id)
+	s.journal.Append(journal.Event{Type: evType, Flow: id, Cost: info.Cost.Total})
 	if how == "expired" {
 		telemetry.RecordServerRequest("flows.expire", "ok", 0)
 	}
 	return info, true
 }
+
+// Journal exposes the flight recorder for the events API and tests.
+func (s *Server) Journal() *journal.Journal { return s.journal }
 
 // Flow returns one committed flow's description.
 func (s *Server) Flow(id int64) (FlowInfo, bool) {

@@ -22,6 +22,7 @@ import (
 	"dagsfc/internal/core"
 	"dagsfc/internal/faults"
 	"dagsfc/internal/graph"
+	"dagsfc/internal/journal"
 	"dagsfc/internal/network"
 	"dagsfc/internal/telemetry"
 )
@@ -49,6 +50,9 @@ type repairTask struct {
 	id    int64
 	fault network.Fault
 	info  FlowInfo
+	// strandedAt anchors the journal's "repair" stage: the time from
+	// stranding to the terminal repaired/evicted event.
+	strandedAt time.Time
 }
 
 // ApplyFault quarantines the fault's capacity on the live ledger (POST
@@ -74,6 +78,7 @@ func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
 	ids := s.flows.Keys()
 	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
 	var stranded []*repairTask
+	var revalidated []int64
 	for _, id := range ids {
 		fl, ok := s.flows.Get(id)
 		if !ok || !faults.Hits(s.net, fl.Solution, f) {
@@ -89,6 +94,7 @@ func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
 			probe.Ledger.Discard()
 			s.repairLog = append(s.repairLog, RepairEvent{Flow: id, Fault: f, Outcome: "revalidated"})
 			telemetry.RecordRepair("revalidated")
+			revalidated = append(revalidated, id)
 			continue
 		}
 		probe.Ledger.Discard()
@@ -101,14 +107,23 @@ func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
 		info := s.meta[id]
 		info.State = FlowStateRepairing
 		s.meta[id] = info
-		stranded = append(stranded, &repairTask{id: id, fault: f, info: info})
+		stranded = append(stranded, &repairTask{id: id, fault: f, info: info, strandedAt: time.Now()})
 	}
 	telemetry.SetServerActiveFlows(s.flows.Len())
 	st := s.faultStateLocked()
 	s.mu.Unlock()
 
+	for _, id := range revalidated {
+		s.journal.Append(journal.Event{
+			Type: journal.TypeRevalidated, Flow: id, Detail: f.String(),
+		})
+	}
 	for _, t := range stranded {
 		s.wheel.Cancel(t.id)
+		s.journal.Append(journal.Event{
+			Time: t.strandedAt, Type: journal.TypeFaultStrand, Flow: t.id,
+			Detail: f.String(),
+		})
 	}
 	s.enqueueRepairs(stranded)
 	telemetry.RecordServerRequest("faults.apply", "ok", time.Since(begin))
@@ -319,12 +334,18 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 		if s.repairAbandoned(t.id) {
 			return
 		}
-		err := s.repairAttempt(t)
+		err := s.repairAttempt(t, try)
 		if err == nil {
 			s.mu.Lock()
 			s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "repaired", Attempts: attempts + 1})
 			delete(s.dropped, t.id)
 			s.mu.Unlock()
+			repairDur := time.Since(t.strandedAt)
+			s.journal.Append(journal.Event{
+				Type: journal.TypeRepaired, Flow: t.id, Attempt: attempts + 1,
+				Seconds: repairDur.Seconds(), Detail: t.fault.String(),
+			})
+			telemetry.RecordServerStage(telemetry.StageRepair, repairDur)
 			telemetry.RecordRepair("repaired")
 			return
 		}
@@ -363,6 +384,16 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 	s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "evicted", Attempts: attempts})
 	delete(s.dropped, t.id)
 	s.mu.Unlock()
+	repairDur := time.Since(t.strandedAt)
+	ev := journal.Event{
+		Type: journal.TypeEvicted, Flow: t.id, Attempt: attempts,
+		Seconds: repairDur.Seconds(), Detail: t.fault.String(),
+	}
+	if lastErr != nil {
+		ev.Err = lastErr.Error()
+	}
+	s.journal.Append(ev)
+	telemetry.RecordServerStage(telemetry.StageRepair, repairDur)
 	telemetry.RecordRepair("evicted")
 }
 
@@ -401,8 +432,9 @@ func (s *Server) repairAbandoned(id int64) bool {
 // repairAttempt runs one re-embed through the admission pipeline and
 // waits for its outcome. The job carries the repair marker, so the
 // commit loop re-registers the flow under its original ID instead of
-// allocating a new one.
-func (s *Server) repairAttempt(t *repairTask) error {
+// allocating a new one; the job also inherits that ID, so every
+// pipeline journal event of the re-embed lands on the flow's timeline.
+func (s *Server) repairAttempt(t *repairTask, try int) error {
 	dag, alg, embed, embedCtx, _, err := s.prepare(FlowRequest{
 		SFC: t.info.SFC, Src: t.info.Src, Dst: t.info.Dst,
 		Rate: t.info.Rate, Size: t.info.Size, Alg: t.info.Alg,
@@ -413,12 +445,17 @@ func (s *Server) repairAttempt(t *repairTask) error {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
 	j := &job{
-		ctx: ctx, req: FlowRequest{Src: t.info.Src, Dst: t.info.Dst, Rate: t.info.Rate, Size: t.info.Size},
+		ctx: ctx, id: t.id,
+		req: FlowRequest{Src: t.info.Src, Dst: t.info.Dst, Rate: t.info.Rate, Size: t.info.Size},
 		dag: dag, alg: alg, embed: embed, embedCtx: embedCtx,
 		begin: time.Now(), done: make(chan jobResult, 1),
 		repair: t,
 	}
 	telemetry.RecordRepairAttempt()
+	s.journal.Append(journal.Event{
+		Type: journal.TypeRepairAttempt, Flow: t.id, Alg: alg, Attempt: try + 1,
+		Detail: t.fault.String(),
+	})
 
 	s.drainMu.RLock()
 	if s.draining {
@@ -428,7 +465,12 @@ func (s *Server) repairAttempt(t *repairTask) error {
 	s.inflight.Add(1)
 	select {
 	case s.admit <- j:
+		j.enqueuedAt = time.Now()
 		s.drainMu.RUnlock()
+		s.journal.Append(journal.Event{
+			Time: j.enqueuedAt, Type: journal.TypeEnqueue, Flow: t.id, Alg: alg,
+			Detail: "repair re-embed",
+		})
 		telemetry.SetServerQueueDepth(len(s.admit))
 	default:
 		s.inflight.Done()
@@ -462,6 +504,21 @@ type breaker struct {
 	fails    int
 	openedAt time.Time
 	probing  bool
+
+	// onTransition, when set, is called with the new state's name
+	// ("closed", "half_open", "open") at every state change, under mu —
+	// the callee must not call back into the breaker. The server points it
+	// at the journal.
+	onTransition func(state string)
+}
+
+// transition flips the breaker to the given state and notifies the hook.
+// Callers hold mu.
+func (b *breaker) transition(state int) {
+	b.state = state
+	if b.onTransition != nil {
+		b.onTransition([...]string{"closed", "half_open", "open"}[state])
+	}
 }
 
 // allow decides one admission; non-nil err means shed. probe reports
@@ -480,7 +537,8 @@ func (b *breaker) allow(now time.Time) (probe bool, err error) {
 		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
 			return false, &OverloadedError{RetryAfter: wait}
 		}
-		b.state, b.probing = 1, true
+		b.transition(1)
+		b.probing = true
 		telemetry.SetBreakerState(1, false)
 		return true, nil
 	case 1: // half-open
@@ -529,10 +587,12 @@ func (b *breaker) record(success, probe bool, now time.Time) {
 		}
 		b.probing = false
 		if success {
-			b.state, b.fails = 0, 0
+			b.transition(0)
+			b.fails = 0
 			telemetry.SetBreakerState(0, false)
 		} else {
-			b.state, b.openedAt = 2, now
+			b.transition(2)
+			b.openedAt = now
 			telemetry.SetBreakerState(2, true)
 		}
 	case 0: // closed
@@ -542,7 +602,8 @@ func (b *breaker) record(success, probe bool, now time.Time) {
 		}
 		b.fails++
 		if b.fails >= b.threshold {
-			b.state, b.openedAt = 2, now
+			b.transition(2)
+			b.openedAt = now
 			telemetry.SetBreakerState(2, true)
 		}
 	}

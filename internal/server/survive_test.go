@@ -67,9 +67,12 @@ func TestServerRepairsFlowAcrossFault(t *testing.T) {
 	if len(st.Active) != 1 || st.Applied != 1 {
 		t.Fatalf("fault state after apply: %+v", st)
 	}
+	// The flow's meta flips before the repair controller writes its log
+	// entry, so wait for both.
 	waitFor(t, func() bool {
 		got, ok := srv.Flow(info.ID)
-		return ok && got.State == server.FlowStateActive && got.Repairs == 1
+		return ok && got.State == server.FlowStateActive && got.Repairs == 1 &&
+			len(srv.RepairLog()) == 1
 	})
 	got, _ := srv.Flow(info.ID)
 	if got.Cost.Total <= info.Cost.Total {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // BucketCount is one cumulative histogram bucket of a snapshot:
@@ -167,11 +168,46 @@ func promLabels(labels []Label) string {
 	return out + "}"
 }
 
-// Handler serves the registry in Prometheus text format — mount it at
-// /metrics on a debug listener.
+// Content types the metrics handler emits: the Prometheus text
+// exposition format with its explicit version parameter, and JSON for
+// programmatic consumers.
+const (
+	ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeJSON       = "application/json; charset=utf-8"
+)
+
+// Handler serves the registry — mount it at /metrics. The default output
+// is Prometheus text exposition (version 0.0.4, explicit in the
+// Content-Type); a ?format=json query parameter or an Accept header
+// naming application/json switches to the JSON snapshot.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.Snapshot().WritePrometheus(w)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", ContentTypeJSON)
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		_ = snap.WritePrometheus(w)
 	})
+}
+
+// wantsJSON implements the /metrics content negotiation: the explicit
+// ?format=json wins, otherwise any Accept member whose media type is
+// application/json (parameters like ;q= ignored) selects JSON.
+func wantsJSON(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "json":
+		return true
+	case "prometheus", "text":
+		return false
+	}
+	for _, part := range strings.Split(req.Header.Get("Accept"), ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.EqualFold(strings.TrimSpace(mt), "application/json") {
+			return true
+		}
+	}
+	return false
 }

@@ -169,6 +169,45 @@ func RecordOnlineCommitFailure() {
 		"Online commits rejected by the ledger after a successful embed.").Inc()
 }
 
+// Flight-recorder metric names (PR 6): per-stage pipeline latencies
+// derived from journal event pairs — replacing the single whole-request
+// histogram as the tuning signal — and the journal's self-accounting
+// (ring overflow is counted, never silent).
+const (
+	MetricServerStageSeconds = "dagsfc_server_stage_seconds"
+	MetricJournalEvents      = "dagsfc_journal_events_total"
+	MetricJournalDropped     = "dagsfc_journal_dropped_total"
+)
+
+// The stage labels of MetricServerStageSeconds: time queued before a
+// worker picked the request up, the speculative embed itself, the wait
+// between embed completion and the serialized commit decision, and the
+// span from fault-stranding to a repair's terminal outcome.
+const (
+	StageQueueWait  = "queue_wait"
+	StageEmbed      = "embed"
+	StageCommitWait = "commit_wait"
+	StageRepair     = "repair"
+)
+
+// RecordServerStage records one pipeline-stage duration (the histogram
+// behind the per-stage p50/p95/p99 table dagsfc-load prints).
+func RecordServerStage(stage string, elapsed time.Duration) {
+	Default().Histogram(MetricServerStageSeconds,
+		"Serving-pipeline stage durations derived from journal event pairs.",
+		DefLatencyBuckets(), L("stage", stage)).Observe(elapsed.Seconds())
+}
+
+// RecordJournalAppend records one journal append and, when the ring
+// evicted an old event to make room, the drop.
+func RecordJournalAppend(dropped bool) {
+	r := Default()
+	r.Counter(MetricJournalEvents, "Lifecycle events appended to the flight-recorder journal.").Inc()
+	if dropped {
+		r.Counter(MetricJournalDropped, "Journal events evicted by ring overflow.").Inc()
+	}
+}
+
 // RecordServerRequest records one serving-layer request on the Default
 // registry: a per-route/outcome counter and a per-route latency histogram.
 func RecordServerRequest(route, outcome string, elapsed time.Duration) {
