@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke bench-json serve-smoke obs-smoke chaos-smoke race-survival repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke bench-json bench-guard serve-smoke obs-smoke chaos-smoke race-survival repro examples vet fmt
 
 all: build vet test
 
@@ -46,14 +46,24 @@ bench-smoke:
 # purpose: a benchmark failure fails the target before anything is parsed.
 # CI runs it with BENCHTIME=1x BENCH_LABEL=ci as a smoke check (errors
 # fail, thresholds don't).
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR7.json
 BENCH_LABEL ?= after
 BENCHTIME ?= 0.5s
 BENCH_RAW ?= /tmp/dagsfc-bench-raw.txt
 bench-json:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/graph/ ./internal/core/ ./internal/network/ > $(BENCH_RAW)
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/graph/ ./internal/core/ ./internal/network/ ./cmd/dagsfc-load/ > $(BENCH_RAW)
 	@cat $(BENCH_RAW)
 	$(GO) run ./cmd/dagsfc-bench -parse-bench $(BENCH_RAW) -bench-label $(BENCH_LABEL) -bench-out $(BENCH_JSON)
+
+# bench-guard regenerates the candidate ledger, then fails if a guarded
+# hot-path benchmark (filtered Dijkstra, uncached MBBE embed) regressed
+# more than 20% against the committed PR4 baseline, or if the warm
+# path-cache embed lost its 1.5x speedup floor. The 20% limit is wide on
+# purpose — it absorbs host-to-host ns/op noise while still catching
+# real hot-path regressions.
+BENCH_GUARD_OLD ?= BENCH_PR4.json
+bench-guard: bench-json
+	$(GO) run ./cmd/dagsfc-bench -guard-old $(BENCH_GUARD_OLD) -guard-new $(BENCH_JSON)
 
 # serve-smoke boots the control plane in-process on an ephemeral port and
 # drives one full commit/release cycle over real HTTP: residuals must

@@ -18,7 +18,14 @@
 // (`make bench-json`): -parse-bench reads raw `go test -bench -benchmem`
 // output and merges it into a labelled JSON ledger:
 //
-//	dagsfc-bench -parse-bench bench.out -bench-label after -bench-out BENCH_PR4.json
+//	dagsfc-bench -parse-bench bench.out -bench-label after -bench-out BENCH_PR7.json
+//
+// A third mode guards against hot-path regressions (`make bench-guard`):
+// it compares the "after" runs of two ledgers and exits non-zero when a
+// guarded benchmark's ns/op regressed past -guard-limit or the warm
+// path-cache embed lost its speedup floor:
+//
+//	dagsfc-bench -guard-old BENCH_PR4.json -guard-new BENCH_PR7.json
 package main
 
 import (
@@ -47,9 +54,16 @@ func main() {
 
 		parseBench = flag.String("parse-bench", "", "parse raw `go test -bench` output from this file into the benchmark JSON ledger and exit (skips the experiment sweep)")
 		benchLabel = flag.String("bench-label", "after", "run label to record the parsed benchmarks under")
-		benchOut   = flag.String("bench-out", "BENCH_PR4.json", "benchmark JSON ledger to create or update")
+		benchOut   = flag.String("bench-out", "BENCH_PR7.json", "benchmark JSON ledger to create or update")
+
+		guardOld   = flag.String("guard-old", "", "baseline benchmark JSON ledger; with -guard-new, compare and exit non-zero on regression (skips the experiment sweep)")
+		guardNew   = flag.String("guard-new", "", "candidate benchmark JSON ledger to check against -guard-old")
+		guardLimit = flag.Float64("guard-limit", 0.20, "allowed fractional ns/op regression per guarded benchmark")
 	)
 	diag.Main("dagsfc-bench", func() error {
+		if *guardOld != "" || *guardNew != "" {
+			return guardBench(*guardOld, *guardNew, *guardLimit)
+		}
 		if *parseBench != "" {
 			return mergeBench(*parseBench, *benchLabel, *benchOut)
 		}
@@ -98,6 +112,108 @@ func mergeBench(rawPath, label, outPath string) error {
 	}
 	fmt.Printf("recorded %d benchmarks under label %q in %s\n", len(results), label, outPath)
 	return nil
+}
+
+// guardedBenchmarks are the hot-path benchmarks whose ns/op must not
+// regress beyond -guard-limit between the baseline and candidate ledgers
+// ("after" runs of each). They are the two paths every embedding rides:
+// the filtered Dijkstra and the full MBBE embed.
+var guardedBenchmarks = []string{
+	"BenchmarkDijkstra1000Filtered",
+	"BenchmarkEmbedMBBEWorkers/workers=1",
+}
+
+// cachedSpeedupFloor is the minimum warm-cache speedup the candidate must
+// demonstrate: EmbedMBBECached must be at least this factor faster than
+// the uncached EmbedMBBEWorkers/workers=1 in the same ledger.
+const cachedSpeedupFloor = 1.5
+
+// guardBench compares the "after" runs of two benchmark JSON ledgers and
+// fails if any guarded benchmark regressed past the limit, or if the
+// candidate's warm-cache embed lost its speedup floor. Machine-to-machine
+// noise is why the guard compares ledgers produced on the same host (CI
+// regenerates the candidate next to the committed baseline).
+func guardBench(oldPath, newPath string, limit float64) error {
+	if oldPath == "" || newPath == "" {
+		return fmt.Errorf("-guard-old and -guard-new must both be set")
+	}
+	oldRun, err := loadAfterRun(oldPath)
+	if err != nil {
+		return err
+	}
+	newRun, err := loadAfterRun(newPath)
+	if err != nil {
+		return err
+	}
+	byName := func(run benchfmt.Run, name string) (benchfmt.Result, bool) {
+		for _, r := range run.Results {
+			if r.Name == name {
+				return r, true
+			}
+		}
+		return benchfmt.Result{}, false
+	}
+
+	var failures []string
+	for _, name := range guardedBenchmarks {
+		oldRes, ok := byName(oldRun, name)
+		if !ok {
+			fmt.Printf("guard: %-40s absent from baseline %s; skipping\n", name, oldPath)
+			continue
+		}
+		newRes, ok := byName(newRun, name)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from candidate %s", name, newPath))
+			continue
+		}
+		ratio := newRes.NsPerOp / oldRes.NsPerOp
+		verdict := "ok"
+		if ratio > 1+limit {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, limit %+.0f%%)",
+				name, oldRes.NsPerOp, newRes.NsPerOp, (ratio-1)*100, limit*100))
+		}
+		fmt.Printf("guard: %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, oldRes.NsPerOp, newRes.NsPerOp, (ratio-1)*100, verdict)
+	}
+
+	uncached, okU := byName(newRun, "BenchmarkEmbedMBBEWorkers/workers=1")
+	cached, okC := byName(newRun, "BenchmarkEmbedMBBECached")
+	if okU && okC {
+		speedup := uncached.NsPerOp / cached.NsPerOp
+		verdict := "ok"
+		if speedup < cachedSpeedupFloor {
+			verdict = "TOO SLOW"
+			failures = append(failures, fmt.Sprintf("warm-cache speedup %.2fx below the %.1fx floor", speedup, cachedSpeedupFloor))
+		}
+		fmt.Printf("guard: warm path-cache embed speedup %.2fx (floor %.1fx)  %s\n", speedup, cachedSpeedupFloor, verdict)
+	} else if !okC {
+		failures = append(failures, fmt.Sprintf("BenchmarkEmbedMBBECached missing from candidate %s", newPath))
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("bench guard failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("bench guard passed")
+	return nil
+}
+
+// loadAfterRun reads a benchmark ledger and returns its "after" run.
+func loadAfterRun(path string) (benchfmt.Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return benchfmt.Run{}, err
+	}
+	defer f.Close()
+	ledger, err := benchfmt.Decode(f)
+	if err != nil {
+		return benchfmt.Run{}, fmt.Errorf("%s: %w", path, err)
+	}
+	run, ok := ledger.Run("after")
+	if !ok {
+		return benchfmt.Run{}, fmt.Errorf("%s: no \"after\" run", path)
+	}
+	return run, nil
 }
 
 func run(expName string, trials int, seed int64, csvDir string, parallel, workers int) error {

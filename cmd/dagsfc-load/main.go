@@ -282,14 +282,25 @@ func parseStageBuckets(metrics string) map[string][]stageBucket {
 		}
 		out[stage] = append(out[stage], stageBucket{le: le, count: count})
 	}
+	// Sort each stage's buckets by upper bound: the exposition's line order
+	// is an implementation detail of the scrape (and of any relabelling
+	// proxy in between), not part of the format.
+	for _, buckets := range out {
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	}
 	return out
 }
 
-// bucketQuantile estimates quantile q from cumulative buckets: the upper
-// bound of the first bucket holding the q-th observation (the classic
-// histogram_quantile upper-bound estimate, without interpolation).
+// bucketQuantile estimates quantile q from cumulative buckets (sorted by
+// upper bound): the upper bound of the first bucket holding the q-th
+// observation (the classic histogram_quantile upper-bound estimate,
+// without interpolation). The observation total is read from the +Inf
+// bucket only — never from "whichever bucket came last" — and a histogram
+// with no +Inf bucket (a truncated scrape) or cumulative counts that ever
+// decrease (merged or corrupted series) yields NaN rather than a made-up
+// latency.
 func bucketQuantile(buckets []stageBucket, q float64) float64 {
-	if len(buckets) == 0 {
+	if !histogramValid(buckets) {
 		return math.NaN()
 	}
 	total := buckets[len(buckets)-1].count
@@ -305,9 +316,44 @@ func bucketQuantile(buckets []stageBucket, q float64) float64 {
 	return buckets[len(buckets)-1].le
 }
 
+// counterValue extracts a plain (label-free) counter's value from a
+// /metrics scrape; NaN if the series is absent or unparsable.
+func counterValue(metrics, name string) float64 {
+	for _, line := range strings.Split(metrics, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
+	return math.NaN()
+}
+
+// histogramValid reports whether le-sorted cumulative buckets form a
+// well-formed histogram: a closing +Inf bucket and counts that never
+// decrease as the bounds grow.
+func histogramValid(buckets []stageBucket) bool {
+	n := len(buckets)
+	if n == 0 || !math.IsInf(buckets[n-1].le, 1) {
+		return false
+	}
+	for i := 1; i < n; i++ {
+		if buckets[i].count < buckets[i-1].count {
+			return false
+		}
+	}
+	return true
+}
+
 // printStageTable renders the per-stage p50/p95/p99 table from a /metrics
 // scrape. Stages with no observations are omitted; no stage histograms at
-// all prints nothing (an old server).
+// all prints nothing (an old server). A stage whose histogram is present
+// but malformed (truncated scrape, merged series) gets a warning line
+// instead of silently vanishing or printing a bogus quantile.
 func printStageTable(w io.Writer, metrics string) {
 	byStage := parseStageBuckets(metrics)
 	if len(byStage) == 0 {
@@ -315,9 +361,17 @@ func printStageTable(w io.Writer, metrics string) {
 	}
 	order := []string{"queue_wait", "embed", "commit_wait", "repair"}
 	var rows [][4]string
+	var invalid []string
 	for _, stage := range order {
 		buckets, ok := byStage[stage]
-		if !ok || buckets[len(buckets)-1].count == 0 {
+		if !ok {
+			continue
+		}
+		if !histogramValid(buckets) {
+			invalid = append(invalid, stage)
+			continue
+		}
+		if buckets[len(buckets)-1].count == 0 {
 			continue
 		}
 		rows = append(rows, [4]string{stage,
@@ -325,13 +379,15 @@ func printStageTable(w io.Writer, metrics string) {
 			fmtSeconds(bucketQuantile(buckets, 0.95)),
 			fmtSeconds(bucketQuantile(buckets, 0.99))})
 	}
-	if len(rows) == 0 {
-		return
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "server stages (histogram upper bounds):\n")
+		fmt.Fprintf(w, "  %-12s %10s %10s %10s\n", "stage", "p50", "p95", "p99")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-12s %10s %10s %10s\n", r[0], r[1], r[2], r[3])
+		}
 	}
-	fmt.Fprintf(w, "server stages (histogram upper bounds):\n")
-	fmt.Fprintf(w, "  %-12s %10s %10s %10s\n", "stage", "p50", "p95", "p99")
-	for _, r := range rows {
-		fmt.Fprintf(w, "  %-12s %10s %10s %10s\n", r[0], r[1], r[2], r[3])
+	for _, stage := range invalid {
+		fmt.Fprintf(w, "warning: stage %q histogram is malformed (missing +Inf bucket or non-monotonic counts); quantiles unavailable\n", stage)
 	}
 }
 
@@ -511,6 +567,21 @@ func runSmoke(cl *client.Client, kinds int, rate float64, seed int64) error {
 	}
 	if !strings.Contains(metrics, "dagsfc_journal_events_total") {
 		return fmt.Errorf("smoke: /metrics missing dagsfc_journal_events_total")
+	}
+	// The path-tree cache families must always be exposed (the server
+	// pre-creates them at zero), and the embed above must have consulted
+	// the cache at least once — every tree it computed was a recorded miss.
+	for _, name := range []string{
+		"dagsfc_path_cache_hits_total",
+		"dagsfc_path_cache_misses_total",
+		"dagsfc_path_cache_evictions_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			return fmt.Errorf("smoke: /metrics missing %s", name)
+		}
+	}
+	if misses := counterValue(metrics, "dagsfc_path_cache_misses_total"); !(misses > 0) {
+		return fmt.Errorf("smoke: dagsfc_path_cache_misses_total = %v after an embed, want > 0", misses)
 	}
 
 	// The flight recorder must have witnessed the whole cycle: a non-empty

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// exposition builds a stage-histogram scrape from (le, count) pairs in the
+// given order — the tests shuffle and truncate it to prove the parser does
+// not depend on line order or on the +Inf bucket coming last.
+func exposition(stage string, pairs ...[2]string) string {
+	var b strings.Builder
+	for _, p := range pairs {
+		b.WriteString(`dagsfc_server_stage_seconds_bucket{stage="` + stage + `",le="` + p[0] + `"} ` + p[1] + "\n")
+	}
+	return b.String()
+}
+
+func TestBucketQuantileShuffledExposition(t *testing.T) {
+	// The same histogram in scrape order and shuffled: 100 observations,
+	// p50 ≤ 0.01, p95 ≤ 0.1, p99 ≤ +Inf.
+	ordered := exposition("embed",
+		[2]string{"0.001", "10"}, [2]string{"0.01", "60"},
+		[2]string{"0.1", "95"}, [2]string{"+Inf", "100"})
+	shuffled := exposition("embed",
+		[2]string{"0.1", "95"}, [2]string{"+Inf", "100"},
+		[2]string{"0.001", "10"}, [2]string{"0.01", "60"})
+	for _, metrics := range []string{ordered, shuffled} {
+		buckets := parseStageBuckets(metrics)["embed"]
+		if len(buckets) != 4 {
+			t.Fatalf("parsed %d buckets, want 4", len(buckets))
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i].le < buckets[i-1].le {
+				t.Fatalf("buckets not sorted by le: %v", buckets)
+			}
+		}
+		if got := bucketQuantile(buckets, 0.50); got != 0.01 {
+			t.Fatalf("p50 = %v, want 0.01", got)
+		}
+		if got := bucketQuantile(buckets, 0.95); got != 0.1 {
+			t.Fatalf("p95 = %v, want 0.1", got)
+		}
+		if got := bucketQuantile(buckets, 0.99); !math.IsInf(got, 1) {
+			t.Fatalf("p99 = %v, want +Inf", got)
+		}
+	}
+}
+
+func TestBucketQuantileTruncatedExposition(t *testing.T) {
+	// A scrape cut off before the +Inf bucket: there is no observation
+	// total to rank against, so every quantile is NaN — previously the
+	// last-seen bucket's count was silently trusted as the total.
+	metrics := exposition("embed",
+		[2]string{"0.001", "10"}, [2]string{"0.01", "60"}, [2]string{"0.1", "95"})
+	buckets := parseStageBuckets(metrics)["embed"]
+	if len(buckets) != 3 {
+		t.Fatalf("parsed %d buckets, want 3", len(buckets))
+	}
+	if got := bucketQuantile(buckets, 0.50); !math.IsNaN(got) {
+		t.Fatalf("p50 on truncated histogram = %v, want NaN", got)
+	}
+	if histogramValid(buckets) {
+		t.Fatal("truncated histogram reported valid")
+	}
+}
+
+func TestBucketQuantileNonMonotonicCounts(t *testing.T) {
+	// Cumulative counts that decrease (merged series, relabelling damage):
+	// refuse to estimate rather than fabricate a latency.
+	metrics := exposition("embed",
+		[2]string{"0.001", "50"}, [2]string{"0.01", "30"}, [2]string{"+Inf", "100"})
+	buckets := parseStageBuckets(metrics)["embed"]
+	if got := bucketQuantile(buckets, 0.50); !math.IsNaN(got) {
+		t.Fatalf("p50 on non-monotonic histogram = %v, want NaN", got)
+	}
+	if histogramValid(buckets) {
+		t.Fatal("non-monotonic histogram reported valid")
+	}
+}
+
+func TestBucketQuantileEmptyAndZero(t *testing.T) {
+	if got := bucketQuantile(nil, 0.5); !math.IsNaN(got) {
+		t.Fatalf("quantile of no buckets = %v, want NaN", got)
+	}
+	empty := parseStageBuckets(exposition("embed",
+		[2]string{"0.001", "0"}, [2]string{"+Inf", "0"}))["embed"]
+	if got := bucketQuantile(empty, 0.5); !math.IsNaN(got) {
+		t.Fatalf("quantile of zero observations = %v, want NaN", got)
+	}
+	if !histogramValid(empty) {
+		t.Fatal("an all-zero histogram is structurally valid; it just has nothing to report")
+	}
+}
+
+func TestPrintStageTableWarnsOnMalformed(t *testing.T) {
+	metrics := exposition("embed",
+		[2]string{"0.001", "10"}, [2]string{"+Inf", "100"}) +
+		exposition("commit_wait",
+			[2]string{"0.001", "50"}, [2]string{"0.01", "30"}, [2]string{"+Inf", "100"})
+	var out strings.Builder
+	printStageTable(&out, metrics)
+	got := out.String()
+	if !strings.Contains(got, "embed") || !strings.Contains(got, "p99") {
+		t.Fatalf("valid stage missing from table:\n%s", got)
+	}
+	if !strings.Contains(got, `warning: stage "commit_wait"`) {
+		t.Fatalf("malformed stage did not produce a warning:\n%s", got)
+	}
+}
+
+func TestCounterValue(t *testing.T) {
+	metrics := "dagsfc_path_cache_hits_total 12\nother 3\n"
+	if got := counterValue(metrics, "dagsfc_path_cache_hits_total"); got != 12 {
+		t.Fatalf("counterValue = %v, want 12", got)
+	}
+	if got := counterValue(metrics, "missing_total"); !math.IsNaN(got) {
+		t.Fatalf("absent counter = %v, want NaN", got)
+	}
+}

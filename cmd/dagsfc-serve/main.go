@@ -72,6 +72,7 @@ func main() {
 		brkFails     = flag.Int("breaker-failures", 0, "consecutive pipeline failures that open the admission breaker (0 = disabled)")
 		brkCooldown  = flag.Duration("breaker-cooldown", time.Second, "breaker open time before the half-open probe")
 		journalSize  = flag.Int("journal", 4096, "flight-recorder ring capacity (events replayable over /v1/events)")
+		pathCache    = flag.Int("path-cache", 0, "cross-request path-tree cache size in trees (0 = default 4096, negative = disabled)")
 		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error, off")
 		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
 	)
@@ -96,6 +97,7 @@ func main() {
 			RepairBackoff: *repairWait, RepairBackoffCap: *repairCap,
 			BreakerFailures: *brkFails, BreakerCooldown: *brkCooldown,
 			JournalSize: *journalSize, Logger: logger,
+			PathCacheSize: *pathCache,
 		}
 		return run(*addr, *netFile, gen, cfg, *drainTimeout)
 	})

@@ -28,6 +28,9 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are -1 when the run lacked -benchmem.
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (MB/s, flows/s, p99_ms, ...)
+	// keyed by unit string; nil when the line carried none.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Parse reads `go test -bench` output and returns every benchmark result
@@ -89,7 +92,15 @@ func parseLine(fields []string) (Result, error) {
 		case "allocs/op":
 			res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
 		default:
-			// MB/s, custom b.ReportMetric units: ignore.
+			// MB/s and custom b.ReportMetric units land in Extra. A
+			// non-numeric token pair is not an error — verbose benchmark
+			// logs can trail arbitrary words after the counters.
+			if v, perr := strconv.ParseFloat(val, 64); perr == nil {
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = v
+			}
 			err = nil
 		}
 		if err != nil {

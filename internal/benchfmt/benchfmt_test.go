@@ -39,6 +39,42 @@ func TestParse(t *testing.T) {
 	if th := got[3]; th.BytesPerOp != 1024 || th.AllocsPerOp != 12 {
 		t.Fatalf("MB/s line not skipped correctly: %+v", th)
 	}
+	if th := got[3]; th.Extra["MB/s"] != 52.0 {
+		t.Fatalf("MB/s not recorded in Extra: %+v", th.Extra)
+	}
+	if d := got[0]; d.Extra != nil {
+		t.Fatalf("line without custom units grew an Extra map: %+v", d.Extra)
+	}
+}
+
+func TestParseExtraUnits(t *testing.T) {
+	line := "BenchmarkServeThroughput-8\t2000\t811000 ns/op\t1233 flows/s\t4.2 p99_ms\t512 B/op\t9 allocs/op\n"
+	got, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got[0]
+	if r.Extra["flows/s"] != 1233 || r.Extra["p99_ms"] != 4.2 {
+		t.Fatalf("Extra = %+v, want flows/s=1233 p99_ms=4.2", r.Extra)
+	}
+	if r.BytesPerOp != 512 || r.AllocsPerOp != 9 || r.NsPerOp != 811000 {
+		t.Fatalf("standard units mis-parsed alongside Extra: %+v", r)
+	}
+
+	var f File
+	f.SetRun("after", got)
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := back.Run("after")
+	if r2.Results[0].Extra["flows/s"] != 1233 {
+		t.Fatalf("Extra lost in round trip: %+v", r2.Results[0])
+	}
 }
 
 func TestParseNoProcsSuffix(t *testing.T) {

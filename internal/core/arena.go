@@ -1,0 +1,77 @@
+package core
+
+import "dagsfc/internal/network"
+
+// slab is a reusable bump allocator: alloc carves capacity-capped windows
+// out of large chunks, and reset rewinds the cursor so the same chunks
+// serve the next run — the steady-state allocation count for search-tree
+// memory drops to zero once the chunks have grown to a run's working set.
+// Not safe for concurrent use; each worker slot owns one set of slabs.
+type slab[T any] struct {
+	chunks [][]T
+	ci     int // chunk currently being carved
+	off    int // carve offset into chunks[ci]
+}
+
+// slabMinChunk is the smallest chunk a slab allocates; larger requests get
+// a power-of-two chunk that fits.
+const slabMinChunk = 1024
+
+// alloc returns a zeroed window of n elements with capacity exactly n, so
+// a later append reallocates instead of clobbering a neighbouring window.
+// Windows are zeroed because reset clears every carved chunk and chunks
+// are born from make; a window is never re-carved before the next reset.
+func (s *slab[T]) alloc(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if s.ci < len(s.chunks) {
+			if c := s.chunks[s.ci]; s.off+n <= len(c) {
+				out := c[s.off : s.off+n : s.off+n]
+				s.off += n
+				return out
+			}
+			s.ci++
+			s.off = 0
+			continue
+		}
+		size := slabMinChunk
+		for size < n {
+			size *= 2
+		}
+		s.chunks = append(s.chunks, make([]T, size))
+	}
+}
+
+// reset rewinds the slab and zeroes every chunk it carved from, releasing
+// retained pointers to the collector and restoring the zeroed-window
+// invariant for the next run.
+func (s *slab[T]) reset() {
+	for i := 0; i <= s.ci && i < len(s.chunks); i++ {
+		clear(s.chunks[i])
+	}
+	s.ci, s.off = 0, 0
+}
+
+// searchMem is the per-worker-slot arena behind runSearch: every
+// allocation a search tree retains for the life of a run — the TreeNode
+// blocks, the Available and Prev windows, the node list and the by-node
+// index — comes from these slabs when a searchConfig carries one. It is
+// reset (not freed) when the run's scratch slots are released, after the
+// Result has been assembled; nothing in a Result aliases this memory.
+type searchMem struct {
+	nodes slab[TreeNode]
+	vnfs  slab[network.VNFID]
+	links slab[TreeLink]
+	ptrs  slab[*TreeNode]
+	idx   slab[int32]
+}
+
+func (m *searchMem) reset() {
+	m.nodes.reset()
+	m.vnfs.reset()
+	m.links.reset()
+	m.ptrs.reset()
+	m.idx.reset()
+}

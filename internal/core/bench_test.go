@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
 )
 
 // benchProblem draws one Table 2-scale instance.
@@ -72,6 +73,34 @@ func BenchmarkEmbedMBBEWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEmbedMBBECached is the steady-state a server worker sees
+// between commits: repeated embeds against an unchanged ledger with the
+// cross-request path-tree cache warm, so every Dijkstra tree is served
+// from the cache instead of recomputed. Compare against
+// BenchmarkEmbedMBBEWorkers/workers=1 for the cache's speedup.
+func BenchmarkEmbedMBBECached(b *testing.B) {
+	p := benchProblem(b)
+	p.Ledger = network.NewLedger(p.Net).Overlay()
+	opts := MBBEOptions()
+	opts.Workers = 1
+	opts.PathCache = graph.NewTreeCache(0)
+	if _, err := Embed(p, opts); err != nil { // cold pass fills the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, _, _ := opts.PathCache.Stats()
+	if hits == 0 {
+		b.Fatal("warm benchmark never hit the cache")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -95,6 +96,15 @@ type Options struct {
 	// Label names this configuration in telemetry metrics (the "alg"
 	// label). BBEOptions/MBBEOptions set it; empty means "custom".
 	Label string
+	// PathCache, when non-nil, shares capacity-filtered Dijkstra trees
+	// across embedding runs: the per-run tree memo consults it before
+	// computing, keyed by (source, ledger view epoch, demand fingerprint).
+	// It is only consulted when the problem carries a ledger — the epoch
+	// that keys an entry is meaningless for a run on a private fresh
+	// ledger. Results are bit-identical with or without a cache: a hit can
+	// only be served to a run whose ledger presents the exact residual
+	// view the tree was computed under (see network.Ledger.ViewEpoch).
+	PathCache *graph.TreeCache
 }
 
 // BBEOptions returns the configuration for the plain Breadth-first
@@ -236,6 +246,17 @@ func EmbedContext(ctx context.Context, p *Problem, opts Options) (*Result, error
 	// (and its Residual closure) serves every search instead of allocating
 	// a fresh pair per query.
 	e.costOpts = e.ledger.CostOptions(p.Rate)
+	if opts.PathCache != nil && p.Ledger != nil &&
+		e.costOpts.BannedEdges == nil && e.costOpts.BannedNodes == nil {
+		// Pin the ledger's view epoch once for the whole run. Cache entries
+		// are inserted only if the view is still identical after the tree is
+		// computed, so a hit under this epoch is always bit-identical to
+		// computing fresh. Ban sets would need their own fingerprint;
+		// CostOptions never sets them today, but guard anyway.
+		e.cache = opts.PathCache
+		e.cacheEpoch = e.ledger.ViewEpoch()
+		e.cacheFP = math.Float64bits(e.costOpts.MinCapacity)
+	}
 	e.scratch = acquireScratchSlots(workers)
 	defer releaseScratchSlots(e.scratch)
 	res, err := e.run()
@@ -285,6 +306,13 @@ type embedder struct {
 	// to call from concurrent workers.
 	treeMu sync.Mutex
 	trees  map[graph.NodeID]*treeEntry
+	// cache, when non-nil, is the cross-request tree cache consulted by
+	// treeFor. cacheEpoch is the ledger view epoch pinned at run start and
+	// cacheFP fingerprints the cost options; together with the source node
+	// they form the cache key.
+	cache      *graph.TreeCache
+	cacheEpoch uint64
+	cacheFP    uint64
 }
 
 // treeEntry is one singleflight slot of the Dijkstra-tree memo: the first
@@ -306,10 +334,29 @@ func (e *embedder) treeFor(src graph.NodeID) *graph.ShortestTree {
 	}
 	e.treeMu.Unlock()
 	ent.once.Do(func() {
+		if e.cache != nil {
+			key := graph.TreeCacheKey{Src: src, Epoch: e.cacheEpoch, Fingerprint: e.cacheFP}
+			if t, ok := e.cache.Lookup(key); ok {
+				telemetry.RecordPathCache(true)
+				ent.tree = t
+				return
+			}
+			telemetry.RecordPathCache(false)
+		}
 		// The allocating Dijkstra, deliberately: memoized trees are
-		// retained for the whole run and queried concurrently, so they
+		// retained for the whole run (and indefinitely once published to
+		// the cross-request cache) and queried concurrently, so they
 		// cannot live on a per-slot scratch.
 		ent.tree = e.p.Net.G.Dijkstra(src, e.costOpts)
+		if e.cache != nil && e.ledger.SameView(e.cacheEpoch) {
+			// Publish only while the ledger still presents the pinned view:
+			// if a fault or commit slid in under this run, the tree may
+			// reflect either side of it and must stay private to the run.
+			key := graph.TreeCacheKey{Src: src, Epoch: e.cacheEpoch, Fingerprint: e.cacheFP}
+			if ev := e.cache.Insert(key, ent.tree); ev > 0 {
+				telemetry.RecordPathCacheEvictions(ev)
+			}
+		}
 	})
 	return ent.tree
 }
@@ -516,7 +563,7 @@ func (e *embedder) screenParent(spec LayerSpec, parent *subSolution, out *parent
 // benchmarks. Embed itself goes through buildLayerExtensions, which fans
 // the same phases across the worker pool.
 func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extension {
-	sc := e.scratch[0].Scratch
+	sc := e.scratch[0]
 	b := &startBuild{start: start, sink: buildSink{record: e.opts.Observer != nil}}
 	e.runForward(b, spec, spec.Required(e.p.Net.Catalog), sc)
 	for _, pb := range b.pairs {
@@ -530,10 +577,10 @@ func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extens
 // FST–BST pairs to fan out). For merger layers it selects the merger
 // candidates whose pairs phase B enumerates. All stats and observer
 // events go to the build's private sink.
-func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.VNFID, sc *graph.Scratch) {
+func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.VNFID, sc *pooledScratch) {
 	p := e.p
 	b.sink.searchStart(spec.Index, b.start, true)
-	fst := runSearch(p, b.start, searchConfig{required: required, maxNodes: e.opts.Xmax, ledger: e.ledger})
+	fst := runSearch(p, b.start, searchConfig{required: required, maxNodes: e.opts.Xmax, ledger: e.ledger, mem: sc.mem})
 	b.sink.stats.ForwardSearches++
 	b.sink.stats.TreeNodes += fst.Size()
 	b.sink.searchDone(spec.Index, b.start, true, fst.Size(), fst.Covered())
@@ -544,7 +591,7 @@ func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.
 	}
 	b.fst = fst
 	if !spec.Merger {
-		b.exts = e.singleVNFExtensions(&b.sink, spec, b.start, fst, sc)
+		b.exts = e.singleVNFExtensions(&b.sink, spec, b.start, fst, sc.Scratch)
 		return
 	}
 	mergerID := p.Net.Catalog.Merger()
@@ -694,13 +741,14 @@ func (e *embedder) singleVNFExtensions(sink *buildSink, spec LayerSpec, start gr
 // instantiate inner-layer paths from the BST and inter-layer paths from
 // the FST. Stats and observer events go to the pair's private sink, so
 // pairs of one layer enumerate in parallel.
-func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode, sc *graph.Scratch) []*extension {
+func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.NodeID, fst *SearchTree, mergerTN *TreeNode, sc *pooledScratch) []*extension {
 	p := e.p
 	sink.searchStart(spec.Index, mergerTN.Node, false)
 	bst := runSearch(p, mergerTN.Node, searchConfig{
 		required: spec.VNFs,
 		within:   fst.Contains,
 		ledger:   e.ledger,
+		mem:      sc.mem,
 	})
 	sink.stats.BackwardSearches++
 	sink.stats.TreeNodes += bst.Size()
@@ -739,7 +787,7 @@ func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.N
 		}
 		if i == len(spec.VNFs) {
 			count++
-			exts = append(exts, e.instantiate(sink, spec, start, fst, bst, mergerTN, assignment, sc)...)
+			exts = append(exts, e.instantiate(sink, spec, start, fst, bst, mergerTN, assignment, sc.Scratch)...)
 			return
 		}
 		for _, h := range hosts[i] {

@@ -153,7 +153,7 @@ func (e *embedder) buildLayerExtensions(spec LayerSpec, frontier []*subSolution)
 		if e.ctx.Err() != nil {
 			return
 		}
-		e.runForward(builds[i], spec, required, e.scratch[slot].Scratch)
+		e.runForward(builds[i], spec, required, e.scratch[slot])
 	})
 	var pairs []*pairBuild
 	for _, b := range builds {
@@ -164,7 +164,7 @@ func (e *embedder) buildLayerExtensions(spec LayerSpec, frontier []*subSolution)
 			return
 		}
 		pb := pairs[i]
-		pb.exts = e.pairExtensions(&pb.sink, spec, pb.owner.start, pb.owner.fst, pb.merger, e.scratch[slot].Scratch)
+		pb.exts = e.pairExtensions(&pb.sink, spec, pb.owner.start, pb.owner.fst, pb.merger, e.scratch[slot])
 	})
 	for _, b := range builds {
 		e.extCache[extKey{layer: spec.Index, start: b.start}] = e.finishStart(spec, b)

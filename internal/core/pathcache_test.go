@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/telemetry"
+)
+
+// TestPathCacheDeterminism is the cache-transparency property: with the
+// cross-request cache disabled, cold, or warm, and for both the
+// sequential and the pooled worker paths, an embed must return the
+// bit-identical result — a cache hit can only ever substitute a tree the
+// run would have computed anyway.
+func TestPathCacheDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomProblem(rng, 120, 6, 4)
+	p.Ledger = network.NewLedger(p.Net).Overlay()
+
+	baselineOpts := MBBEOptions()
+	baselineOpts.Workers = 1
+	baseline, err := Embed(p, baselineOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pooled := runtime.GOMAXPROCS(0)
+	if pooled == 1 {
+		pooled = 4
+	}
+	cache := graph.NewTreeCache(0)
+	for pass, label := range []string{"cold cache", "warm cache"} {
+		for _, workers := range []int{1, pooled} {
+			opts := MBBEOptions()
+			opts.Workers = workers
+			opts.PathCache = cache
+			got, err := Embed(p, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", label, workers, err)
+			}
+			if !reflect.DeepEqual(got.Solution, baseline.Solution) {
+				t.Fatalf("%s workers=%d: solution differs from uncached baseline", label, workers)
+			}
+			if !reflect.DeepEqual(got.Cost, baseline.Cost) {
+				t.Fatalf("%s workers=%d: cost %v != baseline %v", label, workers, got.Cost, baseline.Cost)
+			}
+			if got.Stats != baseline.Stats {
+				t.Fatalf("%s workers=%d: stats %+v != baseline %+v", label, workers, got.Stats, baseline.Stats)
+			}
+		}
+		hits, misses, _ := cache.Stats()
+		if pass == 0 && misses == 0 {
+			t.Fatal("cold pass recorded no cache misses")
+		}
+		if pass == 1 && hits == 0 {
+			t.Fatal("warm pass recorded no cache hits")
+		}
+	}
+}
+
+// TestPathCacheFreshLedgerBypass: a problem without a ledger runs on a
+// private fresh one whose epoch identifies nothing durable, so the cache
+// must not be consulted at all.
+func TestPathCacheFreshLedgerBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := randomProblem(rng, 60, 5, 3)
+	cache := graph.NewTreeCache(0)
+	opts := MBBEOptions()
+	opts.PathCache = cache
+	if _, err := Embed(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := cache.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("ledger-less embed touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestPathCacheInvalidationOnMutation: after the ledger changes, warm
+// entries keyed by the old epoch must be unreachable — the next embed
+// recomputes against the new residuals (fresh misses) and returns exactly
+// what an uncached embed on the mutated ledger returns.
+func TestPathCacheInvalidationOnMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := randomProblem(rng, 120, 6, 4)
+	p.Ledger = network.NewLedger(p.Net).Overlay()
+	cache := graph.NewTreeCache(0)
+	opts := MBBEOptions()
+	opts.PathCache = cache
+
+	if _, err := Embed(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	_, missesWarmup, _ := cache.Stats()
+
+	// Drain most of a few edges' residual bandwidth: the capacity filter
+	// now rejects them, so stale trees would produce genuinely different
+	// (and infeasible) paths.
+	for e := graph.EdgeID(0); e < 8; e++ {
+		res := p.Ledger.EdgeResidual(e)
+		if res > p.Rate/2 {
+			if err := p.Ledger.ReserveEdge(e, res-p.Rate/2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cachedRes, err := Embed(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter, _ := cache.Stats()
+	if missesAfter <= missesWarmup {
+		t.Fatal("post-mutation embed was served from pre-mutation cache entries")
+	}
+	uncachedRes, err := Embed(p, MBBEOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cachedRes.Solution, uncachedRes.Solution) || !reflect.DeepEqual(cachedRes.Cost, uncachedRes.Cost) {
+		t.Fatal("post-mutation cached embed differs from uncached embed on the mutated ledger")
+	}
+}
+
+// TestPathCacheHitPathZeroAllocs is the allocation budget for serving a
+// warm tree: the cache lookup plus its telemetry record must not allocate
+// (the per-run memo entry around it is the run's own bookkeeping).
+func TestPathCacheHitPathZeroAllocs(t *testing.T) {
+	g := buildTestGraphForAllocs()
+	cache := graph.NewTreeCache(0)
+	k := graph.TreeCacheKey{Src: 3, Epoch: 1, Fingerprint: 1}
+	cache.Insert(k, g.Dijkstra(3, nil))
+	telemetry.RecordPathCache(true) // warm the counter family
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, ok := cache.Lookup(k); !ok {
+			t.Fatal("warm lookup missed")
+		}
+		telemetry.RecordPathCache(true)
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit path allocated %v objects per run, want 0", allocs)
+	}
+}
+
+func buildTestGraphForAllocs() *graph.Graph {
+	g := graph.New(40)
+	for v := 1; v < 40; v++ {
+		g.MustAddEdge(graph.NodeID(v-1), graph.NodeID(v), 1, 100)
+	}
+	return g
+}

@@ -7,16 +7,21 @@ import (
 	"dagsfc/internal/telemetry"
 )
 
-// pooledScratch wraps a graph.Scratch with a reuse marker so the
-// dagsfc_embed_scratch_reuse_total counter can distinguish warm checkouts
-// from fresh allocations (sync.Pool itself does not expose that).
+// pooledScratch wraps a graph.Scratch with the slot's search-tree arena
+// and a reuse marker so the dagsfc_embed_scratch_reuse_total counter can
+// distinguish warm checkouts from fresh allocations (sync.Pool itself does
+// not expose that).
 type pooledScratch struct {
 	*graph.Scratch
+	// mem is the slot's search-tree arena: runSearch carves every
+	// tree-retained allocation from it, and releaseScratchSlots resets it
+	// once the run's Result (which aliases none of that memory) is built.
+	mem  *searchMem
 	used bool
 }
 
 var embedScratchPool = sync.Pool{
-	New: func() any { return &pooledScratch{Scratch: graph.NewScratch()} },
+	New: func() any { return &pooledScratch{Scratch: graph.NewScratch(), mem: &searchMem{}} },
 }
 
 // acquireScratch checks one scratch out of the pool, recording warm reuse.
@@ -40,10 +45,15 @@ func acquireScratchSlots(n int) []*pooledScratch {
 	return slots
 }
 
-// releaseScratchSlots returns every slot to the pool. The caller must not
-// touch the slots, or any scratch-aliasing search result, afterwards.
+// releaseScratchSlots returns every slot to the pool, resetting each
+// slot's search-tree arena first. The caller must not touch the slots, any
+// scratch-aliasing search result, or any SearchTree built during the run
+// afterwards — the arena memory behind the trees is recycled here. Safe
+// only after every worker has joined and the Result has been assembled
+// (Results never alias tree memory).
 func releaseScratchSlots(slots []*pooledScratch) {
 	for _, ps := range slots {
+		ps.mem.reset()
 		embedScratchPool.Put(ps)
 	}
 }

@@ -180,6 +180,10 @@ type searchConfig struct {
 	// problem's ledger (or a fresh empty one) without mutating p —
 	// convenient for tests that call runSearch directly.
 	ledger *network.Ledger
+	// mem, when non-nil, supplies all tree-retained allocations from a
+	// reusable per-slot arena (see searchMem). Nil allocates plainly —
+	// the path tests and direct runSearch callers use.
+	mem *searchMem
 }
 
 // treeNodeArena hands out TreeNodes from fixed-size blocks: pointers stay
@@ -199,6 +203,17 @@ func (a *treeNodeArena) alloc() *TreeNode {
 	tn := &a.block[0]
 	a.block = a.block[1:]
 	return tn
+}
+
+// allocNode allocates one tree node from the slot's reusable slab when mem
+// is set, else from a's heap blocks. The slab path hands out single-node
+// windows (the slab is itself chunked, so pointers stay stable); both
+// paths inline, which matters — this runs once per discovered node.
+func allocNode(a *treeNodeArena, mem *searchMem) *TreeNode {
+	if mem != nil {
+		return &mem.nodes.alloc(1)[0]
+	}
+	return a.alloc()
 }
 
 // runSearch performs the paper's iterative breadth-first search from start
@@ -225,7 +240,10 @@ func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
 
 	// available computes a node's serviceable categories into a hoisted
 	// buffer, then copies the exact-size result out of a chunked arena — no
-	// per-node over-capacity slice.
+	// per-node over-capacity slice. With mem set, the chunks come from the
+	// slot's reusable slabs instead of the heap. mem is hoisted to a local
+	// so the closures below don't capture (and heap-move) all of cfg.
+	mem := cfg.mem
 	var a treeNodeArena
 	buf := make([]network.VNFID, 0, len(needed))
 	var vnfArena []network.VNFID
@@ -240,6 +258,11 @@ func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
 		if len(buf) == 0 {
 			return nil
 		}
+		if mem != nil {
+			out := mem.vnfs.alloc(len(buf))
+			copy(out, buf)
+			return out
+		}
 		if len(vnfArena)+len(buf) > cap(vnfArena) {
 			vnfArena = make([]network.VNFID, 0, 16*cap(buf))
 		}
@@ -251,6 +274,11 @@ func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
 	// cap makes a later append (extra adjacency) reallocate instead of
 	// clobbering a neighbor's entry.
 	prevLink := func(link TreeLink) []TreeLink {
+		if mem != nil {
+			out := mem.links.alloc(1)
+			out[0] = link
+			return out
+		}
 		if len(linkArena) == cap(linkArena) {
 			linkArena = make([]TreeLink, 0, 64)
 		}
@@ -273,11 +301,19 @@ func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
 	if cfg.maxNodes > 0 && cfg.maxNodes < capHint {
 		capHint = cfg.maxNodes
 	}
-	t := &SearchTree{
-		nodes: make([]*TreeNode, 0, capHint),
-		idx:   make([]int32, g.NumNodes()),
+	t := &SearchTree{}
+	if mem != nil {
+		// Both windows are safe as slab carve-outs: nodes never outgrows
+		// capHint (the idx dedup bounds appends by NumNodes and the budget
+		// check by maxNodes, whichever made capHint), and idx arrives
+		// zeroed by the slab invariant.
+		t.nodes = mem.ptrs.alloc(capHint)[:0]
+		t.idx = mem.idx.alloc(g.NumNodes())
+	} else {
+		t.nodes = make([]*TreeNode, 0, capHint)
+		t.idx = make([]int32, g.NumNodes())
 	}
-	root := a.alloc()
+	root := allocNode(&a, mem)
 	root.Node = start
 	root.Available = available(start)
 	root.Iteration = 1
@@ -329,7 +365,7 @@ func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
 					t.covered = missing == 0
 					return t
 				}
-				child := a.alloc()
+				child := allocNode(&a, mem)
 				child.Father = tn
 				child.Node = arc.To
 				child.Available = available(arc.To)

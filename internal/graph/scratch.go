@@ -29,6 +29,11 @@ type Scratch struct {
 	// entries written first.
 	parentEdge []EdgeID
 	parentNode []NodeID
+
+	// lastN is the node count of the most recent search served, recorded
+	// so PutScratch can compare the scratch's grown capacity against the
+	// sizes actually in recent use.
+	lastN int
 }
 
 // NewScratch returns an empty Scratch. Buffers are sized lazily on first
@@ -40,14 +45,81 @@ var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 // GetScratch borrows a Scratch from the package pool. Pair with PutScratch.
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
-// PutScratch returns a Scratch to the package pool. The caller must not use
-// s, or any scratch-aliasing result produced with it, afterwards.
-func PutScratch(s *Scratch) { scratchPool.Put(s) }
+// PutScratch returns a Scratch to the package pool — unless its backing
+// arrays have grown far past the graph sizes in recent use, in which case
+// the scratch is dropped so the pool stops pinning the high-water memory
+// of a one-off large search for the life of the process. The caller must
+// not use s, or any scratch-aliasing result produced with it, afterwards.
+func PutScratch(s *Scratch) {
+	if keepScratch(s, noteScratchUse(s.lastN)) {
+		scratchPool.Put(s)
+	}
+}
+
+// scratchDemand is a two-window high-water mark of the graph sizes served
+// by pooled scratches: cur tracks the current window's maximum, prev the
+// previous window's, and the demand estimate is the larger of the two —
+// so the estimate never drops below a size seen within the last
+// scratchWindowPuts..2×scratchWindowPuts checkins.
+var scratchDemand struct {
+	mu        sync.Mutex
+	cur, prev int
+	puts      int
+}
+
+const (
+	// scratchWindowPuts is the demand window length, in PutScratch calls.
+	scratchWindowPuts = 64
+	// scratchOversizeFactor is how many times larger than recent demand a
+	// scratch's arrays may be before PutScratch drops it.
+	scratchOversizeFactor = 4
+	// scratchMinRetain exempts small scratches from dropping entirely:
+	// below this array size the memory at stake is noise.
+	scratchMinRetain = 4096
+)
+
+// noteScratchUse folds one served size into the demand windows and
+// returns the current demand estimate.
+func noteScratchUse(n int) int {
+	d := &scratchDemand
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n > d.cur {
+		d.cur = n
+	}
+	if d.puts++; d.puts >= scratchWindowPuts {
+		d.prev, d.cur, d.puts = d.cur, 0, 0
+	}
+	if d.prev > d.cur {
+		return d.prev
+	}
+	return d.cur
+}
+
+// keepScratch decides whether a scratch with the given recent-demand
+// estimate is worth pooling: it is kept unless its largest backing array
+// exceeds both the absolute floor and scratchOversizeFactor times the
+// demand estimate.
+func keepScratch(s *Scratch, demand int) bool {
+	size := cap(s.tree.Dist)
+	if len(s.stamp) > size {
+		size = len(s.stamp)
+	}
+	if len(s.parentEdge) > size {
+		size = len(s.parentEdge)
+	}
+	limit := demand * scratchOversizeFactor
+	if limit < scratchMinRetain {
+		limit = scratchMinRetain
+	}
+	return size <= limit
+}
 
 // resetTree brings the scratch tree back to its resting state (Dist=Inf,
 // parent/prev=None) for a graph of n nodes, undoing only the entries the
 // previous run touched.
 func (s *Scratch) resetTree(n int) {
+	s.lastN = n
 	t := &s.tree
 	if cap(t.Dist) < n {
 		t.Dist = make([]float64, n)
@@ -80,6 +152,7 @@ func (s *Scratch) resetTree(n int) {
 // visitedReset prepares the visited set for a graph of n nodes and clears
 // it in O(1) by advancing the epoch.
 func (s *Scratch) visitedReset(n int) {
+	s.lastN = n
 	if len(s.stamp) < n {
 		s.stamp = make([]uint32, n)
 		s.epoch = 0

@@ -80,6 +80,43 @@ func TestDijkstraWithZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestPutScratchDropsOversized pins the pool-sizing policy: a scratch
+// grown by a one-off huge search is dropped once recent demand settles
+// back to small graphs, while right-sized scratches keep pooling.
+func TestPutScratchDropsOversized(t *testing.T) {
+	small := &Scratch{}
+	small.resetTree(300)
+	huge := &Scratch{}
+	huge.resetTree(scratchMinRetain * scratchOversizeFactor * 2)
+
+	// While the huge size is recent demand, the huge scratch is retained —
+	// dropping actively-used capacity would just thrash the allocator.
+	if !keepScratch(huge, huge.lastN) {
+		t.Fatal("scratch sized to current demand was dropped")
+	}
+	// Once recent demand is small again, the huge scratch is released...
+	if keepScratch(huge, small.lastN) {
+		t.Fatal("oversized scratch was pooled against small recent demand")
+	}
+	// ...while the small one still pools (within the absolute floor).
+	if !keepScratch(small, small.lastN) {
+		t.Fatal("right-sized scratch was dropped")
+	}
+
+	// End to end through the demand windows: roll both windows with small
+	// puts, then check PutScratch's demand estimate has decayed so the
+	// huge scratch gets dropped rather than pooled.
+	for i := 0; i < 2*scratchWindowPuts; i++ {
+		noteScratchUse(300)
+	}
+	if demand := noteScratchUse(300); demand != 300 {
+		t.Fatalf("demand estimate after small-only windows = %d, want 300", demand)
+	}
+	if keepScratch(huge, noteScratchUse(300)) {
+		t.Fatal("oversized scratch survived decayed demand windows")
+	}
+}
+
 // TestCSRMatchesAdjacency checks the flat view agrees with Neighbors and is
 // rebuilt after AddEdge invalidates it.
 func TestCSRMatchesAdjacency(t *testing.T) {

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TreeCacheKey identifies one cached shortest-path tree: the source node
+// it is rooted at, the ledger view epoch its residual filter was computed
+// under (see network.Ledger.ViewEpoch), and a fingerprint of the cost
+// options (the capacity filter). Two queries with equal keys are
+// guaranteed — by the epoch contract — to see bit-identical residuals,
+// so they produce bit-identical trees.
+type TreeCacheKey struct {
+	Src         NodeID
+	Epoch       uint64
+	Fingerprint uint64
+}
+
+// TreeCache is a cross-request cache of immutable *ShortestTree values,
+// keyed by TreeCacheKey. It is safe for concurrent use: lookups take a
+// read lock and allocate nothing; inserts are first-wins (concurrent
+// computations of the same key produce identical trees, so whichever
+// lands first is kept).
+//
+// Entries age out by epoch: the cache keeps trees for at most
+// treeCacheKeepEpochs distinct view epochs, evicting the oldest epochs
+// first — an old epoch can only serve snapshots pinned before the state
+// moved on, and those die with their requests. A maxEntries cap bounds
+// total memory independently of epoch churn.
+type TreeCache struct {
+	mu      sync.RWMutex
+	entries map[TreeCacheKey]*ShortestTree
+	// epochs lists the distinct epochs present, ascending; byEpoch maps
+	// each to its keys so eviction is O(evicted), not O(cache).
+	epochs  []uint64
+	byEpoch map[uint64][]TreeCacheKey
+
+	maxEntries int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// treeCacheKeepEpochs bounds how many distinct view epochs the cache
+// retains trees for. Steady traffic on an unchanged ledger shares one
+// epoch; every commit opens a new one, so a small window covers the
+// snapshots still in flight.
+const treeCacheKeepEpochs = 4
+
+// defaultTreeCacheEntries is the maxEntries default (NewTreeCache(0)).
+const defaultTreeCacheEntries = 4096
+
+// NewTreeCache returns an empty cache holding at most maxEntries trees
+// (0 means the default of 4096).
+func NewTreeCache(maxEntries int) *TreeCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultTreeCacheEntries
+	}
+	return &TreeCache{
+		entries:    make(map[TreeCacheKey]*ShortestTree),
+		byEpoch:    make(map[uint64][]TreeCacheKey),
+		maxEntries: maxEntries,
+	}
+}
+
+// Lookup returns the cached tree for k, if present, and counts the hit or
+// miss. The returned tree is shared and must be treated as immutable
+// (PathTo allocates fresh paths, so reads are safe from any goroutine).
+// The hit path performs no allocations.
+func (c *TreeCache) Lookup(k TreeCacheKey) (*ShortestTree, bool) {
+	c.mu.RLock()
+	t, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return t, ok
+}
+
+// Insert publishes a tree under k unless the key is already present
+// (first insert wins; by the key contract both trees are identical). It
+// returns how many entries aging and the size cap evicted.
+func (c *TreeCache) Insert(k TreeCacheKey, t *ShortestTree) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[k]; exists {
+		return 0
+	}
+	c.entries[k] = t
+	if keys, seen := c.byEpoch[k.Epoch]; seen {
+		c.byEpoch[k.Epoch] = append(keys, k)
+	} else {
+		c.byEpoch[k.Epoch] = []TreeCacheKey{k}
+		// Keep the epoch list sorted: an in-flight old snapshot may insert
+		// under an older epoch after newer ones appeared.
+		i := sort.Search(len(c.epochs), func(i int) bool { return c.epochs[i] > k.Epoch })
+		c.epochs = append(c.epochs, 0)
+		copy(c.epochs[i+1:], c.epochs[i:])
+		c.epochs[i] = k.Epoch
+	}
+	// Age out whole epochs beyond the retention window, oldest first.
+	for len(c.epochs) > treeCacheKeepEpochs {
+		evicted += c.dropOldestEpoch()
+	}
+	// Enforce the size cap: drop old epochs first; if one epoch alone
+	// exceeds the cap, drop its oldest-inserted trees.
+	for len(c.entries) > c.maxEntries && len(c.epochs) > 1 {
+		evicted += c.dropOldestEpoch()
+	}
+	if over := len(c.entries) - c.maxEntries; over > 0 && len(c.epochs) == 1 {
+		keys := c.byEpoch[c.epochs[0]]
+		for _, old := range keys[:over] {
+			delete(c.entries, old)
+		}
+		c.byEpoch[c.epochs[0]] = keys[over:]
+		evicted += over
+	}
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+	return evicted
+}
+
+// dropOldestEpoch evicts every entry of the oldest epoch present. Caller
+// holds mu.
+func (c *TreeCache) dropOldestEpoch() int {
+	oldest := c.epochs[0]
+	keys := c.byEpoch[oldest]
+	for _, k := range keys {
+		delete(c.entries, k)
+	}
+	delete(c.byEpoch, oldest)
+	c.epochs = c.epochs[1:]
+	return len(keys)
+}
+
+// Len reports the number of cached trees.
+func (c *TreeCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the lifetime hit, miss and eviction counts.
+func (c *TreeCache) Stats() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

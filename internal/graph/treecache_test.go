@@ -1,0 +1,112 @@
+package graph
+
+import "testing"
+
+func cacheKey(src NodeID, epoch uint64) TreeCacheKey {
+	return TreeCacheKey{Src: src, Epoch: epoch, Fingerprint: 1}
+}
+
+func TestTreeCacheLookupInsert(t *testing.T) {
+	g := benchGraph(40, 3)
+	c := NewTreeCache(0)
+	k := cacheKey(3, 7)
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	tree := g.Dijkstra(3, nil)
+	c.Insert(k, tree)
+	got, ok := c.Lookup(k)
+	if !ok || got != tree {
+		t.Fatalf("lookup after insert: got %p ok=%v, want %p", got, ok, tree)
+	}
+	// Same src under another epoch or fingerprint is a distinct entry.
+	if _, ok := c.Lookup(cacheKey(3, 8)); ok {
+		t.Fatal("epoch 8 hit entry cached under epoch 7")
+	}
+	if _, ok := c.Lookup(TreeCacheKey{Src: 3, Epoch: 7, Fingerprint: 2}); ok {
+		t.Fatal("fingerprint 2 hit entry cached under fingerprint 1")
+	}
+	// First insert wins.
+	other := g.Dijkstra(3, nil)
+	if ev := c.Insert(k, other); ev != 0 {
+		t.Fatalf("duplicate insert evicted %d", ev)
+	}
+	if got, _ := c.Lookup(k); got != tree {
+		t.Fatal("duplicate insert replaced the original tree")
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 2 || misses != 3 || evictions != 0 {
+		t.Fatalf("stats = (%d,%d,%d), want (2,3,0)", hits, misses, evictions)
+	}
+}
+
+// TestTreeCacheEpochAging checks that entries from epochs older than the
+// retention window are evicted as new epochs arrive, and that eviction is
+// counted.
+func TestTreeCacheEpochAging(t *testing.T) {
+	g := benchGraph(20, 3)
+	tree := g.Dijkstra(0, nil)
+	c := NewTreeCache(0)
+	for epoch := uint64(1); epoch <= treeCacheKeepEpochs; epoch++ {
+		c.Insert(cacheKey(NodeID(epoch), epoch), tree)
+	}
+	if c.Len() != treeCacheKeepEpochs {
+		t.Fatalf("len = %d, want %d", c.Len(), treeCacheKeepEpochs)
+	}
+	// One epoch past the window evicts exactly the oldest epoch's entry.
+	if ev := c.Insert(cacheKey(99, treeCacheKeepEpochs+1), tree); ev != 1 {
+		t.Fatalf("insert past window evicted %d, want 1", ev)
+	}
+	if _, ok := c.Lookup(cacheKey(1, 1)); ok {
+		t.Fatal("oldest epoch survived aging")
+	}
+	if _, ok := c.Lookup(cacheKey(2, 2)); !ok {
+		t.Fatal("in-window epoch was evicted")
+	}
+	_, _, evictions := c.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+// TestTreeCacheSizeCap checks the maxEntries bound holds even when every
+// entry shares one epoch (aging alone cannot shrink it).
+func TestTreeCacheSizeCap(t *testing.T) {
+	g := benchGraph(20, 3)
+	tree := g.Dijkstra(0, nil)
+	c := NewTreeCache(3)
+	evicted := 0
+	for src := NodeID(0); src < 10; src++ {
+		evicted += c.Insert(cacheKey(src, 1), tree)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want cap 3", c.Len())
+	}
+	if evicted != 7 {
+		t.Fatalf("evicted %d, want 7", evicted)
+	}
+	// The newest inserts survive.
+	for src := NodeID(7); src < 10; src++ {
+		if _, ok := c.Lookup(cacheKey(src, 1)); !ok {
+			t.Fatalf("recent insert src=%d evicted before older ones", src)
+		}
+	}
+}
+
+// TestTreeCacheLookupZeroAllocs is the cache-hit allocation budget,
+// mirroring TestDijkstraWithZeroAllocs: serving a warm tree from the
+// cache must not allocate at all.
+func TestTreeCacheLookupZeroAllocs(t *testing.T) {
+	g := benchGraph(100, 4)
+	c := NewTreeCache(0)
+	k := cacheKey(5, 1)
+	c.Insert(k, g.Dijkstra(5, nil))
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatal("warm lookup missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit Lookup allocated %v objects per run, want 0", allocs)
+	}
+}

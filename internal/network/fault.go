@@ -241,9 +241,17 @@ func (l *Ledger) adjustFault(f Fault, sign float64) error {
 	}
 	if q.empty() {
 		root.quar.Store(nil)
-		return nil
+	} else {
+		root.quar.Store(q)
 	}
-	root.quar.Store(q)
+	// A quarantine change is visible to every ledger in the family at once
+	// (they all read through the root's pointer), so it invalidates every
+	// pinned view epoch via the family fault counter — a generation count,
+	// not a pointer compare, so apply-then-restore (which stores nil again)
+	// still invalidates. The state counter moves too, keeping the epoch
+	// source monotone with faults like with any other mutation.
+	root.ep.fault.Add(1)
+	root.ep.state.Add(1)
 	return nil
 }
 

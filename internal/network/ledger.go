@@ -3,6 +3,8 @@ package network
 import (
 	"fmt"
 	"maps"
+	"sync"
+	"sync/atomic"
 
 	"dagsfc/internal/graph"
 )
@@ -36,15 +38,110 @@ type Ledger struct {
 	// quar is the active fault quarantine (root only; overlays read through
 	// to their root's table). See fault.go for the publication protocol.
 	quar quarPointer
+
+	// View-epoch machinery (see ViewEpoch). ep holds the counters shared by
+	// every ledger of one family — a root plus everything derived from it
+	// via Overlay/Snapshot/Flatten/Clone. gen counts this ledger's own
+	// visible mutations; it feeds the pin signatures of descendants that
+	// read through this ledger. view/sig are the ledger's current pin,
+	// guarded by pinMu (mutations re-pin inline, readers validate).
+	ep    *epochCell
+	gen   atomic.Uint64
+	pinMu sync.Mutex
+	view  uint64
+	sig   uint64
+}
+
+// epochCell is the per-family counter block. state is the monotonic epoch
+// source: every pin that needs a fresh epoch draws a unique value from it.
+// fault counts quarantine mutations; because faults publish through the
+// root's atomic pointer, they change the residual view of every ledger in
+// the family at once, so the fault counter is part of every pin signature.
+type epochCell struct {
+	state atomic.Uint64
+	fault atomic.Uint64
+}
+
+// chainSig computes the ledger's current pin signature: the family fault
+// generation plus the mutation counters of every ledger this one reads
+// through (itself included). Each term is monotonic, so the sum is too —
+// an unchanged signature proves no relevant mutation happened, with no
+// ABA window.
+func (l *Ledger) chainSig() uint64 {
+	s := l.ep.fault.Load()
+	for cur := l; cur != nil; cur = cur.base {
+		s += cur.gen.Load()
+	}
+	return s
+}
+
+// bumpEpoch re-pins the ledger after one of its own visible mutations. It
+// must run inside the same critical section as the mutation (the ledger
+// mutation contract already requires caller serialization): any reader
+// that can observe the new state through a later Snapshot also observes
+// the new epoch, so a tree can never be cached under the old epoch with
+// the new residuals or vice versa.
+func (l *Ledger) bumpEpoch() {
+	l.gen.Add(1)
+	v := l.ep.state.Add(1)
+	l.pinMu.Lock()
+	l.view = v
+	l.sig = l.chainSig()
+	l.pinMu.Unlock()
+}
+
+// pinned returns the ledger's current (view, sig) pair, refreshing a
+// stale pin first. Constructors derive a child's pin arithmetically from
+// this snapshot instead of re-reading the counters, so a concurrent fault
+// cannot slip between "inherit parent's epoch" and "record the signature
+// it was valid under".
+func (l *Ledger) pinned() (view, sig uint64) {
+	l.pinMu.Lock()
+	defer l.pinMu.Unlock()
+	if l.sig != l.chainSig() {
+		l.view = l.ep.state.Add(1)
+		l.sig = l.chainSig()
+	}
+	return l.view, l.sig
+}
+
+// ViewEpoch returns an identifier of the ledger's current residual view,
+// for use as a cache key: within one ledger family, two ledgers reporting
+// the same epoch present bit-identical residuals as long as SameView
+// still holds for that epoch on both. The epoch is pinned when the ledger
+// is created (inherited from its parent, whose view it shares) and
+// refreshed to a fresh monotonic value whenever the pin goes stale — the
+// ledger mutated, an ancestor it reads through mutated, or a fault
+// changed the family's quarantine.
+func (l *Ledger) ViewEpoch() uint64 {
+	v, _ := l.pinned()
+	return v
+}
+
+// SameView reports whether the ledger still presents the exact view it
+// presented when ViewEpoch returned epoch. It is the cache-insert guard:
+// a tree computed from this ledger may be published under epoch only if
+// SameView(epoch) holds after the computation — otherwise a concurrent
+// fault or ancestor mutation changed the residuals mid-computation and
+// the tree must not outlive the request. Conservative by construction:
+// any relevant counter movement invalidates, never the reverse.
+func (l *Ledger) SameView(epoch uint64) bool {
+	l.pinMu.Lock()
+	defer l.pinMu.Unlock()
+	return l.view == epoch && l.sig == l.chainSig()
 }
 
 // NewLedger returns an empty root ledger over net.
 func NewLedger(net *Network) *Ledger {
-	return &Ledger{
+	l := &Ledger{
 		net:      net,
 		edgeUsed: make([]float64, net.G.NumEdges()),
 		instUsed: make(map[instKey]float64),
+		ep:       &epochCell{},
 	}
+	l.view = l.ep.state.Add(1)
+	l.sig = l.chainSig()
+	return l
 }
 
 // Network returns the network the ledger accounts for.
@@ -61,11 +158,17 @@ func (l *Ledger) OverlayLen() int { return len(l.edgeDelta) + len(l.instUsed) }
 // Overlay returns a new empty copy-on-write overlay whose reads fall
 // through to l. The base must not be mutated while the overlay is in use.
 func (l *Ledger) Overlay() *Ledger {
+	view, sig := l.pinned()
 	return &Ledger{
 		net:       l.net,
 		base:      l,
 		edgeDelta: make(map[graph.EdgeID]float64),
 		instUsed:  make(map[instKey]float64),
+		ep:        l.ep,
+		// An empty overlay presents its parent's exact view, and its pin
+		// chain is the parent's chain plus its own (zero) counter.
+		view: view,
+		sig:  sig,
 	}
 }
 
@@ -125,9 +228,11 @@ func (l *Ledger) ReserveEdge(e graph.EdgeID, amount float64) error {
 	}
 	if l.base != nil {
 		l.setEdgeDelta(e, l.edgeDelta[e]+amount)
+		l.bumpEpoch()
 		return nil
 	}
 	l.edgeUsed[e] += amount
+	l.bumpEpoch()
 	return nil
 }
 
@@ -140,12 +245,14 @@ func (l *Ledger) ReleaseEdge(e graph.EdgeID, amount float64) {
 			d = -l.base.EdgeUsed(e)
 		}
 		l.setEdgeDelta(e, d)
+		l.bumpEpoch()
 		return
 	}
 	l.edgeUsed[e] -= amount
 	if l.edgeUsed[e] < 0 {
 		l.edgeUsed[e] = 0
 	}
+	l.bumpEpoch()
 }
 
 func (l *Ledger) setEdgeDelta(e graph.EdgeID, d float64) {
@@ -173,9 +280,11 @@ func (l *Ledger) ReserveInstance(node graph.NodeID, vnf VNFID, amount float64) e
 	key := instKey{node, vnf}
 	if l.base != nil {
 		l.setInstDelta(key, l.instUsed[key]+amount)
+		l.bumpEpoch()
 		return nil
 	}
 	l.instUsed[key] += amount
+	l.bumpEpoch()
 	return nil
 }
 
@@ -192,12 +301,14 @@ func (l *Ledger) ReleaseInstance(node graph.NodeID, vnf VNFID, amount float64) {
 			d = -l.base.InstanceUsed(node, vnf)
 		}
 		l.setInstDelta(key, d)
+		l.bumpEpoch()
 		return
 	}
 	l.instUsed[key] -= amount
 	if l.instUsed[key] <= 0 {
 		delete(l.instUsed, key)
 	}
+	l.bumpEpoch()
 }
 
 func (l *Ledger) setInstDelta(key instKey, d float64) {
@@ -246,6 +357,18 @@ func (l *Ledger) Commit() error {
 	}
 	clear(l.edgeDelta)
 	clear(l.instUsed)
+	// The base's view changed (one bump covers the whole fold; the
+	// Release* calls above already bumped for their share). The overlay's
+	// combined view is unchanged — its deltas folded into the base it
+	// reads through — so it re-pins at the base's fresh epoch rather than
+	// going stale: after a commit, overlay and base present the same view
+	// under the same epoch.
+	l.base.bumpEpoch()
+	view, sig := l.base.pinned()
+	l.pinMu.Lock()
+	l.view = view
+	l.sig = sig + l.gen.Load()
+	l.pinMu.Unlock()
 	return nil
 }
 
@@ -279,6 +402,7 @@ func (l *Ledger) Discard() {
 	}
 	clear(l.edgeDelta)
 	clear(l.instUsed)
+	l.bumpEpoch()
 }
 
 // Snapshot returns an independent what-if copy of the ledger's current
@@ -290,11 +414,18 @@ func (l *Ledger) Snapshot() *Ledger {
 	if l.base == nil {
 		return l.Clone()
 	}
+	view, sig := l.pinned()
 	return &Ledger{
 		net:       l.net,
 		base:      l.base,
 		edgeDelta: maps.Clone(l.edgeDelta),
 		instUsed:  maps.Clone(l.instUsed),
+		ep:        l.ep,
+		// The snapshot presents l's exact view but reads through l.base,
+		// not l: its pin chain drops l's own counter, so later mutations
+		// of l (which the snapshot cannot see) do not invalidate it.
+		view: view,
+		sig:  sig - l.gen.Load(),
 	}
 }
 
@@ -306,6 +437,7 @@ func (l *Ledger) Flatten() *Ledger {
 		net:      l.net,
 		edgeUsed: make([]float64, l.net.G.NumEdges()),
 		instUsed: make(map[instKey]float64),
+		ep:       l.ep,
 	}
 	for e := range c.edgeUsed {
 		c.edgeUsed[e] = l.EdgeUsed(graph.EdgeID(e))
@@ -327,6 +459,11 @@ func (l *Ledger) Flatten() *Ledger {
 	// immutable, so sharing the pointer is safe); the server's rebase must
 	// not lose in-flight faults.
 	c.quar.Store(l.quarantineTable())
+	// Pin at a fresh epoch: the flattened root presents the same residuals
+	// as l, but a fresh unique epoch is always sound and keeps the rebase
+	// from aliasing an epoch whose source chain it no longer shares.
+	c.view = c.ep.state.Add(1)
+	c.sig = c.chainSig()
 	return c
 }
 
@@ -337,10 +474,19 @@ func (l *Ledger) Clone() *Ledger {
 	if l.base != nil {
 		return l.Flatten()
 	}
+	view, sig := l.pinned()
 	c := &Ledger{
 		net:      l.net,
 		edgeUsed: append([]float64(nil), l.edgeUsed...),
 		instUsed: maps.Clone(l.instUsed),
+		ep:       l.ep,
+		// The clone presents l's exact view right now and reads through
+		// nobody: its pin chain is just its own (zero) counter, so it
+		// inherits l's epoch minus l's own generation term. Later
+		// mutations of l diverge the views, but l re-pins itself then and
+		// stops claiming this epoch.
+		view: view,
+		sig:  sig - l.gen.Load(),
 	}
 	c.quar.Store(l.quar.Load())
 	return c

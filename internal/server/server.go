@@ -107,6 +107,12 @@ type Config struct {
 	// Embedders adds or overrides named algorithms on top of the built-in
 	// registry (mbbe, bbe, minv, ranv, sa).
 	Embedders map[string]Embedder
+	// PathCacheSize bounds the cross-request path-tree cache shared by the
+	// builtin tree searches (mbbe, bbe): worker snapshots that present the
+	// same ledger view epoch reuse each other's capacity-filtered Dijkstra
+	// trees instead of recomputing them. 0 means the default size (4096
+	// trees); negative disables the cache entirely.
+	PathCacheSize int
 }
 
 // Server is the live control plane. Create one with New, serve its
@@ -119,6 +125,12 @@ type Server struct {
 	// searches, so a timed-out request stops searching instead of burning
 	// a worker; algorithms without one fall back to the plain signature.
 	embedCtx map[string]ctxEmbedder
+	// cache is the cross-request path-tree cache the builtin tree searches
+	// share (nil when disabled). Coherence is by ledger view epoch, so the
+	// cache needs no invalidation hooks from the commit loop or the fault
+	// endpoints: any state change moves the epoch and strands old entries,
+	// which age out as new epochs fill in.
+	cache *graph.TreeCache
 
 	// mu guards the live state below. The commit loop takes it to
 	// validate+commit, release paths take it to return capacity, and
@@ -274,11 +286,17 @@ func New(cfg Config) (*Server, error) {
 	if rebaseLen < 64 {
 		rebaseLen = 64
 	}
+	var cache *graph.TreeCache
+	if cfg.PathCacheSize >= 0 {
+		cache = graph.NewTreeCache(cfg.PathCacheSize)
+	}
+	telemetry.InitPathCacheMetrics()
 	s := &Server{
 		cfg:        cfg,
 		net:        cfg.Net,
-		embedder:   builtinEmbedders(cfg.Seed),
-		embedCtx:   builtinCtxEmbedders(),
+		embedder:   builtinEmbedders(cfg.Seed, cache),
+		embedCtx:   builtinCtxEmbedders(cache),
+		cache:      cache,
 		ledger:     network.NewLedger(cfg.Net).Overlay(),
 		rebaseLen:  rebaseLen,
 		flows:      online.NewFlowTable[int64](),
@@ -322,14 +340,19 @@ func New(cfg Config) (*Server, error) {
 }
 
 // builtinCtxEmbedders maps the builtin algorithms that support
-// cooperative cancellation to their context-aware entry points.
-func builtinCtxEmbedders() map[string]ctxEmbedder {
+// cooperative cancellation to their context-aware entry points. cache,
+// when non-nil, is shared by every mbbe/bbe run (see Config.PathCacheSize).
+func builtinCtxEmbedders(cache *graph.TreeCache) map[string]ctxEmbedder {
+	mbbeOpts := core.MBBEOptions()
+	mbbeOpts.PathCache = cache
+	bbeOpts := core.BBEOptions()
+	bbeOpts.PathCache = cache
 	return map[string]ctxEmbedder{
 		"mbbe": func(ctx context.Context, p *core.Problem) (*core.Result, error) {
-			return core.EmbedContext(ctx, p, core.MBBEOptions())
+			return core.EmbedContext(ctx, p, mbbeOpts)
 		},
 		"bbe": func(ctx context.Context, p *core.Problem) (*core.Result, error) {
-			return core.EmbedContext(ctx, p, core.BBEOptions())
+			return core.EmbedContext(ctx, p, bbeOpts)
 		},
 	}
 }
@@ -337,12 +360,16 @@ func builtinCtxEmbedders() map[string]ctxEmbedder {
 // builtinEmbedders is the default algorithm registry. The randomized
 // algorithms share one seeded rng behind a lock, so their embeds
 // serialize — acceptable for baselines.
-func builtinEmbedders(seed int64) map[string]Embedder {
+func builtinEmbedders(seed int64, cache *graph.TreeCache) map[string]Embedder {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
+	mbbeOpts := core.MBBEOptions()
+	mbbeOpts.PathCache = cache
+	bbeOpts := core.BBEOptions()
+	bbeOpts.PathCache = cache
 	return map[string]Embedder{
-		"mbbe": core.EmbedMBBE,
-		"bbe":  core.EmbedBBE,
+		"mbbe": func(p *core.Problem) (*core.Result, error) { return core.Embed(p, mbbeOpts) },
+		"bbe":  func(p *core.Problem) (*core.Result, error) { return core.Embed(p, bbeOpts) },
 		"minv": baseline.EmbedMINV,
 		"ranv": func(p *core.Problem) (*core.Result, error) {
 			mu.Lock()

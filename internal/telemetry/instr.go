@@ -55,6 +55,44 @@ func RecordOverlayCommit() {
 		"Overlay ledgers committed into their base ledger.").Inc()
 }
 
+// Cross-request path-tree cache metric names (PR 7).
+const (
+	MetricPathCacheHits      = "dagsfc_path_cache_hits_total"
+	MetricPathCacheMisses    = "dagsfc_path_cache_misses_total"
+	MetricPathCacheEvictions = "dagsfc_path_cache_evictions_total"
+)
+
+// RecordPathCache records one consultation of the cross-request path-tree
+// cache: a hit served a previously computed Dijkstra tree, a miss fell
+// through to a fresh computation.
+func RecordPathCache(hit bool) {
+	if hit {
+		Default().Counter(MetricPathCacheHits,
+			"Path-tree cache lookups served from a cached Dijkstra tree.").Inc()
+		return
+	}
+	Default().Counter(MetricPathCacheMisses,
+		"Path-tree cache lookups that computed a fresh Dijkstra tree.").Inc()
+}
+
+// RecordPathCacheEvictions records trees evicted from the path-tree cache
+// by epoch aging or the size cap.
+func RecordPathCacheEvictions(n int) {
+	Default().Counter(MetricPathCacheEvictions,
+		"Path trees evicted from the cache by epoch aging or the size cap.").Add(float64(n))
+}
+
+// InitPathCacheMetrics pre-creates the path-tree cache counter families at
+// zero so they appear in scrapes before the first embed touches the cache.
+func InitPathCacheMetrics() {
+	Default().Counter(MetricPathCacheHits,
+		"Path-tree cache lookups served from a cached Dijkstra tree.").Add(0)
+	Default().Counter(MetricPathCacheMisses,
+		"Path-tree cache lookups that computed a fresh Dijkstra tree.").Add(0)
+	Default().Counter(MetricPathCacheEvictions,
+		"Path trees evicted from the cache by epoch aging or the size cap.").Add(0)
+}
+
 // Survivability metric names (PR 5): the fault injector's apply/restore
 // traffic, the server's flow-repair pipeline, the admission circuit
 // breaker, and worker panic recoveries.
