@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke bench-json bench-guard serve-smoke obs-smoke chaos-smoke race-survival repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke bench-json bench-guard serve-smoke obs-smoke chaos-smoke durable-smoke race-survival repro examples vet fmt
 
 all: build vet test
 
@@ -46,12 +46,15 @@ bench-smoke:
 # purpose: a benchmark failure fails the target before anything is parsed.
 # CI runs it with BENCHTIME=1x BENCH_LABEL=ci as a smoke check (errors
 # fail, thresholds don't).
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 BENCH_LABEL ?= after
 BENCHTIME ?= 0.5s
 BENCH_RAW ?= /tmp/dagsfc-bench-raw.txt
+# -timeout 30m: the serve-throughput family (plain + three fsync
+# policies) alone runs several minutes at the default benchtime, which
+# busts go test's 10m per-package default.
 bench-json:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/graph/ ./internal/core/ ./internal/network/ ./cmd/dagsfc-load/ > $(BENCH_RAW)
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -timeout 30m -run '^$$' ./internal/graph/ ./internal/core/ ./internal/network/ ./cmd/dagsfc-load/ > $(BENCH_RAW)
 	@cat $(BENCH_RAW)
 	$(GO) run ./cmd/dagsfc-bench -parse-bench $(BENCH_RAW) -bench-label $(BENCH_LABEL) -bench-out $(BENCH_JSON)
 
@@ -61,9 +64,13 @@ bench-json:
 # path-cache embed lost its 1.5x speedup floor. The 20% limit is wide on
 # purpose — it absorbs host-to-host ns/op noise while still catching
 # real hot-path regressions.
+# -guard-serve-old adds the durability-tax check: the serve throughput
+# with the WAL on but fsync off must stay within the same limit of the
+# pre-durability BenchmarkServeThroughput baseline.
 BENCH_GUARD_OLD ?= BENCH_PR4.json
+BENCH_GUARD_SERVE_OLD ?= BENCH_PR7.json
 bench-guard: bench-json
-	$(GO) run ./cmd/dagsfc-bench -guard-old $(BENCH_GUARD_OLD) -guard-new $(BENCH_JSON)
+	$(GO) run ./cmd/dagsfc-bench -guard-old $(BENCH_GUARD_OLD) -guard-new $(BENCH_JSON) -guard-serve-old $(BENCH_GUARD_SERVE_OLD)
 
 # serve-smoke boots the control plane in-process on an ephemeral port and
 # drives one full commit/release cycle over real HTTP: residuals must
@@ -88,6 +95,16 @@ obs-smoke:
 # event journal is dumped for post-mortem (CI uploads it as an artifact).
 chaos-smoke:
 	$(GO) run ./cmd/dagsfc-chaos -selfserve -smoke -journal-dump /tmp/chaos-journal.json
+
+# durable-smoke is the durability acceptance check: drive a seeded
+# workload against a WAL-backed server, SIGKILL it (in-process crash: the
+# log's user-space buffer is dropped, nothing is flushed) at a seeded
+# point, restart over the same WAL directory, finish the workload, and
+# require the flow table and every ledger residual to be identical to a
+# never-killed control run of the same seed. The WAL directory is kept
+# for the CI artifact on failure.
+durable-smoke:
+	$(GO) run ./cmd/dagsfc-chaos -kill-restart -smoke -wal-dir /tmp/dagsfc-wal-smoke
 
 # The survivability packages run concurrent repair controllers, fault
 # injection, and breaker state under load — run them under the race

@@ -18,14 +18,14 @@
 // (`make bench-json`): -parse-bench reads raw `go test -bench -benchmem`
 // output and merges it into a labelled JSON ledger:
 //
-//	dagsfc-bench -parse-bench bench.out -bench-label after -bench-out BENCH_PR7.json
+//	dagsfc-bench -parse-bench bench.out -bench-label after -bench-out BENCH_PR8.json
 //
 // A third mode guards against hot-path regressions (`make bench-guard`):
 // it compares the "after" runs of two ledgers and exits non-zero when a
 // guarded benchmark's ns/op regressed past -guard-limit or the warm
 // path-cache embed lost its speedup floor:
 //
-//	dagsfc-bench -guard-old BENCH_PR4.json -guard-new BENCH_PR7.json
+//	dagsfc-bench -guard-old BENCH_PR4.json -guard-new BENCH_PR8.json -guard-serve-old BENCH_PR7.json
 package main
 
 import (
@@ -54,15 +54,16 @@ func main() {
 
 		parseBench = flag.String("parse-bench", "", "parse raw `go test -bench` output from this file into the benchmark JSON ledger and exit (skips the experiment sweep)")
 		benchLabel = flag.String("bench-label", "after", "run label to record the parsed benchmarks under")
-		benchOut   = flag.String("bench-out", "BENCH_PR7.json", "benchmark JSON ledger to create or update")
+		benchOut   = flag.String("bench-out", "BENCH_PR8.json", "benchmark JSON ledger to create or update")
 
-		guardOld   = flag.String("guard-old", "", "baseline benchmark JSON ledger; with -guard-new, compare and exit non-zero on regression (skips the experiment sweep)")
-		guardNew   = flag.String("guard-new", "", "candidate benchmark JSON ledger to check against -guard-old")
-		guardLimit = flag.Float64("guard-limit", 0.20, "allowed fractional ns/op regression per guarded benchmark")
+		guardOld      = flag.String("guard-old", "", "baseline benchmark JSON ledger; with -guard-new, compare and exit non-zero on regression (skips the experiment sweep)")
+		guardNew      = flag.String("guard-new", "", "candidate benchmark JSON ledger to check against -guard-old")
+		guardLimit    = flag.Float64("guard-limit", 0.20, "allowed fractional ns/op regression per guarded benchmark")
+		guardServeOld = flag.String("guard-serve-old", "", "pre-durability ledger: the candidate's durability-off serve throughput must stay within -guard-limit of its BenchmarkServeThroughput")
 	)
 	diag.Main("dagsfc-bench", func() error {
 		if *guardOld != "" || *guardNew != "" {
-			return guardBench(*guardOld, *guardNew, *guardLimit)
+			return guardBench(*guardOld, *guardNew, *guardLimit, *guardServeOld)
 		}
 		if *parseBench != "" {
 			return mergeBench(*parseBench, *benchLabel, *benchOut)
@@ -133,7 +134,7 @@ const cachedSpeedupFloor = 1.5
 // candidate's warm-cache embed lost its speedup floor. Machine-to-machine
 // noise is why the guard compares ledgers produced on the same host (CI
 // regenerates the candidate next to the committed baseline).
-func guardBench(oldPath, newPath string, limit float64) error {
+func guardBench(oldPath, newPath string, limit float64, serveOldPath string) error {
 	if oldPath == "" || newPath == "" {
 		return fmt.Errorf("-guard-old and -guard-new must both be set")
 	}
@@ -189,6 +190,35 @@ func guardBench(oldPath, newPath string, limit float64) error {
 		fmt.Printf("guard: warm path-cache embed speedup %.2fx (floor %.1fx)  %s\n", speedup, cachedSpeedupFloor, verdict)
 	} else if !okC {
 		failures = append(failures, fmt.Sprintf("BenchmarkEmbedMBBECached missing from candidate %s", newPath))
+	}
+
+	// The durability tax guard: with fsync off, the WAL costs only record
+	// serialization plus buffered writes, and that overhead must stay
+	// within the limit of the pre-durability serve throughput (a
+	// cross-ledger pair: the old ledger predates the durable benchmark).
+	if serveOldPath != "" {
+		serveRun, err := loadAfterRun(serveOldPath)
+		if err != nil {
+			return err
+		}
+		oldServe, okOld := byName(serveRun, "BenchmarkServeThroughput")
+		newDurable, okNew := byName(newRun, "BenchmarkServeThroughputDurable/fsync=off")
+		switch {
+		case !okOld:
+			fmt.Printf("guard: BenchmarkServeThroughput absent from %s; skipping the durability-tax check\n", serveOldPath)
+		case !okNew:
+			failures = append(failures, fmt.Sprintf("BenchmarkServeThroughputDurable/fsync=off missing from candidate %s", newPath))
+		default:
+			ratio := newDurable.NsPerOp / oldServe.NsPerOp
+			verdict := "ok"
+			if ratio > 1+limit {
+				verdict = "REGRESSED"
+				failures = append(failures, fmt.Sprintf("durability-off serve throughput: %.0f -> %.0f ns/op (%+.1f%%, limit %+.0f%%)",
+					oldServe.NsPerOp, newDurable.NsPerOp, (ratio-1)*100, limit*100))
+			}
+			fmt.Printf("guard: %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+				"serve durability tax (fsync=off)", oldServe.NsPerOp, newDurable.NsPerOp, (ratio-1)*100, verdict)
+		}
 	}
 
 	if len(failures) > 0 {

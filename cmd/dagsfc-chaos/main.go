@@ -64,17 +64,27 @@ func main() {
 		nodes       = flag.Int("nodes", 50, "generated network size (selfserve only)")
 		smoke       = flag.Bool("smoke", false, "shrink to the deterministic CI run")
 		journalDump = flag.String("journal-dump", "", "on failure, write the server's full journal as JSON to this file")
+		dumpAlways  = flag.Bool("journal-dump-always", false, "write the -journal-dump file on success too, not only on invariant failure")
+		killRestart = flag.Bool("kill-restart", false, "durability check: kill a WAL-backed server at a seeded point mid-workload, restart it, compare against a never-killed control run")
+		walDir      = flag.String("wal-dir", "", "WAL directory: required by -kill-restart (emptied first; default a temp dir), optional for -selfserve")
 	)
 	diag.Main("dagsfc-chaos", func() error {
 		if *smoke {
 			*n, *faultCount, *unit = 24, 6, 10*time.Millisecond
+		}
+		if *killRestart {
+			return runKillRestart(killRestartConfig{
+				nodes: *nodes, kinds: *kinds, seed: *seed, n: *n,
+				sfcCfg: sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds},
+				rate:   *rate, walDir: *walDir,
+			})
 		}
 		base := *url
 		if base == "" && !*selfserve {
 			return fmt.Errorf("-url or -selfserve is required")
 		}
 		if base == "" {
-			srv, addr, stop, err := startSelfServe(*nodes, *kinds, *seed)
+			srv, addr, stop, err := startSelfServe(*nodes, *kinds, *seed, *walDir)
 			if err != nil {
 				return err
 			}
@@ -97,14 +107,19 @@ func main() {
 			// recorder's view of every flow a fault touched, plus a full
 			// JSON dump for the CI artifact.
 			dumpJournalOnFailure(cl, *journalDump)
+		} else if *dumpAlways {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			dumpJournalFile(ctx, cl, *journalDump)
+			cancel()
 		}
 		return err
 	})
 }
 
 // startSelfServe boots an in-process control plane with fast repair
-// knobs, so the chaos run still crosses a real HTTP round-trip.
-func startSelfServe(nodes, kinds int, seed int64) (*server.Server, string, func(), error) {
+// knobs, so the chaos run still crosses a real HTTP round-trip. A
+// non-empty walDir makes it durable.
+func startSelfServe(nodes, kinds int, seed int64, walDir string) (*server.Server, string, func(), error) {
 	gen := netgen.Default()
 	gen.Nodes = nodes
 	gen.VNFKinds = kinds
@@ -115,6 +130,7 @@ func startSelfServe(nodes, kinds int, seed int64) (*server.Server, string, func(
 	srv, err := server.New(server.Config{
 		Net: nw, Seed: seed,
 		RepairBackoff: 5 * time.Millisecond, RepairBackoffCap: 100 * time.Millisecond,
+		WALDir: walDir,
 	})
 	if err != nil {
 		return nil, "", nil, err
@@ -449,6 +465,24 @@ func dumpJournalOnFailure(cl *client.Client, dumpFile string) {
 			fmt.Fprintln(os.Stderr, line)
 		}
 	}
+	writeJournalFile(events, dumpFile)
+}
+
+// dumpJournalFile fetches the journal and writes the JSON dump — the
+// -journal-dump-always path, without the failure post-mortem trace.
+func dumpJournalFile(ctx context.Context, cl *client.Client, dumpFile string) {
+	if dumpFile == "" {
+		return
+	}
+	events, err := fetchJournal(ctx, cl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: journal unavailable for dump: %v\n", err)
+		return
+	}
+	writeJournalFile(events, dumpFile)
+}
+
+func writeJournalFile(events []journal.Event, dumpFile string) {
 	if dumpFile == "" {
 		return
 	}
@@ -465,6 +499,162 @@ func dumpJournalOnFailure(cl *client.Client, dumpFile string) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "chaos: wrote %d journal events to %s\n", len(events), dumpFile)
+}
+
+// --- kill-restart: the durability acceptance check -------------------
+
+type killRestartConfig struct {
+	nodes, kinds int
+	seed         int64
+	n            int
+	sfcCfg       sfcgen.Config
+	rate         float64
+	walDir       string
+}
+
+// killOp is one step of the seeded workload: a flow arrival, or a
+// departure that releases one currently-live flow (picked by slot so the
+// choice is deterministic whenever the live sets agree).
+type killOp struct {
+	submit  *server.FlowRequest
+	release int
+}
+
+// runKillRestart proves the durability guarantee end to end. The same
+// seeded workload of arrivals and departures is driven against two
+// in-process servers: a control that is never killed, and a WAL-backed
+// one killed (server.Crash — the in-process SIGKILL: no final snapshot,
+// no flush, nothing beyond what the per-commit fsync policy already
+// forced to disk) at a seeded random point, then restarted over the same
+// WAL directory to finish the workload. Same seed must give the same end
+// state: flow table identical field for field (timestamps excepted — the
+// two runs happen at different wall times) and ledger residuals
+// float-identical.
+func runKillRestart(cfg killRestartConfig) error {
+	ctx := context.Background()
+	if cfg.walDir == "" {
+		dir, err := os.MkdirTemp("", "dagsfc-wal-")
+		if err != nil {
+			return err
+		}
+		cfg.walDir = dir
+	} else {
+		// A stale log would replay a previous run's state into this one.
+		if err := os.RemoveAll(cfg.walDir); err != nil {
+			return err
+		}
+	}
+
+	// The workload: n arrivals, each followed by a seeded chance of one
+	// departure. Generated once, applied identically to both runs.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	var ops []killOp
+	for i := 0; i < cfg.n; i++ {
+		dag, err := sfcgen.Generate(cfg.sfcCfg, rng)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, killOp{submit: &server.FlowRequest{
+			SFC: sfc.Format(dag),
+			Src: rng.Intn(cfg.nodes), Dst: rng.Intn(cfg.nodes),
+			Rate: cfg.rate, Size: 1,
+		}})
+		if rng.Float64() < 0.35 {
+			ops = append(ops, killOp{release: rng.Intn(1 << 30)})
+		}
+	}
+	killAt := 1 + rand.New(rand.NewSource(cfg.seed^0x6b696c6c)).Intn(len(ops)-1) // "kill"
+	fmt.Fprintf(os.Stderr, "kill-restart: %d ops, SIGKILL before op %d, wal dir %s\n",
+		len(ops), killAt, cfg.walDir)
+
+	newServer := func(wal bool) (*server.Server, error) {
+		gen := netgen.Default()
+		gen.Nodes, gen.VNFKinds = cfg.nodes, cfg.kinds
+		nw, err := netgen.Generate(gen, rand.New(rand.NewSource(cfg.seed)))
+		if err != nil {
+			return nil, err
+		}
+		scfg := server.Config{Net: nw, Seed: cfg.seed}
+		if wal {
+			scfg.WALDir, scfg.WALSync = cfg.walDir, "commit"
+			scfg.WALSnapshotEvery = 8 // small, so the kill crosses snapshot generations
+		}
+		return server.New(scfg)
+	}
+
+	// Control run: never killed.
+	control, err := newServer(false)
+	if err != nil {
+		return err
+	}
+	defer control.Close()
+	var controlLive []int64
+	for _, op := range ops {
+		applyKillOp(ctx, control, op, &controlLive)
+	}
+
+	// Durable run: killed before ops[killAt], restarted, finished.
+	durable, err := newServer(true)
+	if err != nil {
+		return err
+	}
+	var durableLive []int64
+	for _, op := range ops[:killAt] {
+		applyKillOp(ctx, durable, op, &durableLive)
+	}
+	durable.Crash()
+	fmt.Fprintf(os.Stderr, "kill-restart: killed after %d ops (%d flows live), restarting...\n",
+		killAt, len(durableLive))
+	restarted, err := newServer(true)
+	if err != nil {
+		return fmt.Errorf("kill-restart: recovery failed: %w", err)
+	}
+	defer restarted.Close()
+	fmt.Fprintf(os.Stderr, "kill-restart: recovered %d active flows\n", restarted.ActiveFlows())
+	for _, op := range ops[killAt:] {
+		applyKillOp(ctx, restarted, op, &durableLive)
+	}
+
+	// The two runs must agree exactly.
+	a, b := control.Flows(), restarted.Flows()
+	if len(a) != len(b) {
+		return fmt.Errorf("kill-restart: flow count diverged: control %d vs recovered %d", len(a), len(b))
+	}
+	sort.Slice(a, func(i, k int) bool { return a[i].ID < a[k].ID })
+	sort.Slice(b, func(i, k int) bool { return b[i].ID < b[k].ID })
+	for i := range a {
+		ca, cb := a[i], b[i]
+		ca.Created, cb.Created = time.Time{}, time.Time{}
+		ca.ExpiresAt, cb.ExpiresAt = nil, nil
+		if ca != cb {
+			return fmt.Errorf("kill-restart: flow %d diverged:\ncontrol:   %+v\nrecovered: %+v", ca.ID, ca, cb)
+		}
+	}
+	if !sameResiduals(control.NetworkState(), restarted.NetworkState()) {
+		return fmt.Errorf("kill-restart: ledger residuals diverged from the control run")
+	}
+	fmt.Fprintf(os.Stderr, "kill-restart: %d flows and every residual identical to the never-killed control — ok\n", len(a))
+	return nil
+}
+
+// applyKillOp applies one workload op, maintaining the driver-side list
+// of live flow IDs in arrival order. Rejections are part of the workload
+// (both runs see the same ones); only transport-level errors would
+// differ, and Submit is in-process here.
+func applyKillOp(ctx context.Context, srv *server.Server, op killOp, live *[]int64) {
+	if op.submit != nil {
+		if info, err := srv.Submit(ctx, *op.submit); err == nil {
+			*live = append(*live, info.ID)
+		}
+		return
+	}
+	if len(*live) == 0 {
+		return
+	}
+	i := op.release % len(*live)
+	if _, err := srv.Release((*live)[i]); err == nil {
+		*live = append((*live)[:i], (*live)[i+1:]...)
+	}
 }
 
 func sameResiduals(a, b server.NetworkState) bool {

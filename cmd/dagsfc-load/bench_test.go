@@ -24,7 +24,25 @@ import (
 // path-tree cache (on by default) warms within the first few flows and
 // serves the rest, which is the regime the cache was built for.
 func BenchmarkServeThroughput(b *testing.B) {
-	srv, addr, stop, err := startSelfServe(50, 10, 1, "off", "text")
+	benchServeThroughput(b, "", "")
+}
+
+// BenchmarkServeThroughputDurable is the same workload with the
+// write-ahead log enabled, one sub-benchmark per fsync policy: "off"
+// prices the pure logging overhead (serialization + buffered writes),
+// "batch" adds the group-commit flusher, "commit" adds an fsync to every
+// acknowledgment — the durability/throughput trade the -wal-sync flag
+// exposes.
+func BenchmarkServeThroughputDurable(b *testing.B) {
+	for _, policy := range []string{"off", "batch", "commit"} {
+		b.Run("fsync="+policy, func(b *testing.B) {
+			benchServeThroughput(b, b.TempDir(), policy)
+		})
+	}
+}
+
+func benchServeThroughput(b *testing.B, walDir, walSync string) {
+	srv, addr, stop, err := startSelfServe(50, 10, 1, "off", "text", walDir, walSync)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -60,6 +60,8 @@ func main() {
 		nodes       = flag.Int("nodes", 50, "generated network size (selfserve only)")
 		logLevel    = flag.String("log-level", "off", "selfserve structured log threshold: debug, info, warn, error, off")
 		logFormat   = flag.String("log-format", "text", "selfserve structured log encoding: text or json")
+		walDir      = flag.String("wal-dir", "", "selfserve durable flow state directory (empty = durability off)")
+		walSync     = flag.String("wal-sync", "commit", "selfserve WAL fsync policy: commit, batch or off")
 	)
 	diag.Main("dagsfc-load", func() error {
 		base := *url
@@ -67,7 +69,7 @@ func main() {
 			return fmt.Errorf("-url or -selfserve is required")
 		}
 		if base == "" {
-			srv, addr, stopServe, err := startSelfServe(*nodes, *kinds, *seed, *logLevel, *logFormat)
+			srv, addr, stopServe, err := startSelfServe(*nodes, *kinds, *seed, *logLevel, *logFormat, *walDir, *walSync)
 			if err != nil {
 				return err
 			}
@@ -90,8 +92,9 @@ func main() {
 }
 
 // startSelfServe boots an in-process control plane on an ephemeral local
-// port, so the load path still crosses a real HTTP round-trip.
-func startSelfServe(nodes, kinds int, seed int64, logLevel, logFormat string) (*server.Server, string, func(), error) {
+// port, so the load path still crosses a real HTTP round-trip. A
+// non-empty walDir makes it durable under the given fsync policy.
+func startSelfServe(nodes, kinds int, seed int64, logLevel, logFormat, walDir, walSync string) (*server.Server, string, func(), error) {
 	gen := netgen.Default()
 	gen.Nodes = nodes
 	gen.VNFKinds = kinds
@@ -103,7 +106,7 @@ func startSelfServe(nodes, kinds int, seed int64, logLevel, logFormat string) (*
 	if err != nil {
 		return nil, "", nil, err
 	}
-	srv, err := server.New(server.Config{Net: nw, Seed: seed, Logger: logger})
+	srv, err := server.New(server.Config{Net: nw, Seed: seed, Logger: logger, WALDir: walDir, WALSync: walSync})
 	if err != nil {
 		return nil, "", nil, err
 	}

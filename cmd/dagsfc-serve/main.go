@@ -15,6 +15,16 @@
 //	             [-repair-retries 3] [-repair-backoff 25ms]
 //	             [-breaker-failures 0] [-breaker-cooldown 1s]
 //	             [-journal 4096] [-log-level info] [-log-format text|json]
+//	             [-wal-dir state/] [-wal-sync commit|batch|off]
+//	             [-wal-flush 5ms] [-wal-segment-bytes 4194304]
+//	             [-wal-snapshot-every 1024]
+//
+// With -wal-dir the server is durable: every flow lifecycle mutation is
+// appended to a write-ahead log and the full state is snapshotted
+// periodically, so a restart over the same directory recovers the flow
+// table, ledger residuals and fault quarantine exactly. A directory
+// holding an unrecoverable log refuses to start rather than silently
+// opening empty.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (healthz turns 503,
 // new flows get 503), in-flight requests finish, then the HTTP listener
@@ -73,6 +83,11 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", time.Second, "breaker open time before the half-open probe")
 		journalSize  = flag.Int("journal", 4096, "flight-recorder ring capacity (events replayable over /v1/events)")
 		pathCache    = flag.Int("path-cache", 0, "cross-request path-tree cache size in trees (0 = default 4096, negative = disabled)")
+		walDir       = flag.String("wal-dir", "", "durable flow state directory: write-ahead log + snapshots (empty = durability off)")
+		walSync      = flag.String("wal-sync", "commit", "WAL fsync policy: commit (fsync per acknowledgment), batch (group-commit), off (OS writeback)")
+		walFlush     = flag.Duration("wal-flush", 5*time.Millisecond, "group-commit period for -wal-sync batch")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 4<<20, "rotate WAL segments past this size")
+		walSnapEvery = flag.Int("wal-snapshot-every", 1024, "state snapshot every N WAL records (negative = only on drain)")
 		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error, off")
 		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
 	)
@@ -98,6 +113,9 @@ func main() {
 			BreakerFailures: *brkFails, BreakerCooldown: *brkCooldown,
 			JournalSize: *journalSize, Logger: logger,
 			PathCacheSize: *pathCache,
+			WALDir:        *walDir, WALSync: *walSync,
+			WALFlushInterval: *walFlush, WALSegmentBytes: *walSegBytes,
+			WALSnapshotEvery: *walSnapEvery,
 		}
 		return run(*addr, *netFile, gen, cfg, *drainTimeout)
 	})

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -105,6 +104,15 @@ type Options struct {
 	// only be served to a run whose ledger presents the exact residual
 	// view the tree was computed under (see network.Ledger.ViewEpoch).
 	PathCache *graph.TreeCache
+	// BannedEdges and BannedNodes exclude substrate elements from every
+	// path search in the run — the per-request variant graph.CostOptions
+	// bans express for a single search. Yen-style alternative-path
+	// embeds and what-if re-embeds around a faulty element use these.
+	// Banned variants still share PathCache: the ban sets are part of
+	// the cache key fingerprint, so a banned run's trees can never be
+	// served to an unbanned run or vice versa. A nil map bans nothing.
+	BannedEdges map[graph.EdgeID]bool
+	BannedNodes map[graph.NodeID]bool
 }
 
 // BBEOptions returns the configuration for the plain Breadth-first
@@ -246,16 +254,22 @@ func EmbedContext(ctx context.Context, p *Problem, opts Options) (*Result, error
 	// (and its Residual closure) serves every search instead of allocating
 	// a fresh pair per query.
 	e.costOpts = e.ledger.CostOptions(p.Rate)
-	if opts.PathCache != nil && p.Ledger != nil &&
-		e.costOpts.BannedEdges == nil && e.costOpts.BannedNodes == nil {
+	if len(opts.BannedEdges) > 0 {
+		e.costOpts.BannedEdges = opts.BannedEdges
+	}
+	if len(opts.BannedNodes) > 0 {
+		e.costOpts.BannedNodes = opts.BannedNodes
+	}
+	if opts.PathCache != nil && p.Ledger != nil {
 		// Pin the ledger's view epoch once for the whole run. Cache entries
 		// are inserted only if the view is still identical after the tree is
 		// computed, so a hit under this epoch is always bit-identical to
-		// computing fresh. Ban sets would need their own fingerprint;
-		// CostOptions never sets them today, but guard anyway.
+		// computing fresh. The fingerprint covers the demand floor AND the
+		// ban sets, so banned request variants share the cache without ever
+		// colliding with unbanned runs.
 		e.cache = opts.PathCache
 		e.cacheEpoch = e.ledger.ViewEpoch()
-		e.cacheFP = math.Float64bits(e.costOpts.MinCapacity)
+		e.cacheFP = e.costOpts.Fingerprint()
 	}
 	e.scratch = acquireScratchSlots(workers)
 	defer releaseScratchSlots(e.scratch)

@@ -125,6 +125,135 @@ func TestPathCacheInvalidationOnMutation(t *testing.T) {
 	}
 }
 
+// TestPathCacheBannedVariants: banned-edge/node request variants used to
+// bypass the cache entirely; now the ban sets are part of the key
+// fingerprint. Three properties: a banned cached embed equals a banned
+// uncached embed bit for bit, distinct ban sets never serve each other's
+// trees, and re-running each variant warm hits its own entries.
+func TestPathCacheBannedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := randomProblem(rng, 120, 6, 4)
+	p.Ledger = network.NewLedger(p.Net).Overlay()
+	cache := graph.NewTreeCache(0)
+
+	// Ban elements the unbanned solution actually uses, so each variant is
+	// forced onto genuinely different paths (the Yen/what-if shape).
+	unbanned, err := Embed(p, MBBEOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var usedEdge graph.EdgeID = -1
+	for _, l := range unbanned.Solution.Layers {
+		for _, ip := range l.InterPaths {
+			if len(ip.Edges) > 0 {
+				usedEdge = ip.Edges[0]
+			}
+		}
+	}
+	if usedEdge < 0 && len(unbanned.Solution.TailPath.Edges) > 0 {
+		usedEdge = unbanned.Solution.TailPath.Edges[0]
+	}
+	usedNode := unbanned.Solution.Layers[0].Nodes[0]
+	if usedEdge < 0 {
+		t.Fatal("unbanned solution uses no links; fixture too small")
+	}
+
+	variants := []struct {
+		label string
+		edges map[graph.EdgeID]bool
+		nodes map[graph.NodeID]bool
+	}{
+		{label: "unbanned"},
+		{label: "ban-edge", edges: map[graph.EdgeID]bool{usedEdge: true}},
+		{label: "ban-node", nodes: map[graph.NodeID]bool{usedNode: true}},
+		{label: "ban-both", edges: map[graph.EdgeID]bool{usedEdge: true}, nodes: map[graph.NodeID]bool{usedNode: true}},
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	baselines := make(map[string]outcome)
+	for _, v := range variants {
+		opts := MBBEOptions()
+		opts.BannedEdges, opts.BannedNodes = v.edges, v.nodes
+		res, err := Embed(p, opts)
+		baselines[v.label] = outcome{res, err}
+	}
+	// The ban sets must actually change results somewhere, or the test
+	// proves nothing about cross-variant isolation.
+	distinct := false
+	for _, v := range variants[1:] {
+		b, u := baselines[v.label], baselines["unbanned"]
+		if b.err != nil || !reflect.DeepEqual(b.res.Solution, u.res.Solution) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("no ban variant changed the solution; pick bans that matter")
+	}
+
+	for pass, label := range []string{"cold", "warm"} {
+		for _, v := range variants {
+			opts := MBBEOptions()
+			opts.PathCache = cache
+			opts.BannedEdges, opts.BannedNodes = v.edges, v.nodes
+			res, err := Embed(p, opts)
+			want := baselines[v.label]
+			if (err == nil) != (want.err == nil) {
+				t.Fatalf("%s %s: err %v, uncached baseline err %v", label, v.label, err, want.err)
+			}
+			if err != nil {
+				continue
+			}
+			if !reflect.DeepEqual(res.Solution, want.res.Solution) || !reflect.DeepEqual(res.Cost, want.res.Cost) {
+				t.Fatalf("%s %s: cached result differs from uncached baseline", label, v.label)
+			}
+		}
+		hits, misses, _ := cache.Stats()
+		if pass == 0 && misses == 0 {
+			t.Fatal("cold pass recorded no cache misses")
+		}
+		if pass == 1 && hits == 0 {
+			t.Fatal("warm pass recorded no cache hits")
+		}
+	}
+}
+
+// TestCostOptionsFingerprint pins the fingerprint's discrimination and
+// stability properties the cache key relies on.
+func TestCostOptionsFingerprint(t *testing.T) {
+	base := &graph.CostOptions{MinCapacity: 2}
+	if base.Fingerprint() != (&graph.CostOptions{MinCapacity: 2}).Fingerprint() {
+		t.Fatal("equal options, different fingerprints")
+	}
+	// nil and the zero value admit the same edges, so they must agree.
+	if (*graph.CostOptions)(nil).Fingerprint() != (&graph.CostOptions{}).Fingerprint() {
+		t.Fatal("nil and zero-value options disagree")
+	}
+	variants := []*graph.CostOptions{
+		{},
+		base,
+		{MinCapacity: 3},
+		{MinCapacity: 2, BannedEdges: map[graph.EdgeID]bool{5: true}},
+		{MinCapacity: 2, BannedNodes: map[graph.NodeID]bool{5: true}}, // same ID, other kind
+		{MinCapacity: 2, BannedEdges: map[graph.EdgeID]bool{5: true, 6: true}},
+	}
+	seen := make(map[uint64]int)
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("variants %d and %d share fingerprint %x", prev, i, fp)
+		}
+		seen[fp] = i
+	}
+	// Explicit-false entries and map order must not matter.
+	a := &graph.CostOptions{BannedEdges: map[graph.EdgeID]bool{1: true, 2: true, 9: false}}
+	b := &graph.CostOptions{BannedEdges: map[graph.EdgeID]bool{2: true, 1: true}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("explicit-false entry or map order changed the fingerprint")
+	}
+}
+
 // TestPathCacheHitPathZeroAllocs is the allocation budget for serving a
 // warm tree: the cache lookup plus its telemetry record must not allocate
 // (the per-run memo entry around it is the run's own bookkeeping).

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,60 @@ type TreeCacheKey struct {
 	Src         NodeID
 	Epoch       uint64
 	Fingerprint uint64
+}
+
+// Fingerprint condenses the CostOptions fields that change which edges a
+// search admits — the capacity floor and the banned edge/node sets — into
+// the TreeCacheKey fingerprint (FNV-64a). Ban sets are folded in sorted
+// order with only their true entries, so map iteration order and
+// explicit-false entries cannot fork the hash; a section tag separates
+// banned edges from banned nodes so ID collisions across the two kinds
+// cannot alias. Residual is deliberately excluded: the view epoch in the
+// key already guarantees bit-identical residuals.
+func (o *CostOptions) Fingerprint() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	if o == nil {
+		mix(0)
+		return h
+	}
+	mix(math.Float64bits(o.MinCapacity))
+	for tag, banned := range [][]uint64{bannedIDs(o.BannedEdges), bannedIDs(o.BannedNodes)} {
+		if len(banned) == 0 {
+			continue
+		}
+		mix(uint64(tag) + 1)
+		mix(uint64(len(banned)))
+		for _, id := range banned {
+			mix(id)
+		}
+	}
+	return h
+}
+
+// bannedIDs extracts the true entries of a ban set in sorted order.
+func bannedIDs[K ~int32 | ~int](m map[K]bool) []uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(m))
+	for id, on := range m {
+		if on {
+			ids = append(ids, uint64(id))
+		}
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	return ids
 }
 
 // TreeCache is a cross-request cache of immutable *ShortestTree values,

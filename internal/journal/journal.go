@@ -245,6 +245,20 @@ func (j *Journal) Events() uint64 {
 	return j.next
 }
 
+// Resume fast-forwards an empty journal's sequence counter to continue
+// above seq — the durability layer's recovery path, so post-restart event
+// sequences never collide with pre-crash ones. A no-op once anything has
+// been appended or when seq would move the counter backwards.
+func (j *Journal) Resume(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.next != 0 || seq == 0 {
+		return
+	}
+	j.next = seq
+	j.start = seq
+}
+
 // Dropped reports how many events the ring has evicted to make room —
 // the overflow accounting the metrics mirror as
 // dagsfc_journal_dropped_total.

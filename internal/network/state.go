@@ -1,0 +1,90 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"dagsfc/internal/graph"
+)
+
+// LedgerState is a ledger's committed-usage view in a portable, exactly
+// round-trippable form — the snapshot body the durability layer persists.
+// Only nonzero entries appear, sorted by ID, so identical states always
+// serialize to identical bytes. Quarantined fault capacity is NOT part of
+// the state: faults are replayed as events and re-applied on recovery,
+// which reconstructs the quarantine table exactly (fault amounts are pure
+// functions of the immutable network).
+type LedgerState struct {
+	Edges     []EdgeUsage     `json:"edges,omitempty"`
+	Instances []InstanceUsage `json:"instances,omitempty"`
+}
+
+// EdgeUsage is one edge's committed bandwidth.
+type EdgeUsage struct {
+	Edge graph.EdgeID `json:"edge"`
+	Used float64      `json:"used"`
+}
+
+// InstanceUsage is one VNF instance's committed processing capacity.
+type InstanceUsage struct {
+	Node graph.NodeID `json:"node"`
+	VNF  VNFID        `json:"vnf"`
+	Used float64      `json:"used"`
+}
+
+// ExportState captures the ledger's current combined usage (base chain
+// plus overlay deltas) as raw float64 values. The values are the ledger's
+// own accumulated sums — no re-derivation — so importing them into a
+// fresh root reproduces every residual bit-for-bit regardless of the
+// commit/release history that produced them.
+func (l *Ledger) ExportState() LedgerState {
+	var st LedgerState
+	for e := 0; e < l.net.G.NumEdges(); e++ {
+		if u := l.EdgeUsed(graph.EdgeID(e)); u != 0 {
+			st.Edges = append(st.Edges, EdgeUsage{Edge: graph.EdgeID(e), Used: u})
+		}
+	}
+	// Key-union walk over the chain (the Flatten pattern): every instance
+	// with nonzero combined usage appears in at least one map.
+	seen := make(map[instKey]bool)
+	for cur := l; cur != nil; cur = cur.base {
+		for k := range cur.instUsed {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if u := l.InstanceUsed(k.node, k.vnf); u != 0 {
+				st.Instances = append(st.Instances, InstanceUsage{Node: k.node, VNF: k.vnf, Used: u})
+			}
+		}
+	}
+	sort.Slice(st.Instances, func(i, k int) bool {
+		a, b := st.Instances[i], st.Instances[k]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.VNF < b.VNF
+	})
+	return st
+}
+
+// NewLedgerFromState returns a fresh root ledger over net holding exactly
+// the exported usage — the float-exact inverse of ExportState. Entries
+// referencing edges or instances the network does not have are errors
+// (the snapshot belongs to a different substrate).
+func NewLedgerFromState(net *Network, st LedgerState) (*Ledger, error) {
+	l := NewLedger(net)
+	for _, e := range st.Edges {
+		if int(e.Edge) < 0 || int(e.Edge) >= net.G.NumEdges() {
+			return nil, fmt.Errorf("network: state references edge %d of a %d-edge network", e.Edge, net.G.NumEdges())
+		}
+		l.edgeUsed[e.Edge] = e.Used
+	}
+	for _, in := range st.Instances {
+		if _, ok := net.Instance(in.Node, in.VNF); !ok {
+			return nil, fmt.Errorf("network: state references missing instance f(%d) on node %d", in.VNF, in.Node)
+		}
+		l.instUsed[instKey{in.Node, in.VNF}] = in.Used
+	}
+	return l, nil
+}

@@ -1,0 +1,420 @@
+// Durability: the server side of internal/wal. Every state mutation —
+// commit, release, TTL expiry, eviction, fault apply/restore, stranding —
+// appends one record under s.mu, so the log's order IS the ledger's
+// mutation order; replaying the tail through the same core.Commit /
+// core.Release machinery therefore rebuilds every residual bit-for-bit
+// (the float-exact restore discipline from the fault layer: identical
+// operations in identical order on identical starting values). Snapshots
+// capture the raw accumulated ledger sums (network.LedgerState), never
+// re-derived values, so a fallback to an older snapshot plus a longer
+// replay lands on the same bits too.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+	"dagsfc/internal/online"
+	"dagsfc/internal/sfc"
+	"dagsfc/internal/telemetry"
+	"dagsfc/internal/wal"
+)
+
+// walFlow is the TypeCommit payload: everything needed to re-register the
+// flow — its wire description plus the exact placement whose reservations
+// the replay re-commits.
+type walFlow struct {
+	Info FlowInfo       `json:"info"`
+	Sol  *core.Solution `json:"sol"`
+}
+
+// walSnapshot is the snapshot payload: the full server state at the
+// watermark. The ledger is raw accumulated usage; active faults are
+// re-applied on load (quarantine amounts are pure functions of the
+// immutable network, so re-applying reconstructs the table exactly).
+type walSnapshot struct {
+	NextID         int64               `json:"next_id"`
+	Flows          []walSnapFlow       `json:"flows,omitempty"`
+	Ledger         network.LedgerState `json:"ledger"`
+	Faults         []FaultRequest      `json:"faults,omitempty"`
+	FaultsApplied  int                 `json:"faults_applied,omitempty"`
+	FaultsRestored int                 `json:"faults_restored,omitempty"`
+	JournalSeq     uint64              `json:"journal_seq,omitempty"`
+}
+
+// walSnapFlow is one flow in a snapshot. Sol is set for active flows
+// (their reservations are in the ledger state); Fault is set for
+// repairing flows so recovery can re-enqueue the repair; evicted
+// tombstones carry neither.
+type walSnapFlow struct {
+	Info  FlowInfo       `json:"info"`
+	Sol   *core.Solution `json:"sol,omitempty"`
+	Fault *FaultRequest  `json:"fault,omitempty"`
+}
+
+// walEvict is the TypeEvict payload.
+type walEvict struct {
+	LastError string `json:"last_error,omitempty"`
+}
+
+// walAppendLocked appends one state-mutating record. Caller holds s.mu —
+// that lock hold is what makes log order equal mutation order. Under the
+// per-commit sync policy the call returns only after the record is on
+// stable storage, so an acknowledged mutation is never lost. A broken WAL
+// (disk error) disables further appends rather than taking the server
+// down; the operator sees the log line and the wedged append counter.
+func (s *Server) walAppendLocked(t wal.Type, flow int64, payload []byte) {
+	if s.wal == nil || s.walBroken {
+		return
+	}
+	if _, err := s.wal.Append(wal.Record{Type: t, Flow: flow, Data: payload}); err != nil {
+		s.walBroken = true
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Error("wal append failed; durability disabled", "err", err)
+		}
+		return
+	}
+	s.walAppends++
+	if s.cfg.WALSnapshotEvery > 0 && s.walAppends >= s.cfg.WALSnapshotEvery {
+		s.walSnapshotLocked()
+	}
+}
+
+// walAdmit records an allocated flow ID (the high-water mark recovery
+// resumes allocation above). Admission does not hold s.mu; admit records
+// are order-insensitive — only the max matters — so that is safe.
+func (s *Server) walAdmit(id int64) {
+	if s.wal == nil {
+		return
+	}
+	s.mu.Lock()
+	s.walAppendLocked(wal.TypeAdmit, id, nil)
+	s.mu.Unlock()
+}
+
+// walSnapshotLocked writes a full-state snapshot at the current log
+// watermark and resets the append-count trigger. Caller holds s.mu, so no
+// state mutation can slip between exporting the state and stamping the
+// watermark.
+func (s *Server) walSnapshotLocked() {
+	if s.wal == nil || s.walBroken {
+		return
+	}
+	payload, err := json.Marshal(s.exportSnapshotLocked())
+	if err == nil {
+		err = s.wal.WriteSnapshot(payload)
+	}
+	if err != nil {
+		s.walBroken = true
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Error("wal snapshot failed; durability disabled", "err", err)
+		}
+		return
+	}
+	s.walAppends = 0
+}
+
+func (s *Server) exportSnapshotLocked() walSnapshot {
+	snap := walSnapshot{
+		NextID:         s.nextID.Load(),
+		Ledger:         s.ledger.ExportState(),
+		FaultsApplied:  s.faultsApplied,
+		FaultsRestored: s.faultsRestored,
+		JournalSeq:     s.journal.Events(),
+	}
+	for _, f := range s.activeFaults {
+		snap.Faults = append(snap.Faults, faultToWire(f))
+	}
+	ids := make([]int64, 0, len(s.meta))
+	for id := range s.meta {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	for _, id := range ids {
+		sf := walSnapFlow{Info: s.meta[id]}
+		if fl, ok := s.flows.Get(id); ok {
+			sf.Sol = fl.Solution
+		}
+		if fw, ok := s.repairFault[id]; ok {
+			sf.Fault = &fw
+		}
+		snap.Flows = append(snap.Flows, sf)
+	}
+	return snap
+}
+
+// recoveredState is what recovery defers until the pipeline is running:
+// flows whose TTL fired while the server was down (released through the
+// normal expiry path, so the release is itself logged), and repairs that
+// were pending at the crash.
+type recoveredState struct {
+	expired []int64
+	repairs []*repairTask
+}
+
+// problemFor rebuilds a flow's core.Problem from its wire description,
+// bound to the live ledger.
+func (s *Server) problemFor(info FlowInfo) (*core.Problem, error) {
+	dag, err := sfc.Parse(info.SFC)
+	if err != nil {
+		return nil, fmt.Errorf("flow %d: bad sfc %q: %v", info.ID, info.SFC, err)
+	}
+	return &core.Problem{
+		Net: s.net, Ledger: s.ledger, SFC: dag,
+		Src: graph.NodeID(info.Src), Dst: graph.NodeID(info.Dst),
+		Rate: info.Rate, Size: info.Size,
+	}, nil
+}
+
+// recover rebuilds the server's state from what wal.Open found on disk:
+// import the snapshot, then replay the tail through the same commit /
+// release / fault machinery live traffic uses. It runs before the
+// pipeline starts, so no locking is needed. Any inconsistency — a replay
+// commit that fails validation, a record referencing an impossible state
+// — is unrecoverable: the caller must refuse to start rather than serve
+// from a silently wrong state.
+func (s *Server) recover(rec *wal.Recovery) (*recoveredState, error) {
+	if rec.Snapshot != nil {
+		var snap walSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return nil, fmt.Errorf("%w: undecodable snapshot payload: %v", wal.ErrUnrecoverable, err)
+		}
+		root, err := network.NewLedgerFromState(s.net, snap.Ledger)
+		if err != nil {
+			return nil, fmt.Errorf("%w: snapshot ledger: %v", wal.ErrUnrecoverable, err)
+		}
+		for _, fw := range snap.Faults {
+			f, err := faultFromWire(fw)
+			if err == nil {
+				err = root.ApplyFault(f)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%w: snapshot fault %+v: %v", wal.ErrUnrecoverable, fw, err)
+			}
+			s.activeFaults = append(s.activeFaults, f)
+		}
+		s.ledger = root.Overlay()
+		s.faultsApplied = snap.FaultsApplied
+		s.faultsRestored = snap.FaultsRestored
+		for _, sf := range snap.Flows {
+			info := sf.Info
+			if sf.Sol != nil {
+				p, err := s.problemFor(info)
+				if err != nil {
+					return nil, fmt.Errorf("%w: snapshot %v", wal.ErrUnrecoverable, err)
+				}
+				s.flows.Add(info.ID, online.Flow{Problem: p, Solution: sf.Sol})
+			}
+			if sf.Fault != nil {
+				s.repairFault[info.ID] = *sf.Fault
+			}
+			s.meta[info.ID] = info
+		}
+		if snap.NextID > s.nextID.Load() {
+			s.nextID.Store(snap.NextID)
+		}
+		s.journal.Resume(snap.JournalSeq)
+	}
+	for _, r := range rec.Tail {
+		if err := s.replayRecord(r); err != nil {
+			return nil, fmt.Errorf("%w: replaying seq %d (%s, flow %d): %v",
+				wal.ErrUnrecoverable, r.Seq, r.Type, r.Flow, err)
+		}
+	}
+	telemetry.RecordWALReplay(len(rec.Tail))
+
+	// Classify the recovered flows: expired-while-down flows are released
+	// after the pipeline starts (never resurrected past their deadline),
+	// repairing flows go back to the repair controller. Both in ID order
+	// for determinism.
+	out := &recoveredState{}
+	ids := make([]int64, 0, len(s.meta))
+	for id := range s.meta {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	now := time.Now()
+	for _, id := range ids {
+		info := s.meta[id]
+		switch {
+		case info.State == FlowStateActive && info.ExpiresAt != nil && !info.ExpiresAt.After(now):
+			out.expired = append(out.expired, id)
+		case info.State == FlowStateRepairing:
+			fw, ok := s.repairFault[id]
+			var f network.Fault
+			if ok {
+				f, _ = faultFromWire(fw)
+			}
+			out.repairs = append(out.repairs, &repairTask{
+				id: id, fault: f, info: info, strandedAt: now,
+			})
+		}
+	}
+	return out, nil
+}
+
+// replayRecord applies one tail record, mirroring exactly what the live
+// path did when it appended it.
+func (s *Server) replayRecord(r wal.Record) error {
+	switch r.Type {
+	case wal.TypeAdmit:
+		if r.Flow > s.nextID.Load() {
+			s.nextID.Store(r.Flow)
+		}
+	case wal.TypeCommit:
+		var wf walFlow
+		if err := json.Unmarshal(r.Data, &wf); err != nil {
+			return err
+		}
+		if wf.Sol == nil {
+			return fmt.Errorf("commit record without a solution")
+		}
+		p, err := s.problemFor(wf.Info)
+		if err != nil {
+			return err
+		}
+		if _, err := core.Commit(p, wf.Sol); err != nil {
+			return fmt.Errorf("re-commit: %v", err)
+		}
+		s.flows.Add(wf.Info.ID, online.Flow{Problem: p, Solution: wf.Sol})
+		s.meta[wf.Info.ID] = wf.Info
+		delete(s.repairFault, wf.Info.ID)
+		if wf.Info.ID > s.nextID.Load() {
+			s.nextID.Store(wf.Info.ID)
+		}
+	case wal.TypeRelease, wal.TypeExpire:
+		if fl, ok := s.flows.Release(r.Flow); ok {
+			fl.Problem.Ledger = s.ledger
+			_ = core.Release(fl.Problem, fl.Solution)
+		}
+		delete(s.meta, r.Flow)
+		delete(s.repairFault, r.Flow)
+	case wal.TypeEvict:
+		var ev walEvict
+		if len(r.Data) > 0 {
+			if err := json.Unmarshal(r.Data, &ev); err != nil {
+				return err
+			}
+		}
+		if info, ok := s.meta[r.Flow]; ok {
+			info.State = FlowStateEvicted
+			info.LastError = ev.LastError
+			s.meta[r.Flow] = info
+		}
+		delete(s.repairFault, r.Flow)
+	case wal.TypeFaultApply:
+		f, err := s.faultFromRecord(r)
+		if err != nil {
+			return err
+		}
+		if err := s.ledger.ApplyFault(f); err != nil {
+			return fmt.Errorf("re-apply fault: %v", err)
+		}
+		s.activeFaults = append(s.activeFaults, f)
+		s.faultsApplied++
+	case wal.TypeFaultRestore:
+		f, err := s.faultFromRecord(r)
+		if err != nil {
+			return err
+		}
+		if err := s.ledger.RestoreFault(f); err != nil {
+			return fmt.Errorf("re-restore fault: %v", err)
+		}
+		for i, af := range s.activeFaults {
+			if af == f {
+				s.activeFaults = append(s.activeFaults[:i], s.activeFaults[i+1:]...)
+				break
+			}
+		}
+		s.faultsRestored++
+	case wal.TypeStrand:
+		var fw FaultRequest
+		if err := json.Unmarshal(r.Data, &fw); err != nil {
+			return err
+		}
+		if fl, ok := s.flows.Release(r.Flow); ok {
+			fl.Problem.Ledger = s.ledger
+			_ = core.Release(fl.Problem, fl.Solution)
+		}
+		if info, ok := s.meta[r.Flow]; ok {
+			info.State = FlowStateRepairing
+			s.meta[r.Flow] = info
+		}
+		s.repairFault[r.Flow] = fw
+	default:
+		return fmt.Errorf("unknown record type %d", uint8(r.Type))
+	}
+	return nil
+}
+
+func (s *Server) faultFromRecord(r wal.Record) (network.Fault, error) {
+	var fw FaultRequest
+	if err := json.Unmarshal(r.Data, &fw); err != nil {
+		return network.Fault{}, err
+	}
+	return faultFromWire(fw)
+}
+
+// finishRecovery runs after the pipeline is up: reschedule live TTLs,
+// release flows that expired while the server was down (through the
+// ordinary expiry path, so the release is journaled AND logged — they are
+// gone durably, not resurrected), and hand pending repairs back to the
+// controller.
+func (s *Server) finishRecovery(rec *recoveredState) {
+	expired := make(map[int64]bool, len(rec.expired))
+	for _, id := range rec.expired {
+		expired[id] = true
+	}
+	s.mu.Lock()
+	type sched struct {
+		id int64
+		at time.Time
+	}
+	var live []sched
+	for id, info := range s.meta {
+		if info.State == FlowStateActive && info.ExpiresAt != nil && !expired[id] {
+			live = append(live, sched{id, *info.ExpiresAt})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(live, func(i, k int) bool { return live[i].id < live[k].id })
+	for _, l := range live {
+		s.wheel.Schedule(l.id, l.at)
+	}
+	for _, id := range rec.expired {
+		_, _ = s.release(id, "expired")
+	}
+	s.enqueueRepairs(rec.repairs)
+	telemetry.SetServerActiveFlows(s.ActiveFlows())
+}
+
+// Crash simulates a SIGKILL for tests and the chaos kill-restart mode: it
+// stops the pipeline WITHOUT the final snapshot, the WAL flush or the
+// fsync a graceful Drain performs — whatever sat in the WAL's user-space
+// buffer is lost, exactly like bytes a killed process never wrote. Under
+// the per-commit sync policy every acknowledged mutation was already on
+// stable storage, so a subsequent New over the same WAL dir recovers it
+// all. Queued-but-unacknowledged requests are allowed to settle first so
+// no goroutines leak into the next test.
+func (s *Server) Crash() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.stopOnce.Do(func() {
+		close(s.repairStop)
+		s.repairWG.Wait()
+		close(s.admit)
+		s.workerWG.Wait()
+		close(s.commit)
+		s.commitWG.Wait()
+		s.wheel.Stop()
+		if s.wal != nil {
+			s.wal.Abandon()
+		}
+	})
+}

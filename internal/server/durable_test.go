@@ -1,0 +1,402 @@
+package server_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"dagsfc/internal/network"
+	"dagsfc/internal/server"
+)
+
+// durableServer starts a server over dir with the per-commit sync policy
+// (the mode the recovery guarantees are stated for) and the caller's
+// tweaks applied.
+func durableServer(t *testing.T, dir string, tweak func(*server.Config)) *server.Server {
+	t.Helper()
+	cfg := server.Config{Net: tinyNet(), WALDir: dir, WALSync: "commit"}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// sameFlows compares the durable identity of two flow listings: every
+// field a restart must preserve. Created survives the JSON round trip to
+// the nanosecond but loses its monotonic reading, so it is compared with
+// Equal rather than ==.
+func sameFlows(t *testing.T, got, want []server.FlowInfo) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("flow count %d, want %d\ngot:  %+v\nwant: %+v", len(got), len(want), got, want)
+	}
+	sort.Slice(got, func(i, k int) bool { return got[i].ID < got[k].ID })
+	sort.Slice(want, func(i, k int) bool { return want[i].ID < want[k].ID })
+	for i := range want {
+		g, w := got[i], want[i]
+		same := g.ID == w.ID && g.SFC == w.SFC && g.Src == w.Src && g.Dst == w.Dst &&
+			g.Rate == w.Rate && g.Size == w.Size && g.Alg == w.Alg &&
+			g.Cost == w.Cost && g.State == w.State && g.Repairs == w.Repairs &&
+			g.LastError == w.LastError && g.Created.Equal(w.Created)
+		if same {
+			switch {
+			case g.ExpiresAt == nil && w.ExpiresAt == nil:
+			case g.ExpiresAt != nil && w.ExpiresAt != nil && g.ExpiresAt.Equal(*w.ExpiresAt):
+			default:
+				same = false
+			}
+		}
+		if !same {
+			t.Fatalf("flow %d diverged after restart:\ngot:  %+v\nwant: %+v", w.ID, g, w)
+		}
+	}
+}
+
+// TestDurableDrainRestart is the graceful path: a drained server's final
+// snapshot alone rebuilds the flow table and the ledger residuals
+// exactly.
+func TestDurableDrainRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv := durableServer(t, dir, nil)
+	var infos []server.FlowInfo
+	for _, rate := range []float64{0.1, 0.3, 0.25} { // non-dyadic rates stress float exactness
+		info, err := srv.Submit(ctx, lineRequest(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos = append(infos, info)
+	}
+	if _, err := srv.Release(infos[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	want := srv.Flows()
+	wantRes := residuals(srv.NetworkState())
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := durableServer(t, dir, nil)
+	defer srv2.Close()
+	sameFlows(t, srv2.Flows(), want)
+	if got := residuals(srv2.NetworkState()); !equalResiduals(got, wantRes) {
+		t.Fatalf("residuals after restart: %v, want %v", got, wantRes)
+	}
+	if srv2.ActiveFlows() != 2 {
+		t.Fatalf("active flows after restart: %d, want 2", srv2.ActiveFlows())
+	}
+
+	// ID allocation resumes above the high-water mark: no recycled IDs.
+	info, err := srv2.Submit(ctx, lineRequest(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID <= infos[2].ID {
+		t.Fatalf("post-restart ID %d not above pre-restart high water %d", info.ID, infos[2].ID)
+	}
+}
+
+// TestDurableCrashMatchesControl is the headline guarantee: a server
+// killed without any shutdown courtesy recovers to the same state — flow
+// for flow, residual for residual, bit for bit — as a control server that
+// ran the identical workload and was never killed.
+func TestDurableCrashMatchesControl(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	control, err := server.New(server.Config{Net: tinyNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	durable := durableServer(t, dir, nil)
+
+	rates := []float64{0.1, 0.3, 0.25, 0.05, 0.125}
+	var ids []int64
+	for _, rate := range rates {
+		ci, err := control.Submit(ctx, lineRequest(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		di, err := durable.Submit(ctx, lineRequest(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.ID != di.ID {
+			t.Fatalf("ID drift before the crash: control %d vs durable %d", ci.ID, di.ID)
+		}
+		ids = append(ids, di.ID)
+	}
+	if _, err := control.Release(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := durable.Release(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	durable.Crash()
+
+	srv2 := durableServer(t, dir, nil)
+	defer srv2.Close()
+	// The two servers ran at different wall times, so timestamps cannot
+	// match; everything else must, exactly.
+	got, want := srv2.Flows(), control.Flows()
+	if len(got) != len(want) {
+		t.Fatalf("flow count %d, want control's %d", len(got), len(want))
+	}
+	sort.Slice(got, func(i, k int) bool { return got[i].ID < got[k].ID })
+	sort.Slice(want, func(i, k int) bool { return want[i].ID < want[k].ID })
+	for i := range want {
+		g, w := got[i], want[i]
+		g.Created, w.Created = time.Time{}, time.Time{}
+		g.ExpiresAt, w.ExpiresAt = nil, nil
+		if g != w {
+			t.Fatalf("flow %d diverged from control:\ngot:  %+v\nwant: %+v", w.ID, g, w)
+		}
+	}
+	if got, want := residuals(srv2.NetworkState()), residuals(control.NetworkState()); !equalResiduals(got, want) {
+		t.Fatalf("residuals after crash recovery: %v, want control %v", got, want)
+	}
+}
+
+// TestDurableTornTailTruncated appends garbage to the live segment —
+// the shape of a record cut mid-write by a crash — and expects recovery
+// to truncate it and keep everything acknowledged before it.
+func TestDurableTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv := durableServer(t, dir, nil)
+	for _, rate := range []float64{0.1, 0.3} {
+		if _, err := srv.Submit(ctx, lineRequest(rate)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := srv.Flows()
+	wantRes := residuals(srv.NetworkState())
+	srv.Crash()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v, %v", segs, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad}); err != nil { // half a frame header
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2 := durableServer(t, dir, nil)
+	defer srv2.Close()
+	sameFlows(t, srv2.Flows(), want)
+	if got := residuals(srv2.NetworkState()); !equalResiduals(got, wantRes) {
+		t.Fatalf("residuals after torn-tail recovery: %v, want %v", got, wantRes)
+	}
+}
+
+// TestDurableCorruptSnapshotFallsBack flips a byte in the newest snapshot
+// and expects recovery to fall back to the previous one plus a longer
+// replay — landing on the identical state.
+func TestDurableCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv := durableServer(t, dir, func(cfg *server.Config) { cfg.WALSnapshotEvery = 2 })
+	for _, rate := range []float64{0.1, 0.3, 0.25, 0.05, 0.125} {
+		if _, err := srv.Submit(ctx, lineRequest(rate)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := srv.Flows()
+	wantRes := residuals(srv.NetworkState())
+	srv.Crash()
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("want >=2 snapshots for the fallback, got %v (%v)", snaps, err)
+	}
+	sort.Strings(snaps)
+	newest := snaps[len(snaps)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := durableServer(t, dir, nil)
+	defer srv2.Close()
+	sameFlows(t, srv2.Flows(), want)
+	if got := residuals(srv2.NetworkState()); !equalResiduals(got, wantRes) {
+		t.Fatalf("residuals after snapshot fallback: %v, want %v", got, wantRes)
+	}
+}
+
+// TestDurableEmptyDirFreshStart: an empty (or absent) WAL directory is a
+// fresh start, not an error.
+func TestDurableEmptyDirFreshStart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "not-yet-created")
+	srv := durableServer(t, dir, nil)
+	defer srv.Close()
+	if n := len(srv.Flows()); n != 0 {
+		t.Fatalf("fresh server has %d flows", n)
+	}
+	if _, err := srv.Submit(context.Background(), lineRequest(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRefusesUnrecoverableDir: a directory whose every snapshot is
+// corrupt and whose log is gone cannot be rebuilt; the server must refuse
+// to start rather than silently open empty.
+func TestDurableRefusesUnrecoverableDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000010.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := server.New(server.Config{Net: tinyNet(), WALDir: dir})
+	if err == nil {
+		t.Fatal("New succeeded on an unrecoverable WAL dir")
+	}
+	if !strings.Contains(err.Error(), "WAL dir") {
+		t.Fatalf("error does not name the WAL dir: %v", err)
+	}
+}
+
+// TestDurableExpiredWhileDownReleased: a TTL that fires while the server
+// is down releases the flow during recovery — it is never resurrected
+// past its deadline.
+func TestDurableExpiredWhileDownReleased(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv := durableServer(t, dir, nil)
+	seed := residuals(srv.NetworkState())
+	req := lineRequest(1)
+	req.TTLSeconds = 0.05
+	info, err := srv.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ExpiresAt == nil {
+		t.Fatalf("TTL flow has no deadline: %+v", info)
+	}
+	srv.Crash() // before the wheel fires
+
+	time.Sleep(80 * time.Millisecond) // the deadline passes while "down"
+
+	srv2 := durableServer(t, dir, nil)
+	defer srv2.Close()
+	waitFor(t, func() bool {
+		_, ok := srv2.Flow(info.ID)
+		return !ok
+	})
+	if got := residuals(srv2.NetworkState()); !equalResiduals(got, seed) {
+		t.Fatalf("residuals after expired-while-down release: %v, want seed %v", got, seed)
+	}
+
+	// And durably gone: a second restart must not resurrect it either.
+	srv2.Crash()
+	srv3 := durableServer(t, dir, nil)
+	defer srv3.Close()
+	if _, ok := srv3.Flow(info.ID); ok {
+		t.Fatal("expired flow resurrected by the second restart")
+	}
+}
+
+// TestDurableFaultAndTombstoneSurviveCrash: the fault quarantine and an
+// evicted flow's tombstone both survive a crash, and restoring the fault
+// on the recovered server drains the ledger to the seed.
+func TestDurableFaultAndTombstoneSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv := durableServer(t, dir, func(cfg *server.Config) { *cfg = fastRepairs(*cfg) })
+	seed := residuals(srv.NetworkState())
+	info, err := srv.Submit(ctx, lineRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only path dies; the flow has no repair target and is evicted.
+	if _, err := srv.ApplyFault(network.Fault{Kind: network.FaultLinkDown, Link: 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		got, ok := srv.Flow(info.ID)
+		return ok && got.State == server.FlowStateEvicted
+	})
+	want := srv.Flows()
+	wantRes := residuals(srv.NetworkState())
+	srv.Crash()
+
+	srv2 := durableServer(t, dir, func(cfg *server.Config) { *cfg = fastRepairs(*cfg) })
+	defer srv2.Close()
+	sameFlows(t, srv2.Flows(), want)
+	if got := residuals(srv2.NetworkState()); !equalResiduals(got, wantRes) {
+		t.Fatalf("residuals after recovery: %v, want %v", got, wantRes)
+	}
+	st := srv2.Faults()
+	if len(st.Active) != 1 || st.Applied != 1 {
+		t.Fatalf("fault table after recovery: %+v", st)
+	}
+	if _, err := srv2.RestoreFault(network.Fault{Kind: network.FaultLinkDown, Link: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := residuals(srv2.NetworkState()); !equalResiduals(got, seed) {
+		t.Fatalf("residuals after restore: %v, want seed %v", got, seed)
+	}
+}
+
+// TestDurableRepairingFlowResumesAfterCrash: a flow stranded mid-repair
+// (sitting out a long backoff) goes back to the repair controller on
+// recovery and reaches its terminal state there.
+func TestDurableRepairingFlowResumesAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// A backoff far longer than the test pins the flow in Repairing.
+	srv := durableServer(t, dir, func(cfg *server.Config) {
+		cfg.RepairRetries = 2
+		cfg.RepairBackoff = time.Hour
+		cfg.RepairBackoffCap = time.Hour
+	})
+	info, err := srv.Submit(ctx, lineRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ApplyFault(network.Fault{Kind: network.FaultLinkDown, Link: 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		got, ok := srv.Flow(info.ID)
+		return ok && got.State == server.FlowStateRepairing
+	})
+	srv.Crash()
+
+	// The restarted server repairs fast; the fault is still active after
+	// replay, so the re-enqueued repair must run out and evict.
+	srv2 := durableServer(t, dir, func(cfg *server.Config) { *cfg = fastRepairs(*cfg) })
+	defer srv2.Close()
+	waitFor(t, func() bool {
+		got, ok := srv2.Flow(info.ID)
+		return ok && got.State == server.FlowStateEvicted
+	})
+	if n := srv2.ActiveFlows(); n != 0 {
+		t.Fatalf("evicted flow still counted active after recovery: %d", n)
+	}
+}

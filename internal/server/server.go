@@ -16,6 +16,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -35,6 +36,7 @@ import (
 	"dagsfc/internal/online"
 	"dagsfc/internal/sfc"
 	"dagsfc/internal/telemetry"
+	"dagsfc/internal/wal"
 )
 
 // Embedder is the serving-side embedding algorithm signature, shared with
@@ -113,6 +115,27 @@ type Config struct {
 	// trees instead of recomputing them. 0 means the default size (4096
 	// trees); negative disables the cache entirely.
 	PathCacheSize int
+	// WALDir enables durable flow state: every lifecycle mutation is
+	// appended to a write-ahead log in this directory and the full state
+	// is snapshotted periodically, so a restarted server recovers its flow
+	// table, ledger residuals and fault quarantine exactly. New fails
+	// (refuses to start) if the directory holds an unrecoverable log.
+	// Empty disables durability entirely.
+	WALDir string
+	// WALSync is the fsync policy: "commit" (default; fsync before every
+	// acknowledgment), "batch" (group-commit every WALFlushInterval) or
+	// "off" (OS writeback only).
+	WALSync string
+	// WALFlushInterval is the "batch" policy's group-commit period
+	// (default 5ms).
+	WALFlushInterval time.Duration
+	// WALSegmentBytes rotates log segments past this size (default 4 MiB).
+	WALSegmentBytes int64
+	// WALSnapshotEvery writes a state snapshot after this many appended
+	// records (default 1024); old segments covered by retained snapshots
+	// are deleted. Negative disables periodic snapshots (a final snapshot
+	// is still written on Drain).
+	WALSnapshotEvery int
 }
 
 // Server is the live control plane. Create one with New, serve its
@@ -158,6 +181,17 @@ type Server struct {
 	faultsRestored int
 	repairLog      []RepairEvent
 	dropped        map[int64]bool
+	// repairFault remembers which fault stranded each repairing flow, so
+	// snapshots can persist it and recovery can re-enqueue the repair.
+	repairFault map[int64]FaultRequest
+
+	// Durability (internal/server/durable.go). wal is nil when disabled;
+	// walAppends counts records since the last snapshot (the periodic
+	// snapshot trigger); walBroken latches a disk error — the server keeps
+	// serving from memory but stops appending. All three under mu.
+	wal        *wal.Log
+	walAppends int
+	walBroken  bool
 
 	nextID atomic.Int64
 
@@ -282,6 +316,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JournalSize <= 0 {
 		cfg.JournalSize = 4096
 	}
+	if cfg.WALSnapshotEvery == 0 {
+		cfg.WALSnapshotEvery = 1024
+	}
 	rebaseLen := cfg.Net.G.NumEdges()
 	if rebaseLen < 64 {
 		rebaseLen = 64
@@ -292,22 +329,23 @@ func New(cfg Config) (*Server, error) {
 	}
 	telemetry.InitPathCacheMetrics()
 	s := &Server{
-		cfg:        cfg,
-		net:        cfg.Net,
-		embedder:   builtinEmbedders(cfg.Seed, cache),
-		embedCtx:   builtinCtxEmbedders(cache),
-		cache:      cache,
-		ledger:     network.NewLedger(cfg.Net).Overlay(),
-		rebaseLen:  rebaseLen,
-		flows:      online.NewFlowTable[int64](),
-		meta:       make(map[int64]FlowInfo),
-		dropped:    make(map[int64]bool),
-		admit:      make(chan *job, cfg.QueueDepth),
-		commit:     make(chan *job, cfg.QueueDepth+cfg.Workers),
-		repairKick: make(chan struct{}, 1),
-		repairStop: make(chan struct{}),
-		journal:    journal.New(cfg.JournalSize, cfg.Logger),
-		brk:        breaker{threshold: cfg.BreakerFailures, cooldown: cfg.BreakerCooldown},
+		cfg:         cfg,
+		net:         cfg.Net,
+		embedder:    builtinEmbedders(cfg.Seed, cache),
+		embedCtx:    builtinCtxEmbedders(cache),
+		cache:       cache,
+		ledger:      network.NewLedger(cfg.Net).Overlay(),
+		rebaseLen:   rebaseLen,
+		flows:       online.NewFlowTable[int64](),
+		meta:        make(map[int64]FlowInfo),
+		dropped:     make(map[int64]bool),
+		repairFault: make(map[int64]FaultRequest),
+		admit:       make(chan *job, cfg.QueueDepth),
+		commit:      make(chan *job, cfg.QueueDepth+cfg.Workers),
+		repairKick:  make(chan struct{}, 1),
+		repairStop:  make(chan struct{}),
+		journal:     journal.New(cfg.JournalSize, cfg.Logger),
+		brk:         breaker{threshold: cfg.BreakerFailures, cooldown: cfg.BreakerCooldown},
 	}
 	// Breaker transitions are journaled via this hook; safe because the
 	// journal never calls back into the breaker.
@@ -322,6 +360,31 @@ func New(cfg Config) (*Server, error) {
 	if _, ok := s.embedder[cfg.Algorithm]; !ok {
 		return nil, fmt.Errorf("server: unknown default algorithm %q", cfg.Algorithm)
 	}
+	// Durable state: open (or create) the WAL and rebuild the flow table,
+	// ledger and fault quarantine from it before any traffic can race the
+	// replay. An unrecoverable directory refuses to start — serving from a
+	// silently empty state would strand every recorded flow.
+	var recovered *recoveredState
+	if cfg.WALDir != "" {
+		policy, err := wal.ParseSyncPolicy(cfg.WALSync)
+		if err != nil {
+			return nil, fmt.Errorf("server: %v", err)
+		}
+		wlog, rec, err := wal.Open(cfg.WALDir, wal.Options{
+			Sync:          policy,
+			FlushInterval: cfg.WALFlushInterval,
+			SegmentBytes:  cfg.WALSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: cannot start on WAL dir %s: %w", cfg.WALDir, err)
+		}
+		s.wal = wlog
+		if recovered, err = s.recover(rec); err != nil {
+			wlog.Close()
+			return nil, fmt.Errorf("server: cannot start on WAL dir %s: %w", cfg.WALDir, err)
+		}
+		telemetry.InitWALMetrics()
+	}
 	s.wheel = online.NewExpiryWheel[int64](func(id int64) { _, _ = s.release(id, "expired") })
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
@@ -331,8 +394,11 @@ func New(cfg Config) (*Server, error) {
 	go s.commitLoop()
 	s.repairWG.Add(1)
 	go s.repairLoop()
+	if recovered != nil {
+		s.finishRecovery(recovered)
+	}
 	telemetry.SetServerQueueDepth(0)
-	telemetry.SetServerActiveFlows(0)
+	telemetry.SetServerActiveFlows(s.ActiveFlows())
 	if cfg.BreakerFailures > 0 {
 		telemetry.SetBreakerState(0, false)
 	}
@@ -496,6 +562,9 @@ func (s *Server) Submit(ctx context.Context, req FlowRequest) (FlowInfo, error) 
 	case s.admit <- j:
 		j.enqueuedAt = time.Now()
 		s.drainMu.RUnlock()
+		// Persist the ID high-water mark so a recovered server never
+		// re-issues this ID, even if this request ends up rejected.
+		s.walAdmit(j.id)
 		s.journal.Append(journal.Event{
 			Time: j.enqueuedAt, Type: journal.TypeEnqueue, Flow: j.id, Alg: alg,
 		})
@@ -765,6 +834,14 @@ func (s *Server) commitLoop() {
 		}
 		s.flows.Add(id, online.Flow{Problem: p, Solution: j.res.Solution})
 		s.meta[id] = info
+		if j.repair != nil {
+			delete(s.repairFault, id)
+		}
+		// The durability barrier: the commit record hits stable storage
+		// (per the sync policy) before the caller is acknowledged below.
+		if payload, err := json.Marshal(walFlow{Info: info, Sol: j.res.Solution}); err == nil {
+			s.walAppendLocked(wal.TypeCommit, id, payload)
+		}
 		telemetry.RecordOverlayCommit()
 		telemetry.SetServerActiveFlows(s.flows.Len())
 		// Rebase once the overlay's delta maps outgrow the point where
@@ -817,8 +894,10 @@ func (s *Server) Release(id int64) (FlowInfo, error) {
 
 func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 	evType := journal.TypeReleased
+	walType := wal.TypeRelease
 	if how == "expired" {
 		evType = journal.TypeExpired
+		walType = wal.TypeExpire
 	}
 	s.mu.Lock()
 	f, ok := s.flows.Release(id)
@@ -829,9 +908,11 @@ func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 		// acknowledges the eviction.
 		if info, exists := s.meta[id]; exists {
 			delete(s.meta, id)
+			delete(s.repairFault, id)
 			if info.State == FlowStateRepairing {
 				s.dropped[id] = true
 			}
+			s.walAppendLocked(walType, id, nil)
 			s.mu.Unlock()
 			s.wheel.Cancel(id)
 			s.journal.Append(journal.Event{
@@ -851,6 +932,7 @@ func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 	// Release cannot fail here: the flow's cost evaluated at commit time
 	// and the network is immutable.
 	_ = core.Release(f.Problem, f.Solution)
+	s.walAppendLocked(walType, id, nil)
 	telemetry.SetServerActiveFlows(s.flows.Len())
 	s.mu.Unlock()
 	s.wheel.Cancel(id)
@@ -965,6 +1047,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		close(s.commit)
 		s.commitWG.Wait()
 		s.wheel.Stop()
+		// Seal durability: one final snapshot makes the next startup's
+		// replay empty, then flush + fsync + close the log.
+		if s.wal != nil {
+			s.mu.Lock()
+			s.walSnapshotLocked()
+			s.mu.Unlock()
+			_ = s.wal.Close()
+		}
 	})
 	return nil
 }

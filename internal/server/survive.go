@@ -12,6 +12,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"dagsfc/internal/journal"
 	"dagsfc/internal/network"
 	"dagsfc/internal/telemetry"
+	"dagsfc/internal/wal"
 )
 
 // RepairEvent is one terminal repair decision, in the order the server
@@ -71,6 +73,9 @@ func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
 	}
 	s.activeFaults = append(s.activeFaults, f)
 	s.faultsApplied++
+	if payload, merr := json.Marshal(faultToWire(f)); merr == nil {
+		s.walAppendLocked(wal.TypeFaultApply, 0, payload)
+	}
 	telemetry.RecordFault(f.Kind.String(), true, len(s.activeFaults))
 
 	// Scan casualties in ascending flow-ID order for a deterministic
@@ -107,6 +112,11 @@ func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
 		info := s.meta[id]
 		info.State = FlowStateRepairing
 		s.meta[id] = info
+		fw := faultToWire(f)
+		s.repairFault[id] = fw
+		if payload, merr := json.Marshal(fw); merr == nil {
+			s.walAppendLocked(wal.TypeStrand, id, payload)
+		}
 		stranded = append(stranded, &repairTask{id: id, fault: f, info: info, strandedAt: time.Now()})
 	}
 	telemetry.SetServerActiveFlows(s.flows.Len())
@@ -149,6 +159,9 @@ func (s *Server) RestoreFault(f network.Fault) (FaultState, error) {
 		}
 	}
 	s.faultsRestored++
+	if payload, merr := json.Marshal(faultToWire(f)); merr == nil {
+		s.walAppendLocked(wal.TypeFaultRestore, 0, payload)
+	}
 	telemetry.RecordFault(f.Kind.String(), false, len(s.activeFaults))
 	st := s.faultStateLocked()
 	s.mu.Unlock()
@@ -380,7 +393,11 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 			info.LastError = lastErr.Error()
 		}
 		s.meta[t.id] = info
+		if payload, merr := json.Marshal(walEvict{LastError: info.LastError}); merr == nil {
+			s.walAppendLocked(wal.TypeEvict, t.id, payload)
+		}
 	}
+	delete(s.repairFault, t.id)
 	s.repairLog = append(s.repairLog, RepairEvent{Flow: t.id, Fault: t.fault, Outcome: "evicted", Attempts: attempts})
 	delete(s.dropped, t.id)
 	s.mu.Unlock()

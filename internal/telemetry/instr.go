@@ -246,6 +246,55 @@ func RecordJournalAppend(dropped bool) {
 	}
 }
 
+// Durability metric names (PR 8): the write-ahead log's append/fsync
+// traffic, snapshot work, and how much recovery had to replay.
+const (
+	MetricWALAppends         = "dagsfc_wal_appends_total"
+	MetricWALFsyncs          = "dagsfc_wal_fsyncs_total"
+	MetricWALBytes           = "dagsfc_wal_bytes_total"
+	MetricWALSnapshotSeconds = "dagsfc_wal_snapshot_seconds"
+	MetricWALSnapshotBytes   = "dagsfc_wal_snapshot_bytes"
+	MetricWALReplayed        = "dagsfc_wal_recovery_replayed_total"
+)
+
+// RecordWALAppend records one record appended to the write-ahead log and
+// its framed size in bytes.
+func RecordWALAppend(bytes int) {
+	r := Default()
+	r.Counter(MetricWALAppends, "Records appended to the write-ahead log.").Inc()
+	r.Counter(MetricWALBytes, "Framed bytes appended to the write-ahead log.").Add(float64(bytes))
+}
+
+// RecordWALFsync records one fsync of the active WAL segment.
+func RecordWALFsync() {
+	Default().Counter(MetricWALFsyncs, "fsyncs of the active WAL segment.").Inc()
+}
+
+// RecordWALSnapshot records one completed state snapshot: its payload
+// size and how long the write (including the pre-snapshot sync) took.
+func RecordWALSnapshot(bytes int, elapsed time.Duration) {
+	r := Default()
+	r.Gauge(MetricWALSnapshotBytes, "Payload size of the most recent WAL snapshot.").Set(float64(bytes))
+	r.Histogram(MetricWALSnapshotSeconds, "Wall-clock seconds per WAL snapshot write.",
+		DefLatencyBuckets()).Observe(elapsed.Seconds())
+}
+
+// RecordWALReplay records how many log records startup recovery replayed
+// past the snapshot watermark.
+func RecordWALReplay(n int) {
+	Default().Counter(MetricWALReplayed, "WAL records replayed during startup recovery.").Add(float64(n))
+}
+
+// InitWALMetrics pre-creates the WAL counter families at zero so a
+// freshly recovered (or fresh) server exposes them before traffic.
+func InitWALMetrics() {
+	r := Default()
+	r.Counter(MetricWALAppends, "Records appended to the write-ahead log.").Add(0)
+	r.Counter(MetricWALFsyncs, "fsyncs of the active WAL segment.").Add(0)
+	r.Counter(MetricWALBytes, "Framed bytes appended to the write-ahead log.").Add(0)
+	r.Counter(MetricWALReplayed, "WAL records replayed during startup recovery.").Add(0)
+}
+
 // RecordServerRequest records one serving-layer request on the Default
 // registry: a per-route/outcome counter and a per-route latency histogram.
 func RecordServerRequest(route, outcome string, elapsed time.Duration) {

@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Snapshot files reuse the record frame codec: a single frame whose type
+// tag is snapshotMagic and whose payload is the server-owned state blob.
+// Reusing the frame gives snapshots the same CRC + length validation as
+// log records for free, so a half-written or bit-rotted snapshot is
+// detected and skipped during recovery exactly like a torn log record.
+const snapFrameType Type = 0xFE
+
+func readSnapshot(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, n, err := decodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Type != snapFrameType || n != len(data) {
+		return nil, fmt.Errorf("%w: snapshot frame type %d or trailing bytes", ErrCorrupt, rec.Type)
+	}
+	return rec.Data, nil
+}
+
+// writeSnapshot writes payload atomically: temp file in the same
+// directory, flush, optional fsync, rename over the final name, then
+// fsync the directory so the rename itself is durable.
+func writeSnapshot(path string, payload []byte, fsync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	frame := appendFrame(nil, Record{Type: snapFrameType, Time: time.Now(), Data: payload})
+	_, werr := tmp.Write(frame)
+	if werr == nil && fsync {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return werr
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if fsync {
+		if d, err := os.Open(dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
