@@ -2,14 +2,23 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke bench-json bench-guard serve-smoke obs-smoke chaos-smoke durable-smoke race-survival repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke bench-json bench-guard fuzz-smoke serve-smoke obs-smoke chaos-smoke durable-smoke race-survival repro examples vet fmt
 
 all: build vet test
 
-# check is the pre-commit gate: build, vet, the full test suite, and the
-# race detector (the telemetry registry is written from concurrent trial
-# runners, so -race is load-bearing here, not ceremony).
-check: build vet test race
+# check is the pre-commit gate: build, vet, the full test suite, the race
+# detector (the telemetry registry is written from concurrent trial
+# runners, so -race is load-bearing here, not ceremony), and a short fuzz
+# of the search-kernel priority queues.
+check: build vet test race fuzz-smoke
+
+# fuzz-smoke runs the bucket-queue fuzzer briefly: the bucket queue and
+# the 4-ary heap must pop in the identical strict (dist, node) order, or
+# search results would fork depending on which structure a compiled view
+# selects. FUZZTIME=0x replays only the checked-in corpus.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzBucketQueue -fuzztime $(FUZZTIME) ./internal/graph/
 
 build:
 	$(GO) build ./...
@@ -46,7 +55,7 @@ bench-smoke:
 # purpose: a benchmark failure fails the target before anything is parsed.
 # CI runs it with BENCHTIME=1x BENCH_LABEL=ci as a smoke check (errors
 # fail, thresholds don't).
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 BENCH_LABEL ?= after
 BENCHTIME ?= 0.5s
 BENCH_RAW ?= /tmp/dagsfc-bench-raw.txt
@@ -58,16 +67,17 @@ bench-json:
 	@cat $(BENCH_RAW)
 	$(GO) run ./cmd/dagsfc-bench -parse-bench $(BENCH_RAW) -bench-label $(BENCH_LABEL) -bench-out $(BENCH_JSON)
 
-# bench-guard regenerates the candidate ledger, then fails if a guarded
-# hot-path benchmark (filtered Dijkstra, uncached MBBE embed) regressed
-# more than 20% against the committed PR4 baseline, or if the warm
-# path-cache embed lost its 1.5x speedup floor. The 20% limit is wide on
-# purpose — it absorbs host-to-host ns/op noise while still catching
-# real hot-path regressions.
+# bench-guard regenerates the candidate ledger, prints the old->new delta
+# of every benchmark both ledgers share, then fails if a guarded hot-path
+# benchmark (filtered Dijkstra, uncached MBBE embed) regressed more than
+# 20% against the committed PR8 baseline, or if the warm path-cache embed
+# lost its 1.5x speedup floor. The 20% limit is wide on purpose — it
+# absorbs host-to-host ns/op noise while still catching real hot-path
+# regressions.
 # -guard-serve-old adds the durability-tax check: the serve throughput
 # with the WAL on but fsync off must stay within the same limit of the
 # pre-durability BenchmarkServeThroughput baseline.
-BENCH_GUARD_OLD ?= BENCH_PR4.json
+BENCH_GUARD_OLD ?= BENCH_PR8.json
 BENCH_GUARD_SERVE_OLD ?= BENCH_PR7.json
 bench-guard: bench-json
 	$(GO) run ./cmd/dagsfc-bench -guard-old $(BENCH_GUARD_OLD) -guard-new $(BENCH_JSON) -guard-serve-old $(BENCH_GUARD_SERVE_OLD)

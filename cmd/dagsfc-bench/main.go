@@ -18,14 +18,15 @@
 // (`make bench-json`): -parse-bench reads raw `go test -bench -benchmem`
 // output and merges it into a labelled JSON ledger:
 //
-//	dagsfc-bench -parse-bench bench.out -bench-label after -bench-out BENCH_PR8.json
+//	dagsfc-bench -parse-bench bench.out -bench-label after -bench-out BENCH_PR9.json
 //
 // A third mode guards against hot-path regressions (`make bench-guard`):
-// it compares the "after" runs of two ledgers and exits non-zero when a
-// guarded benchmark's ns/op regressed past -guard-limit or the warm
-// path-cache embed lost its speedup floor:
+// it prints the old->new ns/op delta of every benchmark the two ledgers
+// share, then compares the "after" runs and exits non-zero when a guarded
+// benchmark's ns/op regressed past -guard-limit or the warm path-cache
+// embed lost its speedup floor:
 //
-//	dagsfc-bench -guard-old BENCH_PR4.json -guard-new BENCH_PR8.json -guard-serve-old BENCH_PR7.json
+//	dagsfc-bench -guard-old BENCH_PR8.json -guard-new BENCH_PR9.json -guard-serve-old BENCH_PR7.json
 package main
 
 import (
@@ -54,7 +55,7 @@ func main() {
 
 		parseBench = flag.String("parse-bench", "", "parse raw `go test -bench` output from this file into the benchmark JSON ledger and exit (skips the experiment sweep)")
 		benchLabel = flag.String("bench-label", "after", "run label to record the parsed benchmarks under")
-		benchOut   = flag.String("bench-out", "BENCH_PR8.json", "benchmark JSON ledger to create or update")
+		benchOut   = flag.String("bench-out", "BENCH_PR9.json", "benchmark JSON ledger to create or update")
 
 		guardOld      = flag.String("guard-old", "", "baseline benchmark JSON ledger; with -guard-new, compare and exit non-zero on regression (skips the experiment sweep)")
 		guardNew      = flag.String("guard-new", "", "candidate benchmark JSON ledger to check against -guard-old")
@@ -153,6 +154,27 @@ func guardBench(oldPath, newPath string, limit float64, serveOldPath string) err
 			}
 		}
 		return benchfmt.Result{}, false
+	}
+
+	// Informational deltas first: every benchmark both ledgers share, in
+	// the candidate's order, so a guard run doubles as a performance
+	// changelog between the two baselines. Guarded rows are starred.
+	guarded := map[string]bool{}
+	for _, name := range guardedBenchmarks {
+		guarded[name] = true
+	}
+	fmt.Printf("bench deltas, after runs of %s -> %s (* = guarded):\n", oldPath, newPath)
+	for _, newRes := range newRun.Results {
+		oldRes, ok := byName(oldRun, newRes.Name)
+		if !ok {
+			continue
+		}
+		mark := " "
+		if guarded[newRes.Name] {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-42s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			mark, newRes.Name, oldRes.NsPerOp, newRes.NsPerOp, (newRes.NsPerOp/oldRes.NsPerOp-1)*100)
 	}
 
 	var failures []string

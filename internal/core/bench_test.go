@@ -42,6 +42,8 @@ func BenchmarkLayerExtensions(b *testing.B) {
 			trees:    make(map[graph.NodeID]*treeEntry),
 		}
 		e.costOpts = e.ledger.CostOptions(p.Rate)
+		e.pathView = p.Net.G.CompileView(e.costOpts)
+		e.searchView = e.pathView
 		e.scratch = acquireScratchSlots(e.workers)
 		if exts := e.buildExtensions(spec, p.Src); len(exts) == 0 {
 			b.Fatal("no extensions")

@@ -104,6 +104,14 @@ type Options struct {
 	// only be served to a run whose ledger presents the exact residual
 	// view the tree was computed under (see network.Ledger.ViewEpoch).
 	PathCache *graph.TreeCache
+	// ViewCache, when non-nil, shares compiled cost views across embedding
+	// runs, keyed by (ledger view epoch, cost-options fingerprint). A view
+	// flattens the ledger's residuals plus the run's filters into dense
+	// arrays once; runs on an unchanged ledger then skip the O(edges)
+	// compile entirely. Like PathCache it is only consulted when the
+	// problem carries a ledger, and hits are bit-identical to compiling
+	// fresh (the epoch pins the exact residual view).
+	ViewCache *graph.ViewCache
 	// BannedEdges and BannedNodes exclude substrate elements from every
 	// path search in the run — the per-request variant graph.CostOptions
 	// bans express for a single search. Yen-style alternative-path
@@ -260,16 +268,33 @@ func EmbedContext(ctx context.Context, p *Problem, opts Options) (*Result, error
 	if len(opts.BannedNodes) > 0 {
 		e.costOpts.BannedNodes = opts.BannedNodes
 	}
-	if opts.PathCache != nil && p.Ledger != nil {
+	if (opts.PathCache != nil || opts.ViewCache != nil) && p.Ledger != nil {
 		// Pin the ledger's view epoch once for the whole run. Cache entries
 		// are inserted only if the view is still identical after the tree is
 		// computed, so a hit under this epoch is always bit-identical to
 		// computing fresh. The fingerprint covers the demand floor AND the
-		// ban sets, so banned request variants share the cache without ever
+		// ban sets, so banned request variants share the caches without ever
 		// colliding with unbanned runs.
 		e.cache = opts.PathCache
+		e.viewCache = opts.ViewCache
 		e.cacheEpoch = e.ledger.ViewEpoch()
 		e.cacheFP = e.costOpts.Fingerprint()
+	}
+	// Compile (or fetch from the view cache) the run's cost views once:
+	// pathView backs every Dijkstra/hop search under the full options;
+	// searchView is the capacity-only variant the FST/BST layer-extension
+	// builds admit arcs through (runSearch admission ignores ban sets, so
+	// a banned run needs the distinction).
+	e.pathView = e.acquireView(e.costOpts, e.cacheFP)
+	if len(opts.BannedEdges) == 0 && len(opts.BannedNodes) == 0 {
+		e.searchView = e.pathView
+	} else {
+		searchOpts := e.ledger.CostOptions(p.Rate)
+		var fp uint64
+		if e.viewCache != nil {
+			fp = searchOpts.Fingerprint()
+		}
+		e.searchView = e.acquireView(searchOpts, fp)
 	}
 	e.scratch = acquireScratchSlots(workers)
 	defer releaseScratchSlots(e.scratch)
@@ -327,6 +352,35 @@ type embedder struct {
 	cache      *graph.TreeCache
 	cacheEpoch uint64
 	cacheFP    uint64
+	// viewCache, when non-nil, shares compiled cost views across requests
+	// under the same (epoch, fingerprint) contract as cache.
+	viewCache *graph.ViewCache
+	// pathView is the run's compiled cost view under the full options
+	// (capacity floor plus ban sets): every Dijkstra and hop search runs
+	// against it. searchView is the capacity-only view the FST/BST builds
+	// admit arcs through; it aliases pathView when the run bans nothing.
+	pathView   *graph.CostView
+	searchView *graph.CostView
+}
+
+// acquireView returns a compiled cost view for opts: from the view cache
+// when one is attached and the (epoch, fingerprint) key hits, else
+// compiled fresh and published back under the same insert guard as the
+// tree cache (only while the ledger still presents the pinned view).
+func (e *embedder) acquireView(opts *graph.CostOptions, fp uint64) *graph.CostView {
+	if e.viewCache != nil {
+		key := graph.ViewCacheKey{Epoch: e.cacheEpoch, Fingerprint: fp}
+		if v, ok := e.viewCache.Lookup(key); ok {
+			telemetry.RecordCostView(false)
+			return v
+		}
+	}
+	v := e.p.Net.G.CompileView(opts)
+	telemetry.RecordCostView(true)
+	if e.viewCache != nil && e.ledger.SameView(e.cacheEpoch) {
+		e.viewCache.Insert(graph.ViewCacheKey{Epoch: e.cacheEpoch, Fingerprint: fp}, v)
+	}
+	return v
 }
 
 // treeEntry is one singleflight slot of the Dijkstra-tree memo: the first
@@ -360,8 +414,9 @@ func (e *embedder) treeFor(src graph.NodeID) *graph.ShortestTree {
 		// The allocating Dijkstra, deliberately: memoized trees are
 		// retained for the whole run (and indefinitely once published to
 		// the cross-request cache) and queried concurrently, so they
-		// cannot live on a per-slot scratch.
-		ent.tree = e.p.Net.G.Dijkstra(src, e.costOpts)
+		// cannot live on a per-slot scratch. The run's compiled view makes
+		// every per-source search skip options flattening entirely.
+		ent.tree = e.pathView.Dijkstra(src)
 		if e.cache != nil && e.ledger.SameView(e.cacheEpoch) {
 			// Publish only while the ledger still presents the pinned view:
 			// if a fault or commit slid in under this run, the tree may
@@ -382,6 +437,15 @@ func (e *embedder) minCostPathCached(a, b graph.NodeID) (graph.Path, bool) {
 		return graph.EmptyPath(a), true
 	}
 	return e.treeFor(a).PathTo(b)
+}
+
+// minCostPathFromCached returns the same cheapest path traversed b→a (the
+// reverse walk), via the memoized tree rooted at a.
+func (e *embedder) minCostPathFromCached(a, b graph.NodeID) (graph.Path, bool) {
+	if a == b {
+		return graph.EmptyPath(a), true
+	}
+	return e.treeFor(a).PathFrom(b)
 }
 
 type extKey struct {
@@ -514,7 +578,7 @@ func (e *embedder) run() (*Result, error) {
 			leaf.cumDelay+float64(tail.Len())*e.opts.Delay.HopDelay > e.opts.MaxDelay {
 			// The cheapest tail is too slow; fall back to the fewest-hop
 			// tail if that one fits the remaining budget.
-			hop, hopOK := p.Net.G.MinHopPathWith(e.scratch[0].Scratch, leaf.endNode(p.Src), p.Dst, e.costOpts)
+			hop, hopOK := e.pathView.MinHopPathWith(e.scratch[0].Scratch, leaf.endNode(p.Src), p.Dst)
 			if !hopOK || leaf.cumDelay+float64(hop.Len())*e.opts.Delay.HopDelay > e.opts.MaxDelay {
 				continue
 			}
@@ -594,7 +658,7 @@ func (e *embedder) buildExtensions(spec LayerSpec, start graph.NodeID) []*extens
 func (e *embedder) runForward(b *startBuild, spec LayerSpec, required []network.VNFID, sc *pooledScratch) {
 	p := e.p
 	b.sink.searchStart(spec.Index, b.start, true)
-	fst := runSearch(p, b.start, searchConfig{required: required, maxNodes: e.opts.Xmax, ledger: e.ledger, mem: sc.mem})
+	fst := runSearch(p, b.start, searchConfig{required: required, maxNodes: e.opts.Xmax, ledger: e.ledger, view: e.searchView, mem: sc.mem})
 	b.sink.stats.ForwardSearches++
 	b.sink.stats.TreeNodes += fst.Size()
 	b.sink.searchDone(spec.Index, b.start, true, fst.Size(), fst.Covered())
@@ -762,6 +826,7 @@ func (e *embedder) pairExtensions(sink *buildSink, spec LayerSpec, start graph.N
 		required: spec.VNFs,
 		within:   fst.Contains,
 		ledger:   e.ledger,
+		view:     e.searchView,
 		mem:      sc.mem,
 	})
 	sink.stats.BackwardSearches++
@@ -920,7 +985,7 @@ func (e *embedder) withHopVariant(a, b graph.NodeID, choices []graph.Path, sc *g
 	if e.opts.MaxDelay <= 0 {
 		return choices
 	}
-	hop, ok := e.p.Net.G.MinHopPathWith(sc, a, b, e.costOpts)
+	hop, ok := e.pathView.MinHopPathWith(sc, a, b)
 	if !ok {
 		return choices
 	}
@@ -955,12 +1020,13 @@ func (e *embedder) interPaths(fst *SearchTree, tn *TreeNode, start graph.NodeID,
 func (e *embedder) innerPaths(bst *SearchTree, tn *TreeNode, mergerNode graph.NodeID, sc *graph.Scratch) []graph.Path {
 	if e.opts.MiniPath {
 		// One tree rooted at the merger serves every inner path of the
-		// pair; reverse to get the node→merger direction.
-		path, ok := e.minCostPathCached(mergerNode, tn.Node)
+		// pair; PathFrom walks the parent chain in node→merger direction
+		// directly — bit-identical to PathTo + Reverse without the copy.
+		path, ok := e.minCostPathFromCached(mergerNode, tn.Node)
 		if !ok {
 			return nil
 		}
-		return e.withHopVariant(tn.Node, mergerNode, []graph.Path{path.Reverse(e.p.Net.G)}, sc)
+		return e.withHopVariant(tn.Node, mergerNode, []graph.Path{path}, sc)
 	}
 	return bst.PathsToRoot(tn, e.opts.MaxPathsPerMeta)
 }

@@ -219,6 +219,66 @@ func TestPathCacheBannedVariants(t *testing.T) {
 	}
 }
 
+// TestViewCacheDeterminism is the same transparency property for the
+// compiled cost-view cache: cold, warm, and post-mutation embeds must
+// match an uncached baseline bit for bit, the cold pass must record
+// misses, the warm pass hits, and a ledger mutation (new view epoch)
+// must force fresh compiles instead of serving stale views.
+func TestViewCacheDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	p := randomProblem(rng, 120, 6, 4)
+	p.Ledger = network.NewLedger(p.Net).Overlay()
+
+	baseline, err := Embed(p, MBBEOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	views := graph.NewViewCache(0)
+	for pass, label := range []string{"cold", "warm"} {
+		opts := MBBEOptions()
+		opts.ViewCache = views
+		got, err := Embed(p, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !reflect.DeepEqual(got.Solution, baseline.Solution) || !reflect.DeepEqual(got.Cost, baseline.Cost) {
+			t.Fatalf("%s: view-cached embed differs from uncached baseline", label)
+		}
+		hits, misses, _ := views.Stats()
+		if pass == 0 && misses == 0 {
+			t.Fatal("cold pass recorded no view-cache misses")
+		}
+		if pass == 1 && hits == 0 {
+			t.Fatal("warm pass recorded no view-cache hits")
+		}
+	}
+
+	// Mutating the ledger bumps the view epoch: the next embed must miss
+	// (compile against the new residuals) and still equal an uncached
+	// embed on the mutated ledger.
+	if err := p.Ledger.ReserveEdge(0, p.Ledger.EdgeResidual(0)/2); err != nil {
+		t.Fatal(err)
+	}
+	_, missesWarm, _ := views.Stats()
+	opts := MBBEOptions()
+	opts.ViewCache = views
+	cached, err := Embed(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, missesAfter, _ := views.Stats(); missesAfter <= missesWarm {
+		t.Fatal("post-mutation embed reused a pre-mutation compiled view")
+	}
+	uncached, err := Embed(p, MBBEOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached.Solution, uncached.Solution) || !reflect.DeepEqual(cached.Cost, uncached.Cost) {
+		t.Fatal("post-mutation view-cached embed differs from uncached embed")
+	}
+}
+
 // TestCostOptionsFingerprint pins the fingerprint's discrimination and
 // stability properties the cache key relies on.
 func TestCostOptionsFingerprint(t *testing.T) {

@@ -180,6 +180,14 @@ type searchConfig struct {
 	// problem's ledger (or a fresh empty one) without mutating p —
 	// convenient for tests that call runSearch directly.
 	ledger *network.Ledger
+	// view, when non-nil, is a capacity-only cost view compiled from the
+	// same ledger at rate demand: arc admission becomes one bitset read
+	// instead of an EdgeResidual call (overlay-chain walk plus map lookups)
+	// per arc. It must be compiled WITHOUT ban sets — runSearch admission
+	// is capacity-only — and gives bit-identical admission decisions to
+	// the ledger path (view compilation replays the residual float math
+	// exactly).
+	view *graph.CostView
 	// mem, when non-nil, supplies all tree-retained allocations from a
 	// reusable per-slot arena (see searchMem). Nil allocates plainly —
 	// the path tests and direct runSearch callers use.
@@ -337,11 +345,16 @@ func runSearch(p *Problem, start graph.NodeID, cfg searchConfig) *SearchTree {
 		levelStart := len(t.nodes)
 		t.levelOff = append(t.levelOff, int32(levelStart))
 		for _, tn := range frontier {
-			for _, arc := range arcs[off[tn.Node]:off[tn.Node+1]] {
+			for ai, end := int(off[tn.Node]), int(off[tn.Node+1]); ai < end; ai++ {
+				arc := arcs[ai]
 				if cfg.within != nil && !cfg.within(arc.To) {
 					continue
 				}
-				if ledger.EdgeResidual(arc.Edge) < p.Rate {
+				if cfg.view != nil {
+					if !cfg.view.Admits(ai) {
+						continue
+					}
+				} else if ledger.EdgeResidual(arc.Edge) < p.Rate {
 					continue
 				}
 				if i := t.idx[arc.To]; i != 0 {

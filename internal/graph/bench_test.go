@@ -40,6 +40,62 @@ func BenchmarkDijkstra1000Filtered(b *testing.B) {
 	}
 }
 
+func BenchmarkDijkstra500Filtered(b *testing.B) {
+	g := benchGraph(500, 6)
+	residual := func(e EdgeID) float64 { return float64(50 + int(e)%51) }
+	residuals := func(dst []float64) []float64 {
+		for e := range dst {
+			dst[e] = residual(EdgeID(e))
+		}
+		return dst
+	}
+	opts := &CostOptions{MinCapacity: 60, Residual: residual, Residuals: residuals}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(NodeID(i%500), opts)
+	}
+}
+
+func BenchmarkDijkstra500Banned(b *testing.B) {
+	g := benchGraph(500, 6)
+	banE := map[EdgeID]bool{}
+	for e := 0; e < g.NumEdges(); e += 7 {
+		banE[EdgeID(e)] = true
+	}
+	banN := map[NodeID]bool{}
+	for v := 3; v < 500; v += 29 {
+		banN[NodeID(v)] = true
+	}
+	opts := &CostOptions{BannedEdges: banE, BannedNodes: banN}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(NodeID(i%500), opts)
+	}
+}
+
+// BenchmarkCostViewCompile measures the per-(epoch, options) cost the
+// kernel pays once and then amortizes over every source: a bulk residual
+// export plus one dense pass over the CSR arcs.
+func BenchmarkCostViewCompile(b *testing.B) {
+	g := benchGraph(1000, 6)
+	residuals := func(dst []float64) []float64 {
+		for e := range dst {
+			dst[e] = float64(50 + e%51)
+		}
+		return dst
+	}
+	opts := &CostOptions{MinCapacity: 60, Residuals: residuals}
+	s := GetScratch()
+	defer PutScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.resBuf = g.compileView(&s.view, opts, s.resBuf)
+	}
+}
+
 func BenchmarkBFSFrontiers500(b *testing.B) {
 	g := benchGraph(500, 6)
 	b.ReportAllocs()

@@ -98,6 +98,58 @@ func (g *Graph) MinHopPathWith(s *Scratch, src, dst NodeID, opts *CostOptions) (
 	return Path{}, false
 }
 
+// MinHopPathWith is MinHopPath against a compiled cost view: admissibility
+// comes from the view's arc bitset instead of per-arc map lookups, giving
+// identical results to Graph.MinHopPathWith under the options the view was
+// compiled from. The returned Path is freshly allocated and independent
+// of s.
+func (view *CostView) MinHopPathWith(s *Scratch, src, dst NodeID) (Path, bool) {
+	n := view.numNodes
+	if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n {
+		return Path{}, false
+	}
+	if src == dst {
+		return EmptyPath(src), true
+	}
+	if view.NodeBanned(src) {
+		return Path{}, false
+	}
+	arcs, off := view.arcs, view.off
+	s.visitedReset(n)
+	s.growParents(n)
+	s.lastA = view.numArcs
+	s.visit(src)
+	queue := s.queue[:0]
+	queue = append(queue, src)
+	defer func() { s.queue = queue[:0] }()
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for ai := int(off[v]); ai < int(off[v+1]); ai++ {
+			to := arcs[ai].To
+			if s.visited(to) || !view.Admits(ai) {
+				continue
+			}
+			s.visit(to)
+			s.parentEdge[to] = arcs[ai].Edge
+			s.parentNode[to] = v
+			if to == dst {
+				hops := 0
+				for u := dst; u != src; u = s.parentNode[u] {
+					hops++
+				}
+				edges := make([]EdgeID, hops)
+				for u := dst; u != src; u = s.parentNode[u] {
+					hops--
+					edges[hops] = s.parentEdge[u]
+				}
+				return Path{From: src, Edges: edges}, true
+			}
+			queue = append(queue, to)
+		}
+	}
+	return Path{}, false
+}
+
 // BFSFrontiers returns the nodes of each BFS level from src as separate
 // slices: frontiers[0] == {src}, frontiers[q] holds the nodes first reached
 // after q hops. Only levels up to maxLevel are expanded (maxLevel < 0 means

@@ -16,12 +16,22 @@ type CostOptions struct {
 	// capacity ledger here so searches see the "real-time network graph"
 	// of Algorithm 1.
 	Residual func(EdgeID) float64
+	// Residuals, when non-nil, is the bulk companion of Residual used at
+	// view-compile time: it fills dst (pre-sized to the edge count) with
+	// the residual of every edge and returns it, letting compilation make
+	// one call instead of one per edge. It must agree bitwise with
+	// Residual; like Residual it is excluded from Fingerprint (callers key
+	// shared views by ledger view epoch).
+	Residuals func(dst []float64) []float64
 	// BannedEdges and BannedNodes exclude specific elements; used by Yen's
 	// algorithm and by failure-injection tests. A nil map bans nothing.
 	BannedEdges map[EdgeID]bool
 	BannedNodes map[NodeID]bool
 }
 
+// admits is the scalar admissibility check, still used by the breadth-
+// first searches; the Dijkstra kernels use a compiled CostView instead,
+// which gives bitwise-identical answers (compileView mirrors this logic).
 func (o *CostOptions) admits(g *Graph, arc Arc) bool {
 	if o == nil {
 		return true
@@ -57,9 +67,10 @@ type ShortestTree struct {
 
 func newShortestTree(n int) *ShortestTree {
 	t := &ShortestTree{
-		Dist:   make([]float64, n),
-		parent: make([]EdgeID, n),
-		prev:   make([]NodeID, n),
+		Dist:    make([]float64, n),
+		parent:  make([]EdgeID, n),
+		prev:    make([]NodeID, n),
+		touched: make([]NodeID, 0, n),
 	}
 	for i := range t.Dist {
 		t.Dist[i] = Inf
@@ -72,6 +83,27 @@ func newShortestTree(n int) *ShortestTree {
 // Reachable reports whether v is reachable from the source.
 func (t *ShortestTree) Reachable(v NodeID) bool { return !math.IsInf(t.Dist[v], 1) }
 
+// AppendPathTo appends the edge IDs of one cheapest path from the source
+// to v onto buf (in source-to-v order) and returns the extended slice. It
+// allocates only when buf lacks capacity, which makes it the right
+// primitive for hot paths that union or consume edges immediately; use
+// PathTo when a retained Path value is wanted. ok is false (and buf is
+// returned unchanged) when v is unreachable.
+func (t *ShortestTree) AppendPathTo(buf []EdgeID, v NodeID) (_ []EdgeID, ok bool) {
+	if !t.Reachable(v) {
+		return buf, false
+	}
+	start := len(buf)
+	for u := v; u != t.Src; u = t.prev[u] {
+		buf = append(buf, t.parent[u])
+	}
+	// The parent chain walks v->source; reverse the appended section.
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf, true
+}
+
 // PathTo reconstructs one cheapest path from the source to v.
 func (t *ShortestTree) PathTo(v NodeID) (Path, bool) {
 	if !t.Reachable(v) {
@@ -81,59 +113,131 @@ func (t *ShortestTree) PathTo(v NodeID) (Path, bool) {
 	for u := v; u != t.Src; u = t.prev[u] {
 		hops++
 	}
-	edges := make([]EdgeID, hops)
-	for u := v; u != t.Src; u = t.prev[u] {
-		hops--
-		edges[hops] = t.parent[u]
-	}
+	edges, _ := t.AppendPathTo(make([]EdgeID, 0, hops), v)
 	return Path{From: t.Src, Edges: edges}, true
 }
 
+// PathFrom reconstructs the same walk as PathTo(v) traversed from v back
+// to the source — bit-identical to PathTo(v).Reverse(g) without the extra
+// copy, since the parent chain is already in v-to-source order.
+func (t *ShortestTree) PathFrom(v NodeID) (Path, bool) {
+	if !t.Reachable(v) {
+		return Path{}, false
+	}
+	hops := 0
+	for u := v; u != t.Src; u = t.prev[u] {
+		hops++
+	}
+	edges := make([]EdgeID, 0, hops)
+	for u := v; u != t.Src; u = t.prev[u] {
+		edges = append(edges, t.parent[u])
+	}
+	return Path{From: v, Edges: edges}, true
+}
+
 // Dijkstra computes cheapest paths (by link price) from src to every node,
-// honoring opts. It runs in O((N+M) log N). The returned tree is freshly
-// allocated and may be retained indefinitely; use DijkstraWith for the
-// allocation-free variant when the result is consumed before the next query.
+// honoring opts. It compiles opts into a CostView internally; callers
+// running many sources under the same options and residual state should
+// compile once with CompileView and use CostView.Dijkstra. The returned
+// tree is freshly allocated and may be retained indefinitely; use
+// DijkstraWith for the allocation-free variant when the result is consumed
+// before the next query.
 func (g *Graph) Dijkstra(src NodeID, opts *CostOptions) *ShortestTree {
 	t := newShortestTree(g.n)
-	var h distHeap
-	g.dijkstra(t, &h, src, opts)
+	s := GetScratch()
+	s.resBuf = g.compileView(&s.view, opts, s.resBuf)
+	s.lastN, s.lastA = g.n, s.view.numArcs
+	dijkstraView(t, &s.q, src, &s.view)
+	PutScratch(s)
 	return t
 }
 
-// dijkstra is the shared search kernel: it assumes t's arrays are length
-// g.n and in their resting state (Dist=Inf, parent/prev=None) and h is
-// empty, and records every node it writes in t.touched.
-func (g *Graph) dijkstra(t *ShortestTree, h *distHeap, src NodeID, opts *CostOptions) {
+// Dijkstra runs the search kernel from src under the compiled view. The
+// returned tree is freshly allocated and may be retained indefinitely.
+func (v *CostView) Dijkstra(src NodeID) *ShortestTree {
+	t := newShortestTree(v.numNodes)
+	s := GetScratch()
+	s.lastN, s.lastA = v.numNodes, v.numArcs
+	dijkstraView(t, &s.q, src, v)
+	PutScratch(s)
+	return t
+}
+
+// DijkstraWith is CostView.Dijkstra running entirely on scratch memory:
+// zero steady-state allocations once s has warmed up to the graph size.
+// The returned tree is owned by s and invalidated by the next search on
+// the same Scratch.
+func (v *CostView) DijkstraWith(s *Scratch, src NodeID) *ShortestTree {
+	s.resetTree(v.numNodes)
+	s.lastA = v.numArcs
+	dijkstraView(&s.tree, &s.q, src, v)
+	return &s.tree
+}
+
+// dijkstraView is the search kernel. It assumes t's arrays are length
+// view.numNodes and in their resting state (Dist=Inf, parent/prev=None),
+// and records every node it writes in t.touched. The inner loop reads only
+// the view's dense arrays: an inadmissible arc carries price +Inf, so
+// d + price can never improve a distance and no admissibility branch is
+// needed. Pop order is the strict (dist, node) order shared by both queue
+// structures, so results do not depend on which one the view selected.
+func dijkstraView(t *ShortestTree, q *searchQueues, src NodeID, view *CostView) {
 	t.Src = src
-	if g.checkNode(src) != nil {
+	if src < 0 || int(src) >= view.numNodes {
 		return
 	}
-	if opts != nil && opts.BannedNodes[src] {
+	if view.NodeBanned(src) {
 		return
 	}
-	arcs, off := g.CSR()
-	t.Dist[src] = 0
+	arcs, off, price, dist := view.arcs, view.off, view.price, t.Dist
+	dist[src] = 0
 	t.touched = append(t.touched, src)
+	if view.delta > 0 {
+		bq := &q.bq
+		bq.reset(view)
+		bq.push(distItem{node: src, dist: 0})
+		for {
+			item, ok := bq.pop(dist)
+			if !ok {
+				break
+			}
+			v, d := item.node, item.dist
+			for ai := int(off[v]); ai < int(off[v+1]); ai++ {
+				nd := d + price[ai]
+				to := arcs[ai].To
+				if nd < dist[to] {
+					if math.IsInf(dist[to], 1) {
+						t.touched = append(t.touched, to)
+					}
+					dist[to] = nd
+					t.parent[to] = arcs[ai].Edge
+					t.prev[to] = v
+					bq.push(distItem{node: to, dist: nd})
+				}
+			}
+		}
+		return
+	}
+	h := &q.h4
+	*h = (*h)[:0]
 	h.push(distItem{node: src, dist: 0})
 	for len(*h) > 0 {
 		item := h.pop()
-		v := item.node
-		if item.dist > t.Dist[v] {
-			continue // stale entry
+		v, d := item.node, item.dist
+		if d > dist[v] {
+			continue // superseded by a later, cheaper push
 		}
-		for _, arc := range arcs[off[v]:off[v+1]] {
-			if !opts.admits(g, arc) {
-				continue
-			}
-			nd := item.dist + g.edges[arc.Edge].Price
-			if nd < t.Dist[arc.To] {
-				if math.IsInf(t.Dist[arc.To], 1) {
-					t.touched = append(t.touched, arc.To)
+		for ai := int(off[v]); ai < int(off[v+1]); ai++ {
+			nd := d + price[ai]
+			to := arcs[ai].To
+			if nd < dist[to] {
+				if math.IsInf(dist[to], 1) {
+					t.touched = append(t.touched, to)
 				}
-				t.Dist[arc.To] = nd
-				t.parent[arc.To] = arc.Edge
-				t.prev[arc.To] = v
-				h.push(distItem{node: arc.To, dist: nd})
+				dist[to] = nd
+				t.parent[to] = arcs[ai].Edge
+				t.prev[to] = v
+				h.push(distItem{node: to, dist: nd})
 			}
 		}
 	}
@@ -158,51 +262,4 @@ func (g *Graph) MinCostPath(src, dst NodeID, opts *CostOptions) (Path, bool) {
 type distItem struct {
 	node NodeID
 	dist float64
-}
-
-// distHeap is a concrete binary min-heap over distItem. It deliberately
-// does not implement container/heap: the interface-based Push boxes every
-// item onto the Go heap, which used to be the dominant allocation source of
-// a Dijkstra run. Sift order matches container/heap exactly, so pop order
-// (and therefore tie-breaking) is bit-identical to the old implementation.
-type distHeap []distItem
-
-func (h *distHeap) push(x distItem) {
-	*h = append(*h, x)
-	hh := *h
-	i := len(hh) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if hh[p].dist <= hh[i].dist {
-			break
-		}
-		hh[p], hh[i] = hh[i], hh[p]
-		i = p
-	}
-}
-
-func (h *distHeap) pop() distItem {
-	hh := *h
-	top := hh[0]
-	last := len(hh) - 1
-	hh[0] = hh[last]
-	*h = hh[:last]
-	hh = hh[:last]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= last {
-			break
-		}
-		m := l
-		if r := l + 1; r < last && hh[r].dist < hh[l].dist {
-			m = r
-		}
-		if hh[i].dist <= hh[m].dist {
-			break
-		}
-		hh[i], hh[m] = hh[m], hh[i]
-		i = m
-	}
-	return top
 }

@@ -2,19 +2,33 @@ package graph
 
 import "sync"
 
+// searchQueues bundles the two kernel priority structures; the compiled
+// view's bucket tuning decides which one a search uses.
+type searchQueues struct {
+	bq bucketQueue
+	h4 heap4
+}
+
 // Scratch is reusable working memory for the search algorithms: the
-// Dijkstra tree arrays and heap, the BFS queue, and an epoch-stamped
-// visited set. A single Scratch serves any sequence of searches over any
-// graphs (arrays grow to the largest graph seen and are reset sparsely),
-// but it is not safe for concurrent use — give each goroutine its own,
-// e.g. one per worker-pool slot.
+// Dijkstra tree arrays, the kernel priority queues, a compiled cost view
+// with its residual buffer, the BFS queue, and an epoch-stamped visited
+// set. A single Scratch serves any sequence of searches over any graphs
+// (arrays grow to the largest graph seen and are reset sparsely), but it
+// is not safe for concurrent use — give each goroutine its own, e.g. one
+// per worker-pool slot.
 //
 // Results returned by the *With methods that alias scratch memory (the
 // *ShortestTree from DijkstraWith) are valid only until the next call with
 // the same Scratch; Path values are freshly allocated and safe to retain.
 type Scratch struct {
 	tree ShortestTree
-	heap distHeap
+	q    searchQueues
+
+	// view is the scratch-owned compiled cost view (rebuilt per query by
+	// DijkstraWith); resBuf is the per-edge residual buffer view
+	// compilation fills.
+	view   CostView
+	resBuf []float64
 
 	queue []NodeID
 
@@ -30,10 +44,11 @@ type Scratch struct {
 	parentEdge []EdgeID
 	parentNode []NodeID
 
-	// lastN is the node count of the most recent search served, recorded
-	// so PutScratch can compare the scratch's grown capacity against the
-	// sizes actually in recent use.
+	// lastN and lastA are the node and arc counts of the most recent search
+	// served, recorded so PutScratch can compare the scratch's grown
+	// capacity against the sizes actually in recent use.
 	lastN int
+	lastA int
 }
 
 // NewScratch returns an empty Scratch. Buffers are sized lazily on first
@@ -51,7 +66,8 @@ func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 // of a one-off large search for the life of the process. The caller must
 // not use s, or any scratch-aliasing result produced with it, afterwards.
 func PutScratch(s *Scratch) {
-	if keepScratch(s, noteScratchUse(s.lastN)) {
+	nodeDemand, arcDemand := noteScratchUse(s.lastN, s.lastA)
+	if keepScratch(s, nodeDemand, arcDemand) {
 		scratchPool.Put(s)
 	}
 }
@@ -60,11 +76,14 @@ func PutScratch(s *Scratch) {
 // by pooled scratches: cur tracks the current window's maximum, prev the
 // previous window's, and the demand estimate is the larger of the two —
 // so the estimate never drops below a size seen within the last
-// scratchWindowPuts..2×scratchWindowPuts checkins.
+// scratchWindowPuts..2×scratchWindowPuts checkins. Node and arc demand
+// are tracked separately because the view arrays scale with arcs, not
+// nodes.
 var scratchDemand struct {
-	mu        sync.Mutex
-	cur, prev int
-	puts      int
+	mu                sync.Mutex
+	cur, prev         int
+	curArcs, prevArcs int
+	puts              int
 }
 
 const (
@@ -79,28 +98,37 @@ const (
 )
 
 // noteScratchUse folds one served size into the demand windows and
-// returns the current demand estimate.
-func noteScratchUse(n int) int {
+// returns the current node and arc demand estimates.
+func noteScratchUse(n, arcs int) (nodeDemand, arcDemand int) {
 	d := &scratchDemand
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if n > d.cur {
 		d.cur = n
 	}
+	if arcs > d.curArcs {
+		d.curArcs = arcs
+	}
 	if d.puts++; d.puts >= scratchWindowPuts {
 		d.prev, d.cur, d.puts = d.cur, 0, 0
+		d.prevArcs, d.curArcs = d.curArcs, 0
 	}
-	if d.prev > d.cur {
-		return d.prev
+	nodeDemand, arcDemand = d.cur, d.curArcs
+	if d.prev > nodeDemand {
+		nodeDemand = d.prev
 	}
-	return d.cur
+	if d.prevArcs > arcDemand {
+		arcDemand = d.prevArcs
+	}
+	return nodeDemand, arcDemand
 }
 
 // keepScratch decides whether a scratch with the given recent-demand
-// estimate is worth pooling: it is kept unless its largest backing array
-// exceeds both the absolute floor and scratchOversizeFactor times the
-// demand estimate.
-func keepScratch(s *Scratch, demand int) bool {
+// estimates is worth pooling: it is kept unless a backing array exceeds
+// both the absolute floor and scratchOversizeFactor times the matching
+// demand estimate (node-sized arrays against node demand, arc-sized view
+// arrays against arc demand).
+func keepScratch(s *Scratch, nodeDemand, arcDemand int) bool {
 	size := cap(s.tree.Dist)
 	if len(s.stamp) > size {
 		size = len(s.stamp)
@@ -108,11 +136,18 @@ func keepScratch(s *Scratch, demand int) bool {
 	if len(s.parentEdge) > size {
 		size = len(s.parentEdge)
 	}
-	limit := demand * scratchOversizeFactor
-	if limit < scratchMinRetain {
-		limit = scratchMinRetain
+	arcSize := cap(s.view.price)
+	if cap(s.resBuf) > arcSize {
+		arcSize = cap(s.resBuf)
 	}
-	return size <= limit
+	limit := func(demand int) int {
+		l := demand * scratchOversizeFactor
+		if l < scratchMinRetain {
+			l = scratchMinRetain
+		}
+		return l
+	}
+	return size <= limit(nodeDemand) && arcSize <= limit(arcDemand)
 }
 
 // resetTree brings the scratch tree back to its resting state (Dist=Inf,
@@ -175,13 +210,16 @@ func (s *Scratch) growParents(n int) {
 	}
 }
 
-// DijkstraWith is Dijkstra running entirely on scratch memory: zero
-// steady-state allocations once s has warmed up to the graph size. The
-// returned tree is owned by s and is invalidated by the next DijkstraWith
-// call on the same Scratch; results are bit-identical to Dijkstra.
+// DijkstraWith is Dijkstra running entirely on scratch memory: the view
+// compiles into scratch-owned arrays and the kernel runs on the scratch
+// tree, for zero steady-state allocations once s has warmed up to the
+// graph size. The returned tree is owned by s and is invalidated by the
+// next DijkstraWith call on the same Scratch; results are bit-identical
+// to Dijkstra.
 func (g *Graph) DijkstraWith(s *Scratch, src NodeID, opts *CostOptions) *ShortestTree {
+	s.resBuf = g.compileView(&s.view, opts, s.resBuf)
 	s.resetTree(g.n)
-	s.heap = s.heap[:0]
-	g.dijkstra(&s.tree, &s.heap, src, opts)
+	s.lastA = s.view.numArcs
+	dijkstraView(&s.tree, &s.q, src, &s.view)
 	return &s.tree
 }

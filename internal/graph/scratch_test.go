@@ -91,15 +91,15 @@ func TestPutScratchDropsOversized(t *testing.T) {
 
 	// While the huge size is recent demand, the huge scratch is retained —
 	// dropping actively-used capacity would just thrash the allocator.
-	if !keepScratch(huge, huge.lastN) {
+	if !keepScratch(huge, huge.lastN, 0) {
 		t.Fatal("scratch sized to current demand was dropped")
 	}
 	// Once recent demand is small again, the huge scratch is released...
-	if keepScratch(huge, small.lastN) {
+	if keepScratch(huge, small.lastN, 0) {
 		t.Fatal("oversized scratch was pooled against small recent demand")
 	}
 	// ...while the small one still pools (within the absolute floor).
-	if !keepScratch(small, small.lastN) {
+	if !keepScratch(small, small.lastN, 0) {
 		t.Fatal("right-sized scratch was dropped")
 	}
 
@@ -107,13 +107,27 @@ func TestPutScratchDropsOversized(t *testing.T) {
 	// puts, then check PutScratch's demand estimate has decayed so the
 	// huge scratch gets dropped rather than pooled.
 	for i := 0; i < 2*scratchWindowPuts; i++ {
-		noteScratchUse(300)
+		noteScratchUse(300, 1200)
 	}
-	if demand := noteScratchUse(300); demand != 300 {
+	if demand, _ := noteScratchUse(300, 1200); demand != 300 {
 		t.Fatalf("demand estimate after small-only windows = %d, want 300", demand)
 	}
-	if keepScratch(huge, noteScratchUse(300)) {
+	nodeDemand, arcDemand := noteScratchUse(300, 1200)
+	if keepScratch(huge, nodeDemand, arcDemand) {
 		t.Fatal("oversized scratch survived decayed demand windows")
+	}
+
+	// Arc-sized view arrays are judged against arc demand, not node demand:
+	// a scratch whose compiled view grew on a one-off dense graph is also
+	// released once arc demand settles.
+	arcHuge := &Scratch{}
+	arcHuge.view.price = make([]float64, scratchMinRetain*scratchOversizeFactor*2)
+	arcHuge.resetTree(300)
+	if keepScratch(arcHuge, 300, 1200) {
+		t.Fatal("arc-oversized scratch was pooled against small arc demand")
+	}
+	if !keepScratch(arcHuge, 300, len(arcHuge.view.price)) {
+		t.Fatal("arc-sized scratch matching current arc demand was dropped")
 	}
 }
 

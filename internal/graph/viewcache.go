@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ViewCacheKey identifies one compiled cost view: the ledger view epoch
+// its residuals were exported under (see network.Ledger.ViewEpoch) and the
+// CostOptions fingerprint. Unlike TreeCacheKey there is no source node —
+// a view serves every Dijkstra source run under the same options and
+// residual state, which is exactly why caching it is worth more per entry
+// than caching trees.
+type ViewCacheKey struct {
+	Epoch       uint64
+	Fingerprint uint64
+}
+
+// ViewCache is a cross-request cache of immutable *CostView values keyed
+// by ViewCacheKey, with the same concurrency and aging contract as
+// TreeCache: allocation-free read-locked lookups, first-wins inserts
+// (equal keys compile bit-identical views), whole-epoch aging beyond
+// viewCacheKeepEpochs, and a maxEntries cap.
+type ViewCache struct {
+	mu      sync.RWMutex
+	entries map[ViewCacheKey]*CostView
+	// epochs lists the distinct epochs present, ascending; byEpoch maps
+	// each to its keys so eviction is O(evicted), not O(cache).
+	epochs  []uint64
+	byEpoch map[uint64][]ViewCacheKey
+
+	maxEntries int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// viewCacheKeepEpochs bounds how many distinct view epochs the cache
+// retains views for; the rationale matches treeCacheKeepEpochs.
+const viewCacheKeepEpochs = 4
+
+// defaultViewCacheEntries is the maxEntries default (NewViewCache(0)).
+// Views are per-(epoch, options) rather than per-source, so far fewer
+// entries are ever live than in the tree cache.
+const defaultViewCacheEntries = 256
+
+// NewViewCache returns an empty cache holding at most maxEntries views
+// (0 means the default of 256).
+func NewViewCache(maxEntries int) *ViewCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultViewCacheEntries
+	}
+	return &ViewCache{
+		entries:    make(map[ViewCacheKey]*CostView),
+		byEpoch:    make(map[uint64][]ViewCacheKey),
+		maxEntries: maxEntries,
+	}
+}
+
+// Lookup returns the cached view for k, if present, and counts the hit or
+// miss. The returned view is shared and immutable.
+func (c *ViewCache) Lookup(k ViewCacheKey) (*CostView, bool) {
+	c.mu.RLock()
+	v, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Insert publishes a view under k unless the key is already present
+// (first insert wins; by the key contract both views are identical). It
+// returns how many entries aging and the size cap evicted.
+func (c *ViewCache) Insert(k ViewCacheKey, v *CostView) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[k]; exists {
+		return 0
+	}
+	c.entries[k] = v
+	if keys, seen := c.byEpoch[k.Epoch]; seen {
+		c.byEpoch[k.Epoch] = append(keys, k)
+	} else {
+		c.byEpoch[k.Epoch] = []ViewCacheKey{k}
+		// Keep the epoch list sorted: an in-flight old snapshot may insert
+		// under an older epoch after newer ones appeared.
+		i := sort.Search(len(c.epochs), func(i int) bool { return c.epochs[i] > k.Epoch })
+		c.epochs = append(c.epochs, 0)
+		copy(c.epochs[i+1:], c.epochs[i:])
+		c.epochs[i] = k.Epoch
+	}
+	for len(c.epochs) > viewCacheKeepEpochs {
+		evicted += c.dropOldestEpoch()
+	}
+	for len(c.entries) > c.maxEntries && len(c.epochs) > 1 {
+		evicted += c.dropOldestEpoch()
+	}
+	if over := len(c.entries) - c.maxEntries; over > 0 && len(c.epochs) == 1 {
+		keys := c.byEpoch[c.epochs[0]]
+		for _, old := range keys[:over] {
+			delete(c.entries, old)
+		}
+		c.byEpoch[c.epochs[0]] = keys[over:]
+		evicted += over
+	}
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+	return evicted
+}
+
+// dropOldestEpoch evicts every entry of the oldest epoch present. Caller
+// holds mu.
+func (c *ViewCache) dropOldestEpoch() int {
+	oldest := c.epochs[0]
+	keys := c.byEpoch[oldest]
+	for _, k := range keys {
+		delete(c.entries, k)
+	}
+	delete(c.byEpoch, oldest)
+	c.epochs = c.epochs[1:]
+	return len(keys)
+}
+
+// Len reports the number of cached views.
+func (c *ViewCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the lifetime hit, miss and eviction counts.
+func (c *ViewCache) Stats() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

@@ -58,6 +58,7 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, opts *CostOptions) []Path
 			if opts != nil {
 				spurOpts.MinCapacity = opts.MinCapacity
 				spurOpts.Residual = opts.Residual
+				spurOpts.Residuals = opts.Residuals
 			}
 			spurPath, ok := g.MinCostPath(spur, dst, spurOpts)
 			if !ok {

@@ -492,10 +492,64 @@ func (l *Ledger) Clone() *Ledger {
 	return c
 }
 
+// EdgeResiduals fills dst with the residual bandwidth of every edge —
+// dst[e] bitwise equal to EdgeResidual(e) — growing dst only if it lacks
+// capacity, and returns it. One call replaces NumEdges individual queries
+// (each of which walks the overlay chain and hashes into the delta maps),
+// which is what makes cost-view compilation a dense O(edges) pass. The
+// float operations replay EdgeResidual's exact order: committed usage is
+// accumulated base-first along the overlay chain, then subtracted from
+// capacity, then the quarantine is subtracted — so capacity-floor
+// comparisons against the result can never disagree with the scalar path.
+func (l *Ledger) EdgeResiduals(dst []float64) []float64 {
+	ne := l.net.G.NumEdges()
+	if cap(dst) < ne {
+		dst = make([]float64, ne)
+	} else {
+		dst = dst[:ne]
+	}
+	l.fillEdgeUsed(dst)
+	edges := l.net.G.Edges()
+	for e := range dst {
+		dst[e] = edges[e].Capacity - dst[e]
+	}
+	if q := l.quarantineTable(); q != nil {
+		for e, amt := range q.edge {
+			if int(e) < ne {
+				dst[e] -= amt
+			}
+		}
+	}
+	return dst
+}
+
+// fillEdgeUsed writes EdgeUsed of every edge into dst, applying overlay
+// deltas base-first so each slot sees the same addition order as the
+// recursive scalar EdgeUsed.
+func (l *Ledger) fillEdgeUsed(dst []float64) {
+	if l.base != nil {
+		l.base.fillEdgeUsed(dst)
+		for e, d := range l.edgeDelta {
+			if int(e) < len(dst) {
+				dst[e] += d
+			}
+		}
+		return
+	}
+	copy(dst, l.edgeUsed)
+	// A root sized before later AddEdge calls may track fewer edges than
+	// the graph; the extra slots carry zero usage.
+	for i := len(l.edgeUsed); i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
 // CostOptions returns graph search options that admit only links with at
-// least demand residual bandwidth according to this ledger.
+// least demand residual bandwidth according to this ledger. Both the
+// scalar and bulk residual hooks are set, so compiled cost views can
+// export every residual in one call.
 func (l *Ledger) CostOptions(demand float64) *graph.CostOptions {
-	return &graph.CostOptions{MinCapacity: demand, Residual: l.EdgeResidual}
+	return &graph.CostOptions{MinCapacity: demand, Residual: l.EdgeResidual, Residuals: l.EdgeResiduals}
 }
 
 // capacityEps absorbs float accumulation error in capacity comparisons.

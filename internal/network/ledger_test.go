@@ -3,6 +3,8 @@ package network
 import (
 	"strings"
 	"testing"
+
+	"dagsfc/internal/graph"
 )
 
 func TestLedgerEdgeReserveRelease(t *testing.T) {
@@ -159,5 +161,63 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadJSON(strings.NewReader(`{"nodes":2,"vnf_kinds":1,"instances":[{"node":0,"vnf":7,"price":1,"capacity":1}]}`)); err == nil {
 		t.Fatal("out-of-catalog instance accepted")
+	}
+}
+
+// TestEdgeResidualsBitExact pins the bulk-export contract: EdgeResiduals
+// must agree with per-edge EdgeResidual bitwise — same overlay-chain
+// addition order, same quarantine subtraction — across root ledgers,
+// stacked overlays, and active faults, because cost-view compilation
+// feeds its output into the exact capacity-floor comparison the scalar
+// path uses.
+func TestEdgeResidualsBitExact(t *testing.T) {
+	net := testNet(t)
+	root := NewLedger(net)
+	// Awkward float amounts so any reordering of the additions would show.
+	if err := root.ReserveEdge(0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.ReserveEdge(1, 3.3); err != nil {
+		t.Fatal(err)
+	}
+	o1 := root.Overlay()
+	if err := o1.ReserveEdge(0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o1.ReserveEdge(2, 1.0/3); err != nil {
+		t.Fatal(err)
+	}
+	o2 := o1.Overlay()
+	if err := o2.ReserveEdge(0, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.ApplyFault(Fault{Kind: FaultLinkDegrade, Link: 1, Fraction: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, l *Ledger) {
+		t.Helper()
+		// Deliberately dirty, oversized buffer: reuse must overwrite fully.
+		buf := []float64{99, 99, 99, 99, 99}
+		got := l.EdgeResiduals(buf)
+		if len(got) != net.G.NumEdges() {
+			t.Fatalf("%s: len = %d, want %d", name, len(got), net.G.NumEdges())
+		}
+		for e := 0; e < net.G.NumEdges(); e++ {
+			want := l.EdgeResidual(graph.EdgeID(e))
+			if got[e] != want {
+				t.Fatalf("%s: edge %d residual = %v, want %v", name, e, got[e], want)
+			}
+		}
+	}
+	check("root", root)
+	check("overlay", o1)
+	check("stacked overlay", o2)
+	// Undersized buffer grows.
+	if got := root.EdgeResiduals(nil); len(got) != net.G.NumEdges() {
+		t.Fatalf("nil buffer: len = %d", len(got))
+	}
+	// The CostOptions wiring exposes the bulk hook.
+	if opts := root.CostOptions(1); opts.Residuals == nil {
+		t.Fatal("CostOptions did not set the bulk residual hook")
 	}
 }

@@ -113,7 +113,8 @@ type Config struct {
 	// builtin tree searches (mbbe, bbe): worker snapshots that present the
 	// same ledger view epoch reuse each other's capacity-filtered Dijkstra
 	// trees instead of recomputing them. 0 means the default size (4096
-	// trees); negative disables the cache entirely.
+	// trees); negative disables the cache entirely, along with the compiled
+	// cost-view cache that rides on the same epoch machinery.
 	PathCacheSize int
 	// WALDir enables durable flow state: every lifecycle mutation is
 	// appended to a write-ahead log in this directory and the full state
@@ -154,6 +155,10 @@ type Server struct {
 	// endpoints: any state change moves the epoch and strands old entries,
 	// which age out as new epochs fill in.
 	cache *graph.TreeCache
+	// viewCache shares compiled cost views (admissibility bitset + price
+	// array) the same way, under the same epoch-coherence argument; it is
+	// enabled and disabled together with the tree cache.
+	viewCache *graph.ViewCache
 
 	// mu guards the live state below. The commit loop takes it to
 	// validate+commit, release paths take it to return capacity, and
@@ -324,16 +329,20 @@ func New(cfg Config) (*Server, error) {
 		rebaseLen = 64
 	}
 	var cache *graph.TreeCache
+	var viewCache *graph.ViewCache
 	if cfg.PathCacheSize >= 0 {
 		cache = graph.NewTreeCache(cfg.PathCacheSize)
+		viewCache = graph.NewViewCache(0)
 	}
 	telemetry.InitPathCacheMetrics()
+	telemetry.InitCostViewMetrics()
 	s := &Server{
 		cfg:         cfg,
 		net:         cfg.Net,
-		embedder:    builtinEmbedders(cfg.Seed, cache),
-		embedCtx:    builtinCtxEmbedders(cache),
+		embedder:    builtinEmbedders(cfg.Seed, cache, viewCache),
+		embedCtx:    builtinCtxEmbedders(cache, viewCache),
 		cache:       cache,
+		viewCache:   viewCache,
 		ledger:      network.NewLedger(cfg.Net).Overlay(),
 		rebaseLen:   rebaseLen,
 		flows:       online.NewFlowTable[int64](),
@@ -408,11 +417,13 @@ func New(cfg Config) (*Server, error) {
 // builtinCtxEmbedders maps the builtin algorithms that support
 // cooperative cancellation to their context-aware entry points. cache,
 // when non-nil, is shared by every mbbe/bbe run (see Config.PathCacheSize).
-func builtinCtxEmbedders(cache *graph.TreeCache) map[string]ctxEmbedder {
+func builtinCtxEmbedders(cache *graph.TreeCache, views *graph.ViewCache) map[string]ctxEmbedder {
 	mbbeOpts := core.MBBEOptions()
 	mbbeOpts.PathCache = cache
+	mbbeOpts.ViewCache = views
 	bbeOpts := core.BBEOptions()
 	bbeOpts.PathCache = cache
+	bbeOpts.ViewCache = views
 	return map[string]ctxEmbedder{
 		"mbbe": func(ctx context.Context, p *core.Problem) (*core.Result, error) {
 			return core.EmbedContext(ctx, p, mbbeOpts)
@@ -426,13 +437,15 @@ func builtinCtxEmbedders(cache *graph.TreeCache) map[string]ctxEmbedder {
 // builtinEmbedders is the default algorithm registry. The randomized
 // algorithms share one seeded rng behind a lock, so their embeds
 // serialize — acceptable for baselines.
-func builtinEmbedders(seed int64, cache *graph.TreeCache) map[string]Embedder {
+func builtinEmbedders(seed int64, cache *graph.TreeCache, views *graph.ViewCache) map[string]Embedder {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
 	mbbeOpts := core.MBBEOptions()
 	mbbeOpts.PathCache = cache
+	mbbeOpts.ViewCache = views
 	bbeOpts := core.BBEOptions()
 	bbeOpts.PathCache = cache
+	bbeOpts.ViewCache = views
 	return map[string]Embedder{
 		"mbbe": func(p *core.Problem) (*core.Result, error) { return core.Embed(p, mbbeOpts) },
 		"bbe":  func(p *core.Problem) (*core.Result, error) { return core.Embed(p, bbeOpts) },

@@ -72,14 +72,17 @@ func TreeWith(g *graph.Graph, terminals []graph.NodeID, opts *graph.CostOptions,
 		mst = append(mst, best)
 	}
 
-	// 3. Expand closure edges into real paths; union the edges.
+	// 3. Expand closure edges into real paths; union the edges. A single
+	// reused buffer keeps the per-edge walk allocation-free (AppendPathTo).
 	edgeSet := map[graph.EdgeID]bool{}
+	var pathBuf []graph.EdgeID
 	for _, ce := range mst {
-		path, ok := trees[ce.from].PathTo(ce.to)
+		buf, ok := trees[ce.from].AppendPathTo(pathBuf[:0], ce.to)
 		if !ok {
 			return nil, false
 		}
-		for _, e := range path.Edges {
+		pathBuf = buf
+		for _, e := range pathBuf {
 			edgeSet[e] = true
 		}
 	}
@@ -114,13 +117,15 @@ func MulticastTreeWith(g *graph.Graph, root graph.NodeID, targets []graph.NodeID
 	spt := src(root)
 	union := map[graph.EdgeID]bool{}
 	sptOK := true
+	var pathBuf []graph.EdgeID
 	for _, target := range dedupe(targets) {
-		p, ok := spt.PathTo(target)
+		buf, ok := spt.AppendPathTo(pathBuf[:0], target)
 		if !ok {
 			sptOK = false
 			break
 		}
-		for _, e := range p.Edges {
+		pathBuf = buf
+		for _, e := range pathBuf {
 			union[e] = true
 		}
 	}

@@ -93,6 +93,34 @@ func InitPathCacheMetrics() {
 		"Path trees evicted from the cache by epoch aging or the size cap.").Add(0)
 }
 
+// Compiled cost-view metric names (PR 9).
+const (
+	MetricCostViewBuilds = "dagsfc_costview_builds_total"
+	MetricCostViewReuses = "dagsfc_costview_reuses_total"
+)
+
+// RecordCostView records one cost-view acquisition by an embedding run: a
+// build compiled the view fresh from the ledger's residuals, a reuse
+// served a compiled view from the cross-request view cache.
+func RecordCostView(build bool) {
+	if build {
+		Default().Counter(MetricCostViewBuilds,
+			"Cost views compiled fresh from ledger residuals.").Inc()
+		return
+	}
+	Default().Counter(MetricCostViewReuses,
+		"Cost-view acquisitions served from the cross-request view cache.").Inc()
+}
+
+// InitCostViewMetrics pre-creates the cost-view counter families at zero
+// so they appear in scrapes before the first embed compiles a view.
+func InitCostViewMetrics() {
+	Default().Counter(MetricCostViewBuilds,
+		"Cost views compiled fresh from ledger residuals.").Add(0)
+	Default().Counter(MetricCostViewReuses,
+		"Cost-view acquisitions served from the cross-request view cache.").Add(0)
+}
+
 // Survivability metric names (PR 5): the fault injector's apply/restore
 // traffic, the server's flow-repair pipeline, the admission circuit
 // breaker, and worker panic recoveries.
