@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race short bench bench-smoke bench-json bench-guard fuzz-smoke serve-smoke obs-smoke chaos-smoke durable-smoke race-survival repro examples vet fmt
+.PHONY: all check build test test-race race short bench bench-smoke bench-json bench-guard fuzz-smoke serve-smoke obs-smoke chaos-smoke durable-smoke protect-smoke race-survival repro examples vet fmt
 
 all: build vet test
 
@@ -55,7 +55,7 @@ bench-smoke:
 # purpose: a benchmark failure fails the target before anything is parsed.
 # CI runs it with BENCHTIME=1x BENCH_LABEL=ci as a smoke check (errors
 # fail, thresholds don't).
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 BENCH_LABEL ?= after
 BENCHTIME ?= 0.5s
 BENCH_RAW ?= /tmp/dagsfc-bench-raw.txt
@@ -70,14 +70,14 @@ bench-json:
 # bench-guard regenerates the candidate ledger, prints the old->new delta
 # of every benchmark both ledgers share, then fails if a guarded hot-path
 # benchmark (filtered Dijkstra, uncached MBBE embed) regressed more than
-# 20% against the committed PR8 baseline, or if the warm path-cache embed
+# 20% against the committed PR9 baseline, or if the warm path-cache embed
 # lost its 1.5x speedup floor. The 20% limit is wide on purpose — it
 # absorbs host-to-host ns/op noise while still catching real hot-path
 # regressions.
 # -guard-serve-old adds the durability-tax check: the serve throughput
 # with the WAL on but fsync off must stay within the same limit of the
 # pre-durability BenchmarkServeThroughput baseline.
-BENCH_GUARD_OLD ?= BENCH_PR8.json
+BENCH_GUARD_OLD ?= BENCH_PR9.json
 BENCH_GUARD_SERVE_OLD ?= BENCH_PR7.json
 bench-guard: bench-json
 	$(GO) run ./cmd/dagsfc-bench -guard-old $(BENCH_GUARD_OLD) -guard-new $(BENCH_JSON) -guard-serve-old $(BENCH_GUARD_SERVE_OLD)
@@ -105,6 +105,15 @@ obs-smoke:
 # event journal is dumped for post-mortem (CI uploads it as an artifact).
 chaos-smoke:
 	$(GO) run ./cmd/dagsfc-chaos -selfserve -smoke -journal-dump /tmp/chaos-journal.json
+
+# protect-smoke is the protection acceptance check: a mixed population of
+# backup-protected and unprotected flows rides out one-at-a-time
+# edge-down faults; every flow holding an active backup when its fault
+# lands must fail over in place (never strand, never evict), at least one
+# failover must actually occur, and the ledger must drain back to the
+# seed residuals with the backup gauge at zero.
+protect-smoke:
+	$(GO) run ./cmd/dagsfc-chaos -selfserve -smoke -protect -journal-dump /tmp/protect-journal.json
 
 # durable-smoke is the durability acceptance check: drive a seeded
 # workload against a WAL-backed server, SIGKILL it (in-process crash: the

@@ -130,6 +130,13 @@ var guardedBenchmarks = []string{
 // the uncached EmbedMBBEWorkers/workers=1 in the same ledger.
 const cachedSpeedupFloor = 1.5
 
+// failoverSpeedupFloor is the minimum advantage failing over to a
+// pre-reserved backup must keep over re-embedding from scratch: in
+// BenchmarkFailoverLatency's Extra metrics, failover p99 times this
+// factor must not exceed the repair re-embed p50. If promotion ever gets
+// that slow, reserving double capacity for protection stops paying.
+const failoverSpeedupFloor = 5.0
+
 // guardBench compares the "after" runs of two benchmark JSON ledgers and
 // fails if any guarded benchmark regressed past the limit, or if the
 // candidate's warm-cache embed lost its speedup floor. Machine-to-machine
@@ -212,6 +219,26 @@ func guardBench(oldPath, newPath string, limit float64, serveOldPath string) err
 		fmt.Printf("guard: warm path-cache embed speedup %.2fx (floor %.1fx)  %s\n", speedup, cachedSpeedupFloor, verdict)
 	} else if !okC {
 		failures = append(failures, fmt.Sprintf("BenchmarkEmbedMBBECached missing from candidate %s", newPath))
+	}
+
+	// The failover guard: both percentiles come from the candidate's own
+	// BenchmarkFailoverLatency run, so the comparison is same-host by
+	// construction.
+	if fo, ok := byName(newRun, "BenchmarkFailoverLatency"); !ok {
+		failures = append(failures, fmt.Sprintf("BenchmarkFailoverLatency missing from candidate %s", newPath))
+	} else {
+		p99, okP99 := fo.Extra["failover_p99_us"]
+		p50, okP50 := fo.Extra["repair_p50_us"]
+		switch {
+		case !okP99 || !okP50:
+			failures = append(failures, "BenchmarkFailoverLatency lost its failover_p99_us/repair_p50_us metrics")
+		case p99*failoverSpeedupFloor > p50:
+			failures = append(failures, fmt.Sprintf("failover p99 %.1fus * %.0f exceeds repair p50 %.1fus — backup promotion no faster than re-embedding",
+				p99, failoverSpeedupFloor, p50))
+			fmt.Printf("guard: failover p99 %.1fus vs repair p50 %.1fus (floor %.0fx)  REGRESSED\n", p99, p50, failoverSpeedupFloor)
+		default:
+			fmt.Printf("guard: failover p99 %.1fus vs repair p50 %.1fus (floor %.0fx)  ok\n", p99, p50, failoverSpeedupFloor)
+		}
 	}
 
 	// The durability tax guard: with fsync off, the WAL costs only record

@@ -67,6 +67,8 @@ func main() {
 		dumpAlways  = flag.Bool("journal-dump-always", false, "write the -journal-dump file on success too, not only on invariant failure")
 		killRestart = flag.Bool("kill-restart", false, "durability check: kill a WAL-backed server at a seeded point mid-workload, restart it, compare against a never-killed control run")
 		walDir      = flag.String("wal-dir", "", "WAL directory: required by -kill-restart (emptied first; default a temp dir), optional for -selfserve")
+		protect     = flag.Bool("protect", false, "protection check: mixed protected/unprotected population under one-at-a-time edge-down faults; backup-holding flows must fail over, never strand or evict")
+		protectFrac = flag.Float64("protect-frac", 0.5, "fraction of submitted flows requesting backup protection (-protect and -kill-restart)")
 	)
 	diag.Main("dagsfc-chaos", func() error {
 		if *smoke {
@@ -77,6 +79,7 @@ func main() {
 				nodes: *nodes, kinds: *kinds, seed: *seed, n: *n,
 				sfcCfg: sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds},
 				rate:   *rate, walDir: *walDir,
+				protectFrac: *protectFrac,
 			})
 		}
 		base := *url
@@ -94,6 +97,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dagsfc-chaos: self-serving on %s\n", base)
 		}
 		cl := client.New(base, nil)
+		if *protect {
+			err := runProtect(cl, protectConfig{
+				n: *n, faults: *faultCount, frac: *protectFrac,
+				sfcCfg: sfcgen.Config{Size: *size, LayerWidth: *width, VNFKinds: *kinds},
+				rate:   *rate, seed: *seed,
+			})
+			if err != nil {
+				dumpJournalOnFailure(cl, *journalDump)
+			}
+			return err
+		}
 		err := runChaos(cl, chaosConfig{
 			n: *n, faults: *faultCount, unit: *unit,
 			meanGap: *meanGap, meanHold: *meanHold,
@@ -305,6 +319,191 @@ func runChaos(cl *client.Client, cfg chaosConfig) error {
 	return nil
 }
 
+// --- protect: the protection/failover acceptance check ---------------
+
+type protectConfig struct {
+	n, faults int
+	frac      float64
+	sfcCfg    sfcgen.Config
+	rate      float64
+	seed      int64
+}
+
+// runProtect drives a mixed protected/unprotected population through
+// one-at-a-time edge-down faults (each fully restored and settled before
+// the next lands) and checks the protection contract: a flow holding an
+// active backup when a fault lands is failed over in place — it never
+// strands and never evicts. Edges are visited in a seeded permutation
+// until at least one failover was observed and the fault budget is
+// spent; the run then drains everything back to the seed residuals.
+func runProtect(cl *client.Client, cfg protectConfig) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	seedState, err := cl.Network(ctx)
+	if err != nil {
+		return fmt.Errorf("protect: probe network: %w", err)
+	}
+
+	// Phase 1: population. Every flow with index under frac*n asks for a
+	// backup; admission may legitimately refuse protection (no disjoint
+	// placement) and those rejections are counted, not fatal.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	var accepted, protected, refused int
+	for i := 0; i < cfg.n; i++ {
+		dag, err := sfcgen.Generate(cfg.sfcCfg, rng)
+		if err != nil {
+			return err
+		}
+		req := server.FlowRequest{
+			SFC: sfc.Format(dag),
+			Src: rng.Intn(seedState.Nodes), Dst: rng.Intn(seedState.Nodes),
+			Rate: cfg.rate, Size: 1,
+		}
+		if float64(i) < cfg.frac*float64(cfg.n) {
+			req.Protection = server.ProtectionBackup
+		}
+		info, err := cl.CreateFlow(ctx, req)
+		switch {
+		case err == nil:
+			accepted++
+			if info.BackupActive {
+				protected++
+			}
+		case req.Protection == server.ProtectionBackup:
+			refused++
+		default:
+			if _, ok := err.(*client.APIError); !ok {
+				return fmt.Errorf("protect: create: %w", err)
+			}
+		}
+	}
+	if protected == 0 {
+		return fmt.Errorf("protect: no protected flow admitted (%d refused) — nothing to check", refused)
+	}
+	fmt.Fprintf(os.Stderr, "protect: population %d flows (%d protected, %d protection refusals)\n",
+		accepted, protected, refused)
+
+	// Phase 2: seeded one-at-a-time edge-down rounds.
+	edgeRng := rand.New(rand.NewSource(cfg.seed ^ 0x70726f74)) // "prot"
+	rounds := 0
+	for _, e := range edgeRng.Perm(len(seedState.Links)) {
+		failovers, err := protectCounter(ctx, cl, "dagsfc_protect_failovers_total")
+		if err != nil {
+			return err
+		}
+		if rounds >= cfg.faults && failovers > 0 {
+			break
+		}
+		covered := make(map[int64]bool) // flows the contract protects this round
+		flows, err := cl.Flows(ctx)
+		if err != nil {
+			return err
+		}
+		for _, f := range flows {
+			if f.State == server.FlowStateActive && f.BackupActive {
+				covered[f.ID] = true
+			}
+		}
+		fault := server.FaultRequest{Kind: "edge-down", Link: e}
+		if _, err := cl.ApplyFault(ctx, fault); err != nil {
+			return fmt.Errorf("protect: apply edge-down %d: %w", e, err)
+		}
+		rounds++
+		if flows, err = settleProtect(ctx, cl); err != nil {
+			return err
+		}
+		for _, f := range flows {
+			if covered[f.ID] && f.State != server.FlowStateActive {
+				return fmt.Errorf("protect: flow %d held an active backup when edge %d went down but ended %q (cause %q) — a protected flow must fail over, not %s",
+					f.ID, e, f.State, f.Cause, f.State)
+			}
+		}
+		if _, err := cl.RestoreFault(ctx, fault); err != nil {
+			return fmt.Errorf("protect: restore edge-down %d: %w", e, err)
+		}
+		if _, err := settleProtect(ctx, cl); err != nil {
+			return err
+		}
+	}
+	failovers, err := protectCounter(ctx, cl, "dagsfc_protect_failovers_total")
+	if err != nil {
+		return err
+	}
+	reprotects, _ := protectCounter(ctx, cl, "dagsfc_protect_reprotects_total")
+	if failovers == 0 {
+		return fmt.Errorf("protect: %d edge-down rounds produced zero failovers over %d protected flows", rounds, protected)
+	}
+	fmt.Fprintf(os.Stderr, "protect: %d rounds, %d failovers, %d re-protects, all covered flows stayed active\n",
+		rounds, failovers, reprotects)
+
+	// Phase 3: drain. Releasing everything must return the ledger to the
+	// seed residuals and zero the backup gauge.
+	flows, err := settleProtect(ctx, cl)
+	if err != nil {
+		return err
+	}
+	for _, f := range flows {
+		if _, err := cl.ReleaseFlow(ctx, f.ID); err != nil {
+			return fmt.Errorf("protect: release %d: %w", f.ID, err)
+		}
+	}
+	end, err := cl.Network(ctx)
+	if err != nil {
+		return err
+	}
+	if !sameResiduals(seedState, end) {
+		return fmt.Errorf("protect: ledger did not drain to the seed residuals")
+	}
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if g := counterValue(metrics, "dagsfc_protect_backups_active"); g != 0 {
+		return fmt.Errorf("protect: backup gauge %d after full release, want 0", g)
+	}
+	if panics := counterValue(metrics, "dagsfc_server_worker_panics_total"); panics > 0 {
+		return fmt.Errorf("protect: %d embed workers panicked", panics)
+	}
+	fmt.Fprintln(os.Stderr, "protect: failovers verified, ledger drained to seed, zero panics — ok")
+	return nil
+}
+
+func protectCounter(ctx context.Context, cl *client.Client, name string) (int, error) {
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("protect: metrics: %w", err)
+	}
+	return counterValue(metrics, name), nil
+}
+
+// settleProtect waits until no flow is mid-repair AND the flow table has
+// stopped changing across two consecutive polls — the second condition
+// covers the re-protect controller, whose in-flight work keeps flows in
+// the active state and is therefore invisible to the repairing count.
+func settleProtect(ctx context.Context, cl *client.Client) ([]server.FlowInfo, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	var prev string
+	for {
+		flows, err := settleFlows(ctx, cl)
+		if err != nil {
+			return nil, err
+		}
+		sig := make([]string, 0, len(flows))
+		for _, f := range flows {
+			sig = append(sig, fmt.Sprintf("%d:%s:%v:%d:%d", f.ID, f.State, f.BackupActive, f.Failovers, f.Repairs))
+		}
+		cur := strings.Join(sig, ",")
+		if cur == prev {
+			return flows, nil
+		}
+		prev = cur
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("protect: flow table still churning after 30s")
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
 func loadSchedule(cfg chaosConfig, st server.NetworkState) (faults.Schedule, error) {
 	if cfg.schedFile != "" {
 		f, err := os.Open(cfg.schedFile)
@@ -510,6 +709,7 @@ type killRestartConfig struct {
 	sfcCfg       sfcgen.Config
 	rate         float64
 	walDir       string
+	protectFrac  float64
 }
 
 // killOp is one step of the seeded workload: a flow arrival, or a
@@ -554,11 +754,17 @@ func runKillRestart(cfg killRestartConfig) error {
 		if err != nil {
 			return err
 		}
-		ops = append(ops, killOp{submit: &server.FlowRequest{
+		req := server.FlowRequest{
 			SFC: sfc.Format(dag),
 			Src: rng.Intn(cfg.nodes), Dst: rng.Intn(cfg.nodes),
 			Rate: cfg.rate, Size: 1,
-		}})
+		}
+		// A seeded slice of the population is protected, so the restart
+		// also has to recover backup reservations bit for bit.
+		if rng.Float64() < cfg.protectFrac {
+			req.Protection = server.ProtectionBackup
+		}
+		ops = append(ops, killOp{submit: &req})
 		if rng.Float64() < 0.35 {
 			ops = append(ops, killOp{release: rng.Intn(1 << 30)})
 		}

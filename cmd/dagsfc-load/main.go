@@ -362,7 +362,7 @@ func printStageTable(w io.Writer, metrics string) {
 	if len(byStage) == 0 {
 		return
 	}
-	order := []string{"queue_wait", "embed", "commit_wait", "repair"}
+	order := []string{"queue_wait", "embed", "commit_wait", "repair", "failover"}
 	var rows [][4]string
 	var invalid []string
 	for _, stage := range order {

@@ -102,6 +102,11 @@ type GenConfig struct {
 	// DegradeFrac the probability a link incident is a degradation rather
 	// than an outage. Both in [0,1].
 	NodeFrac, DegradeFrac float64
+	// HardFrac is the probability a link incident is a hard edge-down
+	// (residual pinned to zero) instead of a capacity quarantine. In [0,1];
+	// zero keeps the generator's rng stream identical to pre-hard-fault
+	// schedules.
+	HardFrac float64
 }
 
 // Generate draws a seeded schedule: incident starts follow exponential
@@ -115,7 +120,7 @@ func Generate(cfg GenConfig, rng *rand.Rand) (Schedule, error) {
 		return nil, fmt.Errorf("faults: negative incident count %d", cfg.Count)
 	case cfg.MeanGap <= 0 || cfg.MeanHold <= 0:
 		return nil, fmt.Errorf("faults: non-positive mean gap %v / hold %v", cfg.MeanGap, cfg.MeanHold)
-	case cfg.NodeFrac < 0 || cfg.NodeFrac > 1 || cfg.DegradeFrac < 0 || cfg.DegradeFrac > 1:
+	case cfg.NodeFrac < 0 || cfg.NodeFrac > 1 || cfg.DegradeFrac < 0 || cfg.DegradeFrac > 1 || cfg.HardFrac < 0 || cfg.HardFrac > 1:
 		return nil, fmt.Errorf("faults: fractions outside [0,1]")
 	}
 	s := make(Schedule, 0, cfg.Count)
@@ -130,6 +135,10 @@ func Generate(cfg GenConfig, rng *rand.Rand) (Schedule, error) {
 		switch {
 		case rng.Float64() < cfg.NodeFrac:
 			inc.Fault = network.Fault{Kind: network.FaultNodeDown, Node: graph.NodeID(rng.Intn(cfg.Nodes))}
+		// The HardFrac > 0 short-circuit keeps the rng stream (and thus
+		// every existing seeded schedule) unchanged when the knob is off.
+		case cfg.HardFrac > 0 && rng.Float64() < cfg.HardFrac:
+			inc.Fault = network.Fault{Kind: network.FaultEdgeDown, Link: graph.EdgeID(rng.Intn(cfg.Edges))}
 		case rng.Float64() < cfg.DegradeFrac:
 			inc.Fault = network.Fault{
 				Kind:     network.FaultLinkDegrade,
@@ -150,6 +159,7 @@ func Generate(cfg GenConfig, rng *rand.Rand) (Schedule, error) {
 //	<at> <duration> link-down <edge>
 //	<at> <duration> node-down <node>
 //	<at> <duration> link-degrade <edge> <fraction>
+//	<at> <duration> edge-down <edge>
 func (s Schedule) Format() string {
 	var b strings.Builder
 	for _, inc := range s {
@@ -159,9 +169,9 @@ func (s Schedule) Format() string {
 }
 
 // ParseKind maps a fault kind's text form ("link-down", "node-down",
-// "link-degrade" — the strings network.FaultKind.String produces) back to
-// the kind. The schedule parser and the server's JSON fault endpoints
-// share it.
+// "link-degrade", "edge-down" — the strings network.FaultKind.String
+// produces) back to the kind. The schedule parser and the server's JSON
+// fault endpoints share it.
 func ParseKind(s string) (network.FaultKind, error) {
 	switch s {
 	case "link-down":
@@ -170,6 +180,8 @@ func ParseKind(s string) (network.FaultKind, error) {
 		return network.FaultNodeDown, nil
 	case "link-degrade":
 		return network.FaultLinkDegrade, nil
+	case "edge-down":
+		return network.FaultEdgeDown, nil
 	}
 	return 0, fmt.Errorf("faults: unknown fault kind %q", s)
 }
@@ -209,7 +221,7 @@ func Parse(r io.Reader) (Schedule, error) {
 			return nil, fmt.Errorf("faults: line %d: unknown fault kind %q", line, fields[2])
 		}
 		switch kind {
-		case network.FaultLinkDown:
+		case network.FaultLinkDown, network.FaultEdgeDown:
 			inc.Fault = network.Fault{Kind: kind, Link: graph.EdgeID(target)}
 		case network.FaultNodeDown:
 			inc.Fault = network.Fault{Kind: kind, Node: graph.NodeID(target)}

@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dagsfc/internal/core"
+	"dagsfc/internal/graph"
+	"dagsfc/internal/network"
+)
+
+// TestHardKindsFormatParseRoundTrip pins the text round-trip of the hard
+// failure kinds the protection layer injects: edge-down and node-down must
+// survive Format -> Parse exactly, alongside the quarantine kinds.
+func TestHardKindsFormatParseRoundTrip(t *testing.T) {
+	s := Schedule{
+		{At: 0.5, Duration: 2, Fault: Fault{Kind: network.FaultEdgeDown, Link: 3}},
+		{At: 1, Duration: 1.25, Fault: Fault{Kind: network.FaultNodeDown, Node: 7}},
+		{At: 2, Duration: 0.5, Fault: Fault{Kind: network.FaultEdgeDown, Link: 0}},
+		{At: 3, Duration: 1, Fault: Fault{Kind: network.FaultLinkDown, Link: 1}},
+	}
+	text := s.Format()
+	if !strings.Contains(text, "edge-down 3") || !strings.Contains(text, "node-down 7") {
+		t.Fatalf("Format missing hard kinds:\n%s", text)
+	}
+	got, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v\ninput:\n%s", err, text)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("incident %d = %+v, want %+v", i, got[i], s[i])
+		}
+	}
+	for _, kind := range []network.FaultKind{network.FaultEdgeDown, network.FaultNodeDown} {
+		back, err := ParseKind(kind.String())
+		if err != nil || back != kind {
+			t.Fatalf("ParseKind(%q) = %v, %v", kind.String(), back, err)
+		}
+	}
+}
+
+// TestGenerateHardFrac checks the generator draws edge-down incidents when
+// asked, keeps the schedule valid, and — with the knob off — produces the
+// exact schedule it produced before the knob existed (same rng stream).
+func TestGenerateHardFrac(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: 20, Edges: 40, Count: 60,
+		MeanGap: 1, MeanHold: 2, NodeFrac: 0.2, DegradeFrac: 0.3, HardFrac: 0.5,
+	}
+	s, err := Generate(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(nil); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	hard := 0
+	for _, inc := range s {
+		if inc.Fault.Kind == network.FaultEdgeDown {
+			hard++
+		}
+	}
+	if hard == 0 {
+		t.Fatal("HardFrac=0.5 drew zero edge-down incidents in 60 draws")
+	}
+
+	off := cfg
+	off.HardFrac = 0
+	a, err := Generate(off, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inc := range a {
+		if inc.Fault.Kind == network.FaultEdgeDown {
+			t.Fatal("HardFrac=0 drew an edge-down incident")
+		}
+	}
+
+	if _, err := Generate(GenConfig{
+		Nodes: 2, Edges: 2, Count: 1, MeanGap: 1, MeanHold: 1, HardFrac: 1.5,
+	}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("HardFrac outside [0,1] accepted")
+	}
+}
+
+// TestHitsEdgeDown checks the strand predicate treats edge-down like the
+// other link kinds: it hits exactly the flows whose real paths use the edge.
+func TestHitsEdgeDown(t *testing.T) {
+	net := testNet(t)
+	sol := &core.Solution{
+		Layers: []core.LayerEmbedding{
+			{Nodes: []graph.NodeID{1}, MergerNode: 1,
+				InterPaths: []graph.Path{{From: 0, Edges: []graph.EdgeID{0}}}},
+		},
+		TailPath: graph.Path{From: 1, Edges: []graph.EdgeID{1}},
+	}
+	if !Hits(net, sol, Fault{Kind: network.FaultEdgeDown, Link: 0}) {
+		t.Fatal("edge-down on a used edge did not hit")
+	}
+	if !Hits(net, sol, Fault{Kind: network.FaultEdgeDown, Link: 1}) {
+		t.Fatal("edge-down on the tail edge did not hit")
+	}
+	if Hits(net, sol, Fault{Kind: network.FaultEdgeDown, Link: 2}) {
+		t.Fatal("edge-down on an unused edge hit")
+	}
+}

@@ -18,7 +18,7 @@ import (
 func Hits(net *network.Network, sol *core.Solution, f Fault) bool {
 	hit := false
 	switch f.Kind {
-	case network.FaultLinkDown, network.FaultLinkDegrade:
+	case network.FaultLinkDown, network.FaultLinkDegrade, network.FaultEdgeDown:
 		sol.VisitEdges(func(e graph.EdgeID) {
 			if e == f.Link {
 				hit = true

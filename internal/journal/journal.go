@@ -71,6 +71,19 @@ const (
 	// TypeBreaker marks an admission-breaker state transition; Detail is
 	// the new state ("closed", "half_open", "open").
 	TypeBreaker Type = "breaker"
+	// TypeProtected: a backup embedding was reserved for the flow at
+	// admission; Cost is the backup's cost.
+	TypeProtected Type = "protected"
+	// TypeFailover: a fault killed the flow's primary and its pre-reserved
+	// backup was promoted in place — no re-embed, no strand. Seconds is
+	// the measured switch latency; Detail names the fault.
+	TypeFailover Type = "failover"
+	// TypeBackupLost: a fault killed the flow's backup while the primary
+	// survived; the flow queues for re-protection. Detail names the fault.
+	TypeBackupLost Type = "backup_lost"
+	// TypeReprotected: the re-protect controller reserved a fresh disjoint
+	// backup for a flow that lost one; Cost is the new backup's cost.
+	TypeReprotected Type = "reprotected"
 )
 
 // Event is one journal entry, wire-ready: the HTTP events API serves this

@@ -44,6 +44,12 @@ const (
 	// FaultLinkDegrade quarantines a fraction of a link's bandwidth — a
 	// brown-out rather than a black-out.
 	FaultLinkDegrade
+	// FaultEdgeDown is a hard link failure: the edge's residual is pinned
+	// to exactly zero for the fault's duration, independent of committed
+	// usage. Unlike FaultLinkDown (which quarantines the capacity amount
+	// and can leave a negative residual under over-commitment), the pin is
+	// a count, so apply/restore is trivially float-exact.
+	FaultEdgeDown
 )
 
 // String returns the schedule-syntax name of the kind.
@@ -55,6 +61,8 @@ func (k FaultKind) String() string {
 		return "node-down"
 	case FaultLinkDegrade:
 		return "link-degrade"
+	case FaultEdgeDown:
+		return "edge-down"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -63,7 +71,8 @@ func (k FaultKind) String() string {
 // how much of the capacity it takes.
 type Fault struct {
 	Kind FaultKind
-	// Link is the target of FaultLinkDown and FaultLinkDegrade.
+	// Link is the target of FaultLinkDown, FaultLinkDegrade and
+	// FaultEdgeDown.
 	Link graph.EdgeID
 	// Node is the target of FaultNodeDown.
 	Node graph.NodeID
@@ -75,7 +84,7 @@ type Fault struct {
 // Validate reports the first structural problem with the fault against net.
 func (f Fault) Validate(net *Network) error {
 	switch f.Kind {
-	case FaultLinkDown:
+	case FaultLinkDown, FaultEdgeDown:
 		if f.Link < 0 || int(f.Link) >= net.G.NumEdges() {
 			return fmt.Errorf("network: fault link %d out of range [0,%d)", f.Link, net.G.NumEdges())
 		}
@@ -106,21 +115,33 @@ func (f Fault) String() string {
 		return fmt.Sprintf("node-down %d", f.Node)
 	case FaultLinkDegrade:
 		return fmt.Sprintf("link-degrade %d %g", f.Link, f.Fraction)
+	case FaultEdgeDown:
+		return fmt.Sprintf("edge-down %d", f.Link)
 	}
 	return fmt.Sprintf("fault(kind=%d)", int(f.Kind))
 }
 
 // quarTable is the published quarantine view: how much capacity each edge
-// and instance currently has out of service, plus the down-count per node.
-// Tables are immutable after publication; mutations copy-and-swap.
+// and instance currently has out of service, plus the down-count per node
+// and the hard-failure down-count per edge. Tables are immutable after
+// publication; mutations copy-and-swap.
 type quarTable struct {
 	edge map[graph.EdgeID]float64
 	inst map[instKey]float64
 	node map[graph.NodeID]int
+	// down counts active FaultEdgeDown faults per edge. Any positive count
+	// pins the edge's residual to exactly zero (see Ledger.EdgeResidual).
+	down map[graph.EdgeID]int
 }
 
 func (q *quarTable) empty() bool {
-	return len(q.edge) == 0 && len(q.inst) == 0 && len(q.node) == 0
+	return len(q.edge) == 0 && len(q.inst) == 0 && len(q.node) == 0 && len(q.down) == 0
+}
+
+// edgePinned reports whether the residual of edge (with endpoints a, b) is
+// hard-pinned to zero: the edge itself is down, or either endpoint node is.
+func (q *quarTable) edgePinned(e graph.EdgeID, a, b graph.NodeID) bool {
+	return q.down[e] > 0 || q.node[a] > 0 || q.node[b] > 0
 }
 
 func cloneQuar(q *quarTable) *quarTable {
@@ -128,6 +149,7 @@ func cloneQuar(q *quarTable) *quarTable {
 		edge: make(map[graph.EdgeID]float64),
 		inst: make(map[instKey]float64),
 		node: make(map[graph.NodeID]int),
+		down: make(map[graph.EdgeID]int),
 	}
 	if q != nil {
 		for k, v := range q.edge {
@@ -138,6 +160,9 @@ func cloneQuar(q *quarTable) *quarTable {
 		}
 		for k, v := range q.node {
 			c.node[k] = v
+		}
+		for k, v := range q.down {
+			c.down[k] = v
 		}
 	}
 	return c
@@ -238,6 +263,16 @@ func (l *Ledger) adjustFault(f Fault, sign float64) error {
 				return err
 			}
 		}
+	case FaultEdgeDown:
+		// A pure pin: no capacity amount moves, only a count, so restore is
+		// float-exact by construction.
+		if n := q.down[f.Link] + int(sign); n < 0 {
+			return fmt.Errorf("network: edge %d down-count would go negative: restore without matching apply", f.Link)
+		} else if n == 0 {
+			delete(q.down, f.Link)
+		} else {
+			q.down[f.Link] = n
+		}
 	}
 	if q.empty() {
 		root.quar.Store(nil)
@@ -271,6 +306,17 @@ func (l *Ledger) InstanceQuarantined(node graph.NodeID, vnf VNFID) float64 {
 		return q.inst[instKey{node, vnf}]
 	}
 	return 0
+}
+
+// EdgeDown reports whether edge e's residual is currently hard-pinned to
+// zero — by an active edge-down fault on e itself, or by a node-down fault
+// on either of its endpoints.
+func (l *Ledger) EdgeDown(e graph.EdgeID) bool {
+	if q := l.quarantineTable(); q != nil {
+		ed := l.net.G.Edge(e)
+		return q.edgePinned(e, ed.A, ed.B)
+	}
+	return false
 }
 
 // NodeDown reports whether v is currently failed by at least one active

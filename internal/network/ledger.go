@@ -174,11 +174,17 @@ func (l *Ledger) Overlay() *Ledger {
 
 // EdgeResidual reports the remaining bandwidth of edge e, net of any
 // capacity active faults have quarantined. It can be negative while a
-// fault holds capacity that committed flows are still using.
+// fault holds capacity that committed flows are still using. A hard
+// failure — an edge-down fault on e, or a node-down fault on either
+// endpoint — pins the residual to exactly zero regardless of usage.
 func (l *Ledger) EdgeResidual(e graph.EdgeID) float64 {
 	r := l.net.G.Edge(e).Capacity - l.EdgeUsed(e)
 	if q := l.quarantineTable(); q != nil {
 		r -= q.edge[e]
+		ed := l.net.G.Edge(e)
+		if q.edgePinned(e, ed.A, ed.B) {
+			return 0
+		}
 	}
 	return r
 }
@@ -203,6 +209,10 @@ func (l *Ledger) InstanceResidual(node graph.NodeID, vnf VNFID) float64 {
 	r := inst.Capacity - l.InstanceUsed(node, vnf)
 	if q := l.quarantineTable(); q != nil {
 		r -= q.inst[instKey{node, vnf}]
+		if q.node[node] > 0 {
+			// Hosting node is hard-down: pin to exactly zero.
+			return 0
+		}
 	}
 	return r
 }
@@ -517,6 +527,21 @@ func (l *Ledger) EdgeResiduals(dst []float64) []float64 {
 		for e, amt := range q.edge {
 			if int(e) < ne {
 				dst[e] -= amt
+			}
+		}
+		// Hard-failure pins last, mirroring the scalar path's early return:
+		// both paths store the literal constant 0, so the bitwise contract
+		// holds through down faults too.
+		for e := range q.down {
+			if int(e) < ne {
+				dst[e] = 0
+			}
+		}
+		for v := range q.node {
+			for _, arc := range l.net.G.Neighbors(v) {
+				if int(arc.Edge) < ne {
+					dst[arc.Edge] = 0
+				}
 			}
 		}
 	}

@@ -33,7 +33,20 @@ type FlowRequest struct {
 	// Alg overrides the server's default embedding algorithm for this
 	// flow ("mbbe", "bbe", "minv", "ranv", "sa", or a registered name).
 	Alg string `json:"alg,omitempty"`
+	// Protection selects the flow's protection class: "" or
+	// ProtectionNone for an unprotected flow, ProtectionBackup to also
+	// reserve a disjoint backup embedding (link-disjoint always,
+	// node-disjoint when the substrate allows) that a fault hitting the
+	// primary promotes in place — failover instead of strand-and-repair.
+	// Requires a ban-capable algorithm (the builtin tree searches).
+	Protection string `json:"protection,omitempty"`
 }
+
+// Protection classes for FlowRequest.Protection.
+const (
+	ProtectionNone   = "none"
+	ProtectionBackup = "backup"
+)
 
 // Cost is the priced breakdown of a committed flow.
 type Cost struct {
@@ -75,11 +88,30 @@ type FlowInfo struct {
 	Repairs int `json:"repairs,omitempty"`
 	// LastError is the final re-embed error of an evicted flow.
 	LastError string `json:"last_error,omitempty"`
+	// Protection is the flow's protection class (ProtectionBackup for
+	// flows admitted with a reserved disjoint backup; empty otherwise).
+	Protection string `json:"protection,omitempty"`
+	// BackupActive reports whether a backup embedding is currently
+	// reserved; BackupCost is its priced breakdown (zero when no backup is
+	// live). A failover promotes the backup, so afterwards BackupActive is
+	// false until the re-protect controller reserves a fresh one.
+	BackupActive bool `json:"backup_active,omitempty"`
+	BackupCost   Cost `json:"backup_cost"`
+	// Failovers counts backup promotions after faults killed the primary.
+	Failovers int `json:"failovers,omitempty"`
+	// Cause classifies a terminal eviction beyond LastError:
+	// "protection_lost" marks a flow that held a backup and still could
+	// not be saved (both placements died and repair was exhausted).
+	Cause string `json:"cause,omitempty"`
 }
 
+// CauseProtectionLost marks an evicted flow that had a backup reserved
+// and still lost both placements (FlowInfo.Cause).
+const CauseProtectionLost = "protection_lost"
+
 // FaultRequest is the body of POST /v1/faults and /v1/faults/restore:
-// one substrate fault in wire form. Kind is "link-down", "node-down" or
-// "link-degrade"; Fraction applies to degradations only.
+// one substrate fault in wire form. Kind is "link-down", "node-down",
+// "link-degrade" or "edge-down"; Fraction applies to degradations only.
 type FaultRequest struct {
 	Kind     string  `json:"kind"`
 	Link     int     `json:"link,omitempty"`

@@ -27,10 +27,19 @@ import (
 
 // walFlow is the TypeCommit payload: everything needed to re-register the
 // flow — its wire description plus the exact placement whose reservations
-// the replay re-commits.
+// the replay re-commits. Backup is set for protected admissions: the
+// disjoint second placement, re-committed under the same flow ID.
 type walFlow struct {
-	Info FlowInfo       `json:"info"`
+	Info   FlowInfo       `json:"info"`
+	Sol    *core.Solution `json:"sol"`
+	Backup *core.Solution `json:"backup,omitempty"`
+}
+
+// walBackup is the TypeBackup payload: a backup placement the re-protect
+// controller reserved for an already-committed flow, plus its cost.
+type walBackup struct {
 	Sol  *core.Solution `json:"sol"`
+	Cost Cost           `json:"cost"`
 }
 
 // walSnapshot is the snapshot payload: the full server state at the
@@ -48,18 +57,21 @@ type walSnapshot struct {
 }
 
 // walSnapFlow is one flow in a snapshot. Sol is set for active flows
-// (their reservations are in the ledger state); Fault is set for
-// repairing flows so recovery can re-enqueue the repair; evicted
-// tombstones carry neither.
+// (their reservations are in the ledger state); Backup for protected
+// flows with a live backup (its reservations are in the ledger state
+// too); Fault is set for repairing flows so recovery can re-enqueue the
+// repair; evicted tombstones carry none of them.
 type walSnapFlow struct {
-	Info  FlowInfo       `json:"info"`
-	Sol   *core.Solution `json:"sol,omitempty"`
-	Fault *FaultRequest  `json:"fault,omitempty"`
+	Info   FlowInfo       `json:"info"`
+	Sol    *core.Solution `json:"sol,omitempty"`
+	Backup *core.Solution `json:"backup,omitempty"`
+	Fault  *FaultRequest  `json:"fault,omitempty"`
 }
 
 // walEvict is the TypeEvict payload.
 type walEvict struct {
 	LastError string `json:"last_error,omitempty"`
+	Cause     string `json:"cause,omitempty"`
 }
 
 // walAppendLocked appends one state-mutating record. Caller holds s.mu —
@@ -140,6 +152,9 @@ func (s *Server) exportSnapshotLocked() walSnapshot {
 		if fl, ok := s.flows.Get(id); ok {
 			sf.Sol = fl.Solution
 		}
+		if b, ok := s.backups[id]; ok {
+			sf.Backup = b
+		}
 		if fw, ok := s.repairFault[id]; ok {
 			sf.Fault = &fw
 		}
@@ -209,6 +224,11 @@ func (s *Server) recover(rec *wal.Recovery) (*recoveredState, error) {
 					return nil, fmt.Errorf("%w: snapshot %v", wal.ErrUnrecoverable, err)
 				}
 				s.flows.Add(info.ID, online.Flow{Problem: p, Solution: sf.Sol})
+				// The backup's reservations are already inside the snapshot's
+				// raw ledger sums; only the placement map needs restoring.
+				if sf.Backup != nil {
+					s.backups[info.ID] = sf.Backup
+				}
 			}
 			if sf.Fault != nil {
 				s.repairFault[info.ID] = *sf.Fault
@@ -253,6 +273,15 @@ func (s *Server) recover(rec *wal.Recovery) (*recoveredState, error) {
 			out.repairs = append(out.repairs, &repairTask{
 				id: id, fault: f, info: info, strandedAt: now,
 			})
+		case info.State == FlowStateActive && info.Protection == ProtectionBackup && !info.BackupActive:
+			// A protected flow caught between failover (or backup loss) and
+			// the re-protect commit: the kill landed mid-flight. Re-derive
+			// the pending re-protect from the durable state.
+			if _, has := s.backups[id]; !has {
+				out.repairs = append(out.repairs, &repairTask{
+					id: id, info: info, strandedAt: now, reprotect: true,
+				})
+			}
 		}
 	}
 	return out, nil
@@ -281,6 +310,12 @@ func (s *Server) replayRecord(r wal.Record) error {
 		if _, err := core.Commit(p, wf.Sol); err != nil {
 			return fmt.Errorf("re-commit: %v", err)
 		}
+		if wf.Backup != nil {
+			if _, err := core.Commit(p, wf.Backup); err != nil {
+				return fmt.Errorf("re-commit backup: %v", err)
+			}
+			s.backups[wf.Info.ID] = wf.Backup
+		}
 		s.flows.Add(wf.Info.ID, online.Flow{Problem: p, Solution: wf.Sol})
 		s.meta[wf.Info.ID] = wf.Info
 		delete(s.repairFault, wf.Info.ID)
@@ -291,6 +326,10 @@ func (s *Server) replayRecord(r wal.Record) error {
 		if fl, ok := s.flows.Release(r.Flow); ok {
 			fl.Problem.Ledger = s.ledger
 			_ = core.Release(fl.Problem, fl.Solution)
+			if b, has := s.backups[r.Flow]; has {
+				_ = core.Release(fl.Problem, b)
+				delete(s.backups, r.Flow)
+			}
 		}
 		delete(s.meta, r.Flow)
 		delete(s.repairFault, r.Flow)
@@ -304,6 +343,7 @@ func (s *Server) replayRecord(r wal.Record) error {
 		if info, ok := s.meta[r.Flow]; ok {
 			info.State = FlowStateEvicted
 			info.LastError = ev.LastError
+			info.Cause = ev.Cause
 			s.meta[r.Flow] = info
 		}
 		delete(s.repairFault, r.Flow)
@@ -340,12 +380,71 @@ func (s *Server) replayRecord(r wal.Record) error {
 		if fl, ok := s.flows.Release(r.Flow); ok {
 			fl.Problem.Ledger = s.ledger
 			_ = core.Release(fl.Problem, fl.Solution)
+			if b, has := s.backups[r.Flow]; has {
+				_ = core.Release(fl.Problem, b)
+				delete(s.backups, r.Flow)
+			}
 		}
 		if info, ok := s.meta[r.Flow]; ok {
 			info.State = FlowStateRepairing
+			info.BackupActive = false
+			info.BackupCost = Cost{}
 			s.meta[r.Flow] = info
 		}
 		s.repairFault[r.Flow] = fw
+	case wal.TypeBackup:
+		var wb walBackup
+		if err := json.Unmarshal(r.Data, &wb); err != nil {
+			return err
+		}
+		if wb.Sol == nil {
+			return fmt.Errorf("backup record without a solution")
+		}
+		fl, ok := s.flows.Get(r.Flow)
+		if !ok {
+			return fmt.Errorf("backup record for unknown flow")
+		}
+		fl.Problem.Ledger = s.ledger
+		if _, err := core.Commit(fl.Problem, wb.Sol); err != nil {
+			return fmt.Errorf("re-commit backup: %v", err)
+		}
+		s.backups[r.Flow] = wb.Sol
+		info := s.meta[r.Flow]
+		info.BackupActive = true
+		info.BackupCost = wb.Cost
+		s.meta[r.Flow] = info
+	case wal.TypeFailover:
+		fl, ok := s.flows.Release(r.Flow)
+		if !ok {
+			return fmt.Errorf("failover record for unknown flow")
+		}
+		b, has := s.backups[r.Flow]
+		if !has {
+			return fmt.Errorf("failover record without a live backup")
+		}
+		fl.Problem.Ledger = s.ledger
+		_ = core.Release(fl.Problem, fl.Solution)
+		s.flows.Add(r.Flow, online.Flow{Problem: fl.Problem, Solution: b})
+		delete(s.backups, r.Flow)
+		info := s.meta[r.Flow]
+		info.Cost = info.BackupCost
+		info.BackupCost = Cost{}
+		info.BackupActive = false
+		info.Failovers++
+		s.meta[r.Flow] = info
+	case wal.TypeBackupLoss:
+		fl, ok := s.flows.Get(r.Flow)
+		b, has := s.backups[r.Flow]
+		if !ok || !has {
+			return fmt.Errorf("backup-loss record without a live backup")
+		}
+		fl.Problem.Ledger = s.ledger
+		_ = core.Release(fl.Problem, b)
+		delete(s.backups, r.Flow)
+		info := s.meta[r.Flow]
+		info.BackupActive = false
+		info.BackupCost = Cost{}
+		s.meta[r.Flow] = info
 	default:
 		return fmt.Errorf("unknown record type %d", uint8(r.Type))
 	}
@@ -391,6 +490,10 @@ func (s *Server) finishRecovery(rec *recoveredState) {
 	}
 	s.enqueueRepairs(rec.repairs)
 	telemetry.SetServerActiveFlows(s.ActiveFlows())
+	s.mu.Lock()
+	nb := len(s.backups)
+	s.mu.Unlock()
+	telemetry.SetBackupsActive(nb)
 }
 
 // Crash simulates a SIGKILL for tests and the chaos kill-restart mode: it

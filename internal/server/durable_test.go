@@ -45,7 +45,10 @@ func sameFlows(t *testing.T, got, want []server.FlowInfo) {
 		same := g.ID == w.ID && g.SFC == w.SFC && g.Src == w.Src && g.Dst == w.Dst &&
 			g.Rate == w.Rate && g.Size == w.Size && g.Alg == w.Alg &&
 			g.Cost == w.Cost && g.State == w.State && g.Repairs == w.Repairs &&
-			g.LastError == w.LastError && g.Created.Equal(w.Created)
+			g.LastError == w.LastError && g.Created.Equal(w.Created) &&
+			g.Protection == w.Protection && g.BackupActive == w.BackupActive &&
+			g.BackupCost == w.BackupCost && g.Failovers == w.Failovers &&
+			g.Cause == w.Cause
 		if same {
 			switch {
 			case g.ExpiresAt == nil && w.ExpiresAt == nil:

@@ -159,6 +159,12 @@ type Server struct {
 	// array) the same way, under the same epoch-coherence argument; it is
 	// enabled and disabled together with the tree cache.
 	viewCache *graph.ViewCache
+	// protectOpts maps each ban-capable builtin algorithm to its embed
+	// options; the backup search copies an entry per request and seeds
+	// BannedEdges/BannedNodes from the primary's placement. Algorithms
+	// overridden via Config.Embedders are removed — protection requires
+	// the builtin tree searches.
+	protectOpts map[string]core.Options
 
 	// mu guards the live state below. The commit loop takes it to
 	// validate+commit, release paths take it to return capacity, and
@@ -189,6 +195,16 @@ type Server struct {
 	// repairFault remembers which fault stranded each repairing flow, so
 	// snapshots can persist it and recovery can re-enqueue the repair.
 	repairFault map[int64]FaultRequest
+	// backups holds the reserved backup embedding of every protected flow
+	// (internal/server/protect.go). Reservations live in the ledger under
+	// the flow's ID alongside the primary's; a fault killing the primary
+	// promotes the backup in place instead of stranding the flow.
+	backups map[int64]*core.Solution
+	// revalHook, when set (tests only), runs once per candidate flow
+	// during ApplyFault's unlocked revalidation phase — the contention
+	// regression test parks it to prove a large fault scan no longer
+	// stalls admissions or reads.
+	revalHook func(id int64)
 
 	// Durability (internal/server/durable.go). wal is nil when disabled;
 	// walAppends counts records since the last snapshot (the periodic
@@ -261,6 +277,15 @@ type job struct {
 	// loop re-registers the flow under its original ID instead of
 	// allocating a new one.
 	repair *repairTask
+	// backup is the disjoint second embedding of a protected admission
+	// (req.Protection == ProtectionBackup), produced by the worker on the
+	// same snapshot as the primary with the primary's capacity already
+	// reserved; the commit loop reserves both or neither.
+	backup *core.Result
+	// reprotectAgainst is the live primary a re-protect's ban sets were
+	// derived from; the commit loop refuses the backup if the primary
+	// moved in between (protect.go).
+	reprotectAgainst *core.Solution
 }
 
 // ctxEmbedder is the optional context-aware embedding signature; the
@@ -336,6 +361,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	telemetry.InitPathCacheMetrics()
 	telemetry.InitCostViewMetrics()
+	telemetry.InitProtectMetrics()
 	s := &Server{
 		cfg:         cfg,
 		net:         cfg.Net,
@@ -343,12 +369,14 @@ func New(cfg Config) (*Server, error) {
 		embedCtx:    builtinCtxEmbedders(cache, viewCache),
 		cache:       cache,
 		viewCache:   viewCache,
+		protectOpts: builtinOptions(cache, viewCache),
 		ledger:      network.NewLedger(cfg.Net).Overlay(),
 		rebaseLen:   rebaseLen,
 		flows:       online.NewFlowTable[int64](),
 		meta:        make(map[int64]FlowInfo),
 		dropped:     make(map[int64]bool),
 		repairFault: make(map[int64]FaultRequest),
+		backups:     make(map[int64]*core.Solution),
 		admit:       make(chan *job, cfg.QueueDepth),
 		commit:      make(chan *job, cfg.QueueDepth+cfg.Workers),
 		repairKick:  make(chan struct{}, 1),
@@ -363,8 +391,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	for name, e := range cfg.Embedders {
 		s.embedder[name] = e
-		// A config override shadows the builtin, ctx-aware variant too.
+		// A config override shadows the builtin, ctx-aware variant too,
+		// and loses ban-set support (protection requires the builtins).
 		delete(s.embedCtx, name)
+		delete(s.protectOpts, name)
 	}
 	if _, ok := s.embedder[cfg.Algorithm]; !ok {
 		return nil, fmt.Errorf("server: unknown default algorithm %q", cfg.Algorithm)
@@ -414,24 +444,32 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// builtinCtxEmbedders maps the builtin algorithms that support
-// cooperative cancellation to their context-aware entry points. cache,
-// when non-nil, is shared by every mbbe/bbe run (see Config.PathCacheSize).
-func builtinCtxEmbedders(cache *graph.TreeCache, views *graph.ViewCache) map[string]ctxEmbedder {
+// builtinOptions is the shared option set of the builtin tree searches,
+// with the cross-request caches wired in. The ctx-aware embedders and the
+// backup search both draw from it; ban-set variants copy an entry per
+// request (Options is a value type) so the shared maps are never mutated.
+func builtinOptions(cache *graph.TreeCache, views *graph.ViewCache) map[string]core.Options {
 	mbbeOpts := core.MBBEOptions()
 	mbbeOpts.PathCache = cache
 	mbbeOpts.ViewCache = views
 	bbeOpts := core.BBEOptions()
 	bbeOpts.PathCache = cache
 	bbeOpts.ViewCache = views
-	return map[string]ctxEmbedder{
-		"mbbe": func(ctx context.Context, p *core.Problem) (*core.Result, error) {
-			return core.EmbedContext(ctx, p, mbbeOpts)
-		},
-		"bbe": func(ctx context.Context, p *core.Problem) (*core.Result, error) {
-			return core.EmbedContext(ctx, p, bbeOpts)
-		},
+	return map[string]core.Options{"mbbe": mbbeOpts, "bbe": bbeOpts}
+}
+
+// builtinCtxEmbedders maps the builtin algorithms that support
+// cooperative cancellation to their context-aware entry points. cache,
+// when non-nil, is shared by every mbbe/bbe run (see Config.PathCacheSize).
+func builtinCtxEmbedders(cache *graph.TreeCache, views *graph.ViewCache) map[string]ctxEmbedder {
+	out := make(map[string]ctxEmbedder)
+	for name, opts := range builtinOptions(cache, views) {
+		opts := opts
+		out[name] = func(ctx context.Context, p *core.Problem) (*core.Result, error) {
+			return core.EmbedContext(ctx, p, opts)
+		}
 	}
+	return out
 }
 
 // builtinEmbedders is the default algorithm registry. The randomized
@@ -508,6 +546,16 @@ func (s *Server) prepare(req FlowRequest) (sfc.DAGSFC, string, Embedder, ctxEmbe
 	embed, ok := s.embedder[alg]
 	if !ok {
 		return dag, "", nil, nil, 0, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, alg)
+	}
+	switch req.Protection {
+	case "", ProtectionNone:
+	case ProtectionBackup:
+		if _, ok := s.protectOpts[alg]; !ok {
+			return dag, "", nil, nil, 0, fmt.Errorf("%w: protection %q requires a ban-capable algorithm (mbbe, bbe), got %q",
+				ErrBadRequest, req.Protection, alg)
+		}
+	default:
+		return dag, "", nil, nil, 0, fmt.Errorf("%w: unknown protection class %q", ErrBadRequest, req.Protection)
 	}
 	p := &core.Problem{
 		Net: s.net, SFC: dag,
@@ -687,6 +735,12 @@ func (s *Server) worker() {
 			})
 			telemetry.RecordServerStage(telemetry.StageQueueWait, wait)
 		}
+		if j.repair != nil && j.repair.reprotect {
+			// A re-protect embeds only a fresh backup for a still-live
+			// primary; it has its own snapshot discipline (protect.go).
+			s.reprotectEmbed(j)
+			continue
+		}
 		s.mu.Lock()
 		snap := s.ledger.Snapshot()
 		s.mu.Unlock()
@@ -724,6 +778,14 @@ func (s *Server) worker() {
 			Workers: s.cfg.Workers,
 		})
 		j.res = res
+		if j.repair == nil && j.req.Protection == ProtectionBackup {
+			// Protected admission: reserve the primary on the private
+			// snapshot, then search for a disjoint backup against what
+			// remains. Failure is terminal — no backup, no admission.
+			if !s.admitBackup(j, p) {
+				continue
+			}
+		}
 		s.commit <- j
 	}
 }
@@ -756,6 +818,12 @@ func (s *Server) commitLoop() {
 			s.inflight.Done()
 			continue
 		}
+		if j.repair != nil && j.repair.reprotect {
+			// A re-protect reserves only a backup for a live primary; its
+			// commit protocol is its own (protect.go).
+			s.commitReprotect(j)
+			continue
+		}
 		s.journal.Append(journal.Event{
 			Type: journal.TypeCommitAttempt, Flow: j.id, Attempt: j.retries,
 		})
@@ -767,7 +835,13 @@ func (s *Server) commitLoop() {
 			Src: graph.NodeID(j.req.Src), Dst: graph.NodeID(j.req.Dst),
 			Rate: j.req.Rate, Size: j.req.Size,
 		}
-		if err := core.Validate(p, j.res.Solution); err != nil {
+		verr := core.Validate(p, j.res.Solution)
+		if verr == nil && j.backup != nil {
+			// A protected admission commits both placements or neither:
+			// check the pair fits the live ledger together before claiming.
+			verr = s.validatePairLocked(p, j)
+		}
+		if err := verr; err != nil {
 			s.mu.Unlock()
 			telemetry.RecordOnlineCommitFailure()
 			s.journal.Append(journal.Event{
@@ -777,6 +851,7 @@ func (s *Server) commitLoop() {
 			if j.retries < s.cfg.CommitRetries {
 				j.retries++
 				j.res = nil
+				j.backup = nil
 				// Non-blocking: a full queue means the server is loaded
 				// enough that retrying would only add to the herd.
 				select {
@@ -819,6 +894,22 @@ func (s *Server) commitLoop() {
 			s.inflight.Done()
 			continue
 		}
+		var backupCost Cost
+		if j.backup != nil {
+			bcb, berr := core.Commit(p, j.backup.Solution)
+			if berr != nil {
+				// The pair validated moments ago under this same lock; a
+				// failure here is the same bug-guard class as the primary's,
+				// but the primary is already reserved — undo it.
+				_ = core.Release(p, j.res.Solution)
+				s.mu.Unlock()
+				telemetry.RecordOnlineCommitFailure()
+				j.done <- jobResult{err: fmt.Errorf("%w: backup: %v", ErrCommitConflict, berr)}
+				s.inflight.Done()
+				continue
+			}
+			backupCost = Cost{Total: bcb.Total(), VNF: bcb.VNFCost, Link: bcb.LinkCost}
+		}
 		var id int64
 		var info FlowInfo
 		if j.repair != nil {
@@ -844,15 +935,26 @@ func (s *Server) commitLoop() {
 				at := info.Created.Add(j.ttl)
 				info.ExpiresAt = &at
 			}
+			if j.backup != nil {
+				info.Protection = ProtectionBackup
+				info.BackupActive = true
+				info.BackupCost = backupCost
+			}
 		}
 		s.flows.Add(id, online.Flow{Problem: p, Solution: j.res.Solution})
 		s.meta[id] = info
+		var walBackupSol *core.Solution
+		if j.backup != nil {
+			s.backups[id] = j.backup.Solution
+			walBackupSol = j.backup.Solution
+			telemetry.SetBackupsActive(len(s.backups))
+		}
 		if j.repair != nil {
 			delete(s.repairFault, id)
 		}
 		// The durability barrier: the commit record hits stable storage
 		// (per the sync policy) before the caller is acknowledged below.
-		if payload, err := json.Marshal(walFlow{Info: info, Sol: j.res.Solution}); err == nil {
+		if payload, err := json.Marshal(walFlow{Info: info, Sol: j.res.Solution, Backup: walBackupSol}); err == nil {
 			s.walAppendLocked(wal.TypeCommit, id, payload)
 		}
 		telemetry.RecordOverlayCommit()
@@ -875,6 +977,12 @@ func (s *Server) commitLoop() {
 			telemetry.RecordServerStage(telemetry.StageCommitWait, wait)
 		}
 		s.journal.Append(ev)
+		if j.backup != nil {
+			s.journal.Append(journal.Event{
+				Type: journal.TypeProtected, Flow: id, Alg: j.alg,
+				Cost: backupCost.Total,
+			})
+		}
 		if info.ExpiresAt != nil {
 			s.wheel.Schedule(id, *info.ExpiresAt)
 		}
@@ -945,6 +1053,13 @@ func (s *Server) release(id int64, how string) (FlowInfo, bool) {
 	// Release cannot fail here: the flow's cost evaluated at commit time
 	// and the network is immutable.
 	_ = core.Release(f.Problem, f.Solution)
+	if b, has := s.backups[id]; has {
+		// A protected flow's backup reservations leave with it; replay of
+		// the release/expire record does the same (durable.go).
+		_ = core.Release(f.Problem, b)
+		delete(s.backups, id)
+		telemetry.SetBackupsActive(len(s.backups))
+	}
 	s.walAppendLocked(walType, id, nil)
 	telemetry.SetServerActiveFlows(s.flows.Len())
 	s.mu.Unlock()

@@ -25,6 +25,7 @@ import (
 	"dagsfc/internal/graph"
 	"dagsfc/internal/journal"
 	"dagsfc/internal/network"
+	"dagsfc/internal/online"
 	"dagsfc/internal/telemetry"
 	"dagsfc/internal/wal"
 )
@@ -37,7 +38,10 @@ type RepairEvent struct {
 	Flow  int64
 	Fault network.Fault
 	// Outcome is "revalidated" (the embedding survived the fault in
-	// place), "repaired" (re-embedded onto new resources) or "evicted".
+	// place), "repaired" (re-embedded onto new resources), "evicted",
+	// "failover" (the fault killed the primary and the pre-reserved
+	// backup was promoted in place) or "backup-lost" (the fault killed
+	// the backup while the primary survived).
 	Outcome string
 	// Attempts is the number of re-embed attempts the pipeline actually
 	// judged (0 for revalidations). Admission-level rejections retried
@@ -55,14 +59,42 @@ type repairTask struct {
 	// strandedAt anchors the journal's "repair" stage: the time from
 	// stranding to the terminal repaired/evicted event.
 	strandedAt time.Time
+	// reprotect marks a background backup re-embed for a flow that is
+	// live on its primary but lost its backup (failover or backup-killing
+	// fault); the flow is never stranded and exhaustion never evicts it.
+	reprotect bool
+}
+
+// faultCasualty is one committed flow the fault touches, carried across
+// ApplyFault's unlocked revalidation phase. The solution pointers double
+// as identity guards: phase three only acts on a flow whose live
+// placement is still the exact one phase two judged.
+type faultCasualty struct {
+	id      int64
+	problem *core.Problem
+	sol     *core.Solution
+	backup  *core.Solution
+	priOK   bool
+	bakOK   bool
 }
 
 // ApplyFault quarantines the fault's capacity on the live ledger (POST
 // /v1/faults). Committed flows that traverse the failed element are
-// revalidated in place; those that no longer fit are released and queued
-// for repair. Snapshots already taken by in-flight embeds observe the
-// quarantine at commit time — the commit loop re-validates against the
-// post-fault residuals.
+// revalidated; survivors stay in place, a protected flow whose primary
+// died fails over to its pre-reserved backup (no re-embed, no strand),
+// and everything else is released and queued for repair. Snapshots
+// already taken by in-flight embeds observe the quarantine at commit time
+// — the commit loop re-validates against the post-fault residuals.
+//
+// The work runs in three phases so a large fault scan never stalls the
+// pipeline: quarantine + candidate collection under s.mu, revalidation of
+// every candidate on throwaway overlays of one frozen snapshot with the
+// lock released, then a short re-acquisition that acts on the verdicts.
+// An OK verdict cannot be invalidated by commits that interleaved (a flow
+// always re-fits its own reserved slot unless new quarantine lands, and a
+// concurrent fault re-scans everything itself); a stale dead verdict is
+// caught by the identity guard or leads to a failover/strand that the
+// flow's owner would have needed anyway.
 func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
 	begin := time.Now()
 	s.mu.Lock()
@@ -73,60 +105,168 @@ func (s *Server) ApplyFault(f network.Fault) (FaultState, error) {
 	}
 	s.activeFaults = append(s.activeFaults, f)
 	s.faultsApplied++
-	if payload, merr := json.Marshal(faultToWire(f)); merr == nil {
+	fw := faultToWire(f)
+	if payload, merr := json.Marshal(fw); merr == nil {
 		s.walAppendLocked(wal.TypeFaultApply, 0, payload)
 	}
 	telemetry.RecordFault(f.Kind.String(), true, len(s.activeFaults))
+	appliedAt := time.Now()
 
-	// Scan casualties in ascending flow-ID order for a deterministic
-	// repair sequence.
+	// Phase one: collect the flows the fault touches (primary or backup),
+	// in ascending ID order for a deterministic repair sequence, plus one
+	// shared snapshot to judge them against.
 	ids := s.flows.Keys()
 	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
-	var stranded []*repairTask
-	var revalidated []int64
+	var cands []*faultCasualty
 	for _, id := range ids {
 		fl, ok := s.flows.Get(id)
-		if !ok || !faults.Hits(s.net, fl.Solution, f) {
+		if !ok {
 			continue
 		}
-		// Revalidate net of the flow's own reservations: release into a
-		// throwaway overlay first, so a flow is never condemned for
-		// capacity it itself holds.
-		probe := *fl.Problem
-		probe.Ledger = s.ledger.Overlay()
-		relErr := core.Release(&probe, fl.Solution)
-		if relErr == nil && core.Validate(&probe, fl.Solution) == nil {
-			probe.Ledger.Discard()
-			s.repairLog = append(s.repairLog, RepairEvent{Flow: id, Fault: f, Outcome: "revalidated"})
-			telemetry.RecordRepair("revalidated")
-			revalidated = append(revalidated, id)
+		b := s.backups[id]
+		if !faults.Hits(s.net, fl.Solution, f) && (b == nil || !faults.Hits(s.net, b, f)) {
 			continue
 		}
-		probe.Ledger.Discard()
-		// Stranded for real: return its capacity now (the fault may have
-		// pushed residuals negative; releasing restores sanity and lets the
-		// repair and concurrent arrivals compete for what is left).
-		fl, _ = s.flows.Release(id)
-		fl.Problem.Ledger = s.ledger
-		_ = core.Release(fl.Problem, fl.Solution)
-		info := s.meta[id]
-		info.State = FlowStateRepairing
-		s.meta[id] = info
-		fw := faultToWire(f)
-		s.repairFault[id] = fw
-		if payload, merr := json.Marshal(fw); merr == nil {
-			s.walAppendLocked(wal.TypeStrand, id, payload)
-		}
-		stranded = append(stranded, &repairTask{id: id, fault: f, info: info, strandedAt: time.Now()})
+		cands = append(cands, &faultCasualty{id: id, problem: fl.Problem, sol: fl.Solution, backup: b})
 	}
-	telemetry.SetServerActiveFlows(s.flows.Len())
+	var snap *network.Ledger
+	if len(cands) > 0 {
+		snap = s.ledger.Snapshot()
+	}
 	st := s.faultStateLocked()
 	s.mu.Unlock()
+
+	// Phase two, unlocked: revalidate each candidate net of its own
+	// reservations — release primary and backup into a throwaway overlay
+	// first, so a flow is never condemned for capacity it itself holds.
+	// The surviving primary is re-reserved before the backup is judged, so
+	// a "both OK" verdict means the pair still fits together.
+	for _, c := range cands {
+		if s.revalHook != nil {
+			s.revalHook(c.id)
+		}
+		probe := *c.problem
+		probe.Ledger = snap.Overlay()
+		err := core.Release(&probe, c.sol)
+		if err == nil && c.backup != nil {
+			err = core.Release(&probe, c.backup)
+		}
+		if err == nil {
+			c.priOK = core.Validate(&probe, c.sol) == nil
+			if c.backup != nil {
+				if c.priOK {
+					if _, cerr := core.Commit(&probe, c.sol); cerr != nil {
+						c.priOK = false
+					}
+				}
+				c.bakOK = core.Validate(&probe, c.backup) == nil
+			}
+		}
+		probe.Ledger.Discard()
+	}
+
+	// Phase three: act on the verdicts under s.mu, skipping any flow whose
+	// placement changed while the lock was released (released, repaired or
+	// failed over concurrently — whoever moved it reconciled it against the
+	// post-fault ledger already, since the quarantine landed in phase one).
+	var stranded []*repairTask
+	var revalidated []int64
+	type protEvent struct {
+		id       int64
+		info     FlowInfo
+		failover bool
+		latency  time.Duration
+	}
+	var protEvents []protEvent
+	if len(cands) > 0 {
+		s.mu.Lock()
+		for _, c := range cands {
+			fl, ok := s.flows.Get(c.id)
+			if !ok || fl.Solution != c.sol || s.backups[c.id] != c.backup {
+				continue
+			}
+			info := s.meta[c.id]
+			switch {
+			case c.priOK && (c.backup == nil || c.bakOK):
+				s.repairLog = append(s.repairLog, RepairEvent{Flow: c.id, Fault: f, Outcome: "revalidated"})
+				telemetry.RecordRepair("revalidated")
+				revalidated = append(revalidated, c.id)
+
+			case c.priOK: // backup died, primary fine
+				fl.Problem.Ledger = s.ledger
+				_ = core.Release(fl.Problem, c.backup)
+				delete(s.backups, c.id)
+				info.BackupActive = false
+				info.BackupCost = Cost{}
+				s.meta[c.id] = info
+				if payload, merr := json.Marshal(fw); merr == nil {
+					s.walAppendLocked(wal.TypeBackupLoss, c.id, payload)
+				}
+				s.repairLog = append(s.repairLog, RepairEvent{Flow: c.id, Fault: f, Outcome: "backup-lost"})
+				protEvents = append(protEvents, protEvent{id: c.id, info: info})
+
+			case c.backup != nil && c.bakOK: // primary died, backup survives: failover
+				fl, _ := s.flows.Release(c.id)
+				fl.Problem.Ledger = s.ledger
+				_ = core.Release(fl.Problem, fl.Solution)
+				s.flows.Add(c.id, online.Flow{Problem: fl.Problem, Solution: c.backup})
+				delete(s.backups, c.id)
+				info.Cost = info.BackupCost
+				info.BackupCost = Cost{}
+				info.BackupActive = false
+				info.Failovers++
+				s.meta[c.id] = info
+				if payload, merr := json.Marshal(fw); merr == nil {
+					s.walAppendLocked(wal.TypeFailover, c.id, payload)
+				}
+				s.repairLog = append(s.repairLog, RepairEvent{Flow: c.id, Fault: f, Outcome: "failover"})
+				protEvents = append(protEvents, protEvent{
+					id: c.id, info: info, failover: true, latency: time.Since(appliedAt),
+				})
+
+			default: // primary died, no surviving backup: strand for repair
+				fl, _ := s.flows.Release(c.id)
+				fl.Problem.Ledger = s.ledger
+				_ = core.Release(fl.Problem, fl.Solution)
+				if c.backup != nil {
+					_ = core.Release(fl.Problem, c.backup)
+					delete(s.backups, c.id)
+				}
+				info.State = FlowStateRepairing
+				info.BackupActive = false
+				info.BackupCost = Cost{}
+				s.meta[c.id] = info
+				s.repairFault[c.id] = fw
+				if payload, merr := json.Marshal(fw); merr == nil {
+					s.walAppendLocked(wal.TypeStrand, c.id, payload)
+				}
+				stranded = append(stranded, &repairTask{id: c.id, fault: f, info: info, strandedAt: time.Now()})
+			}
+		}
+		telemetry.SetServerActiveFlows(s.flows.Len())
+		telemetry.SetBackupsActive(len(s.backups))
+		s.mu.Unlock()
+	}
 
 	for _, id := range revalidated {
 		s.journal.Append(journal.Event{
 			Type: journal.TypeRevalidated, Flow: id, Detail: f.String(),
 		})
+	}
+	for _, pe := range protEvents {
+		if pe.failover {
+			s.journal.Append(journal.Event{
+				Type: journal.TypeFailover, Flow: pe.id, Seconds: pe.latency.Seconds(),
+				Cost: pe.info.Cost.Total, Detail: f.String(),
+			})
+			telemetry.RecordServerStage(telemetry.StageFailover, pe.latency)
+			telemetry.RecordFailover()
+		} else {
+			s.journal.Append(journal.Event{
+				Type: journal.TypeBackupLost, Flow: pe.id, Detail: f.String(),
+			})
+		}
+		s.enqueueReprotect(pe.id, f, pe.info)
 	}
 	for _, t := range stranded {
 		s.wheel.Cancel(t.id)
@@ -320,7 +460,11 @@ func (s *Server) repairLoop() {
 			if t == nil {
 				break
 			}
-			s.repairOne(t, rng)
+			if t.reprotect {
+				s.reprotectOne(t, rng)
+			} else {
+				s.repairOne(t, rng)
+			}
 			s.repairDone()
 		}
 	}
@@ -360,6 +504,11 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 			})
 			telemetry.RecordServerStage(telemetry.StageRepair, repairDur)
 			telemetry.RecordRepair("repaired")
+			// A repaired protected flow comes back unprotected; re-arm its
+			// backup in the background.
+			if t.info.Protection == ProtectionBackup {
+				s.enqueueReprotect(t.id, t.fault, t.info)
+			}
 			return
 		}
 		lastErr = err
@@ -387,13 +536,20 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 		s.mu.Unlock()
 		return
 	}
+	var cause string
 	if info, ok := s.meta[t.id]; ok && info.State == FlowStateRepairing {
 		info.State = FlowStateEvicted
 		if lastErr != nil {
 			info.LastError = lastErr.Error()
 		}
+		// A flow that held a backup and still could not be saved lost its
+		// protection, not just a re-embed race; the tombstone says so.
+		if info.Protection == ProtectionBackup {
+			info.Cause = CauseProtectionLost
+			cause = info.Cause
+		}
 		s.meta[t.id] = info
-		if payload, merr := json.Marshal(walEvict{LastError: info.LastError}); merr == nil {
+		if payload, merr := json.Marshal(walEvict{LastError: info.LastError, Cause: info.Cause}); merr == nil {
 			s.walAppendLocked(wal.TypeEvict, t.id, payload)
 		}
 	}
@@ -402,9 +558,13 @@ func (s *Server) repairOne(t *repairTask, rng *rand.Rand) {
 	delete(s.dropped, t.id)
 	s.mu.Unlock()
 	repairDur := time.Since(t.strandedAt)
+	detail := t.fault.String()
+	if cause != "" {
+		detail += " (" + cause + ")"
+	}
 	ev := journal.Event{
 		Type: journal.TypeEvicted, Flow: t.id, Attempt: attempts,
-		Seconds: repairDur.Seconds(), Detail: t.fault.String(),
+		Seconds: repairDur.Seconds(), Detail: detail,
 	}
 	if lastErr != nil {
 		ev.Err = lastErr.Error()
@@ -473,7 +633,12 @@ func (s *Server) repairAttempt(t *repairTask, try int) error {
 		Type: journal.TypeRepairAttempt, Flow: t.id, Alg: alg, Attempt: try + 1,
 		Detail: t.fault.String(),
 	})
+	return s.admitRepairJob(j, "repair re-embed")
+}
 
+// admitRepairJob runs a controller-issued job (repair or re-protect)
+// through the admission pipeline and waits for its outcome.
+func (s *Server) admitRepairJob(j *job, detail string) error {
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
@@ -485,8 +650,8 @@ func (s *Server) repairAttempt(t *repairTask, try int) error {
 		j.enqueuedAt = time.Now()
 		s.drainMu.RUnlock()
 		s.journal.Append(journal.Event{
-			Time: j.enqueuedAt, Type: journal.TypeEnqueue, Flow: t.id, Alg: alg,
-			Detail: "repair re-embed",
+			Time: j.enqueuedAt, Type: journal.TypeEnqueue, Flow: j.id, Alg: j.alg,
+			Detail: detail,
 		})
 		telemetry.SetServerQueueDepth(len(s.admit))
 	default:
@@ -498,7 +663,7 @@ func (s *Server) repairAttempt(t *repairTask, try int) error {
 	select {
 	case r := <-j.done:
 		return r.err
-	case <-ctx.Done():
+	case <-j.ctx.Done():
 		if j.finished.CompareAndSwap(false, true) {
 			return fmt.Errorf("%w during repair", ErrTimeout)
 		}

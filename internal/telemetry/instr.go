@@ -254,6 +254,10 @@ const (
 	StageEmbed      = "embed"
 	StageCommitWait = "commit_wait"
 	StageRepair     = "repair"
+	// StageFailover is the span from a fault hitting a protected flow's
+	// primary to its backup being live as the new primary — the bounded
+	// switch the protection layer exists to deliver (PR 10).
+	StageFailover = "failover"
 )
 
 // RecordServerStage records one pipeline-stage duration (the histogram
@@ -262,6 +266,51 @@ func RecordServerStage(stage string, elapsed time.Duration) {
 	Default().Histogram(MetricServerStageSeconds,
 		"Serving-pipeline stage durations derived from journal event pairs.",
 		DefLatencyBuckets(), L("stage", stage)).Observe(elapsed.Seconds())
+}
+
+// Protection metric names (PR 10): the protected-embedding subsystem —
+// how many flows currently hold a reserved backup, how many failovers and
+// background re-protections have run, and how many backup admissions
+// found no disjoint placement.
+const (
+	MetricProtectBackupsActive      = "dagsfc_protect_backups_active"
+	MetricProtectFailovers          = "dagsfc_protect_failovers_total"
+	MetricProtectReprotects         = "dagsfc_protect_reprotects_total"
+	MetricProtectBackupAdmitFailure = "dagsfc_protect_backup_admit_failures_total"
+)
+
+// SetBackupsActive publishes the number of flows currently holding a
+// reserved disjoint backup embedding.
+func SetBackupsActive(n int) {
+	Default().Gauge(MetricProtectBackupsActive, "Flows currently holding a reserved backup embedding.").Set(float64(n))
+}
+
+// RecordFailover records one backup promotion (fault killed the primary,
+// the pre-reserved backup took over without a re-embed).
+func RecordFailover() {
+	Default().Counter(MetricProtectFailovers, "Backup embeddings promoted to primary after a fault.").Inc()
+}
+
+// RecordReprotect records the re-protect controller reserving a fresh
+// backup for a flow that lost one.
+func RecordReprotect() {
+	Default().Counter(MetricProtectReprotects, "Fresh backup embeddings reserved by the re-protect controller.").Inc()
+}
+
+// RecordBackupAdmitFailure records a protected admission or re-protect
+// attempt that found no disjoint backup placement.
+func RecordBackupAdmitFailure() {
+	Default().Counter(MetricProtectBackupAdmitFailure, "Backup embed attempts that found no disjoint placement.").Inc()
+}
+
+// InitProtectMetrics registers the protection counters at zero so scrapes
+// see the family before the first protected flow arrives.
+func InitProtectMetrics() {
+	r := Default()
+	r.Gauge(MetricProtectBackupsActive, "Flows currently holding a reserved backup embedding.").Set(0)
+	r.Counter(MetricProtectFailovers, "Backup embeddings promoted to primary after a fault.").Add(0)
+	r.Counter(MetricProtectReprotects, "Fresh backup embeddings reserved by the re-protect controller.").Add(0)
+	r.Counter(MetricProtectBackupAdmitFailure, "Backup embed attempts that found no disjoint placement.").Add(0)
 }
 
 // RecordJournalAppend records one journal append and, when the ring

@@ -51,6 +51,19 @@ const (
 	// TypeStrand records a fault releasing a flow's reservations and
 	// marking it repairing.
 	TypeStrand Type = 8
+	// TypeBackup records a protected flow gaining (or regaining, via the
+	// re-protect controller) a disjoint backup embedding: the payload is
+	// the backup solution plus its cost, reserved in the ledger under the
+	// flow's ID.
+	TypeBackup Type = 9
+	// TypeFailover records a fault killing a protected flow's primary and
+	// the backup being promoted in its place: the primary's reservations
+	// leave the ledger, the backup's stay. The payload carries the fault.
+	TypeFailover Type = 10
+	// TypeBackupLoss records a fault killing a protected flow's backup
+	// while the primary survives: the backup's reservations leave the
+	// ledger and the flow queues for re-protection.
+	TypeBackupLoss Type = 11
 )
 
 func (t Type) String() string {
@@ -71,6 +84,12 @@ func (t Type) String() string {
 		return "fault-restore"
 	case TypeStrand:
 		return "strand"
+	case TypeBackup:
+		return "backup"
+	case TypeFailover:
+		return "failover"
+	case TypeBackupLoss:
+		return "backup-loss"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
